@@ -1,0 +1,67 @@
+// Shared infrastructure for the per-table/per-figure benchmark drivers:
+// the scaled-down analogue of the paper's graph suite (Table 2) and the
+// paper-style table printers.
+//
+// Scale note: the paper runs billion-edge graphs on a 28-core node; these
+// analogues keep every structural property that drives the analysis
+// (degree distribution, diameter regime, vertex-ordering locality) at a
+// size a single development machine sweeps in seconds. EXPERIMENTS.md maps
+// each analogue to its paper counterpart.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "hde/parhde.hpp"
+#include "util/timer.hpp"
+
+namespace parhde::bench {
+
+struct NamedGraph {
+  std::string name;
+  std::string paper_name;  // the paper graph this stands in for
+  CsrGraph graph;
+};
+
+/// The five "large" graphs of Tables 3-5 and Figs. 2-6:
+///   urand16  (urand27)   — uniform random, no locality, regular degrees
+///   kron15   (kron27)    — R-MAT, shuffled ids, skewed degrees
+///   web15    (sk-2005)   — R-MAT relabelled by RCM: locality-friendly order
+///   twit15   (twitter7)  — R-MAT with stronger skew, shuffled ids
+///   road350  (road_usa)  — grid + sparse diagonals: high diameter, low degree
+std::vector<NamedGraph> LargeSuite();
+
+/// The five "small" graphs of Tables 4/6:
+///   curl30   (CurlCurl_4) — 3-D mesh
+///   kkt13    (kkt_power)  — skewed sparse optimization-like graph
+///   cage12   (cage14)     — 3-D mesh, moderate degree
+///   eco250   (ecology1)   — 2-D 5-point grid
+///   pa150    (pa2010)     — small road network
+std::vector<NamedGraph> SmallSuite();
+
+/// The barth5 analogue (plate with four holes) used by Figs. 1/7/8.
+CsrGraph Barth5Analogue();
+
+/// Wall-clock of a callable, in seconds.
+double TimeSeconds(const std::function<void()>& fn);
+
+/// Minimum wall-clock over `trials` runs — the standard noise filter for
+/// sub-second measurements (first run doubles as warmup).
+double MinTimeSeconds(int trials, const std::function<void()>& fn);
+
+/// Prints a Fig. 3/5/6-style percentage breakdown: one row per graph, one
+/// column per phase (grouped per `phases`; anything else lands in "Other").
+void PrintBreakdown(const std::string& title,
+                    const std::vector<std::string>& graph_names,
+                    const std::vector<PhaseTimings>& timings,
+                    const std::vector<std::pair<std::string,
+                                                std::vector<std::string>>>&
+                        phase_groups);
+
+/// Default ParHDE options used across benches (paper defaults: s=10,
+/// deterministic seed so runs are comparable).
+HdeOptions DefaultOptions(int subspace_dim = 10);
+
+}  // namespace parhde::bench

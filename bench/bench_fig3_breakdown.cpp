@@ -1,0 +1,54 @@
+// Figure 3: component-wise execution-time breakdown (percent of total) for
+// three scenarios: ParHDE with all threads, ParHDE on one thread, and the
+// prior implementation. s = 10.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hde/prior_baseline.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  const auto suite = LargeSuite();
+  const HdeOptions options = DefaultOptions(10);
+
+  const std::vector<std::pair<std::string, std::vector<std::string>>> groups{
+      {"BFS", {phase::kBfs, phase::kBfsOther}},
+      {"TripleProd", {phase::kTripleProdLs, phase::kTripleProdGemm}},
+      {"DOrtho", {phase::kDOrtho}},
+  };
+
+  std::vector<std::string> names;
+  for (const auto& ng : suite) names.push_back(ng.name);
+
+  {
+    std::vector<PhaseTimings> timings;
+    for (const auto& ng : suite) {
+      timings.push_back(RunParHde(ng.graph, options).timings);
+    }
+    PrintBreakdown("== Fig 3 (left): ParHDE, all threads ==", names, timings,
+                   groups);
+  }
+  {
+    ThreadCountGuard serial(1);
+    std::vector<PhaseTimings> timings;
+    for (const auto& ng : suite) {
+      timings.push_back(RunParHde(ng.graph, options).timings);
+    }
+    PrintBreakdown("== Fig 3 (middle): ParHDE, 1 thread ==", names, timings,
+                   groups);
+  }
+  {
+    std::vector<PhaseTimings> timings;
+    for (const auto& ng : suite) {
+      timings.push_back(RunPriorHde(ng.graph, options).timings);
+    }
+    PrintBreakdown("== Fig 3 (right): prior implementation ==", names, timings,
+                   groups);
+  }
+  std::printf("paper shape: BFS+TripleProd dominate DOrtho everywhere; the\n"
+              "prior chart is BFS-heavy because its BFS is serial.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// §4.2 comparative claim: ParHDE is orders of magnitude faster than
+// force-directed layout (MulMent: 27 s for a 1M/3M graph; ParHDE "two
+// orders of magnitude faster"). This bench runs grid-accelerated
+// Fruchterman-Reingold (100 iterations, the usual budget) against ParHDE
+// on the same graphs and reports times and edge-length energies.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "draw/layout.hpp"
+#include "hde/force_directed.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Sec 4.2: ParHDE vs force-directed (FR, grid-accelerated) ==\n");
+  TextTable table({"Graph", "ParHDE (s)", "FR-100 (s)", "ParHDE faster",
+                   "energy ParHDE", "energy FR"});
+
+  for (const auto& ng : SmallSuite()) {
+    HdeResult hde;
+    const double hde_s =
+        TimeSeconds([&] { hde = RunParHde(ng.graph, DefaultOptions(10)); });
+
+    ForceDirectedOptions fr_options;
+    fr_options.iterations = 100;
+    ForceDirectedResult fr;
+    const double fr_s =
+        TimeSeconds([&] { fr = FruchtermanReingold(ng.graph, fr_options); });
+
+    table.AddRow({ng.name, TextTable::Num(hde_s, 3), TextTable::Num(fr_s, 3),
+                  TextTable::Num(fr_s / hde_s, 0) + "x",
+                  TextTable::Num(NormalizedEdgeLengthEnergy(ng.graph, hde.layout), 4),
+                  TextTable::Num(NormalizedEdgeLengthEnergy(ng.graph, fr.layout), 4)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper: MulMent needs 27 s where ParHDE needs ~0.3 s; FR-style\n"
+              "codes are 1-2 orders of magnitude slower at similar scale.\n");
+  return 0;
+}

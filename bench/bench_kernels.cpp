@@ -1,0 +1,160 @@
+// Kernel micro-benchmarks on google-benchmark: the primitive operations
+// whose costs Table 1 analyzes (dot products, axpy, Laplacian SpMM, BFS,
+// Gram-Schmidt). Useful for regression-tracking individual kernels outside
+// the full-pipeline tables.
+#include <benchmark/benchmark.h>
+
+#include "bfs/parallel_bfs.hpp"
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "linalg/laplacian_ops.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+const CsrGraph& KronGraph() {
+  static const CsrGraph graph =
+      LargestComponent(BuildCsrGraph(1 << 13, GenKronecker(13, 16, 1))).graph;
+  return graph;
+}
+
+const CsrGraph& GridGraph() {
+  static const CsrGraph graph = BuildCsrGraph(90000, GenGrid2d(300, 300));
+  return graph;
+}
+
+std::vector<double> MakeVector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : v) x = rng.NextDouble();
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = MakeVector(n, 1);
+  const auto y = MakeVector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(x, y));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_Dot)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WeightedDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = MakeVector(n, 1);
+  const auto y = MakeVector(n, 2);
+  const auto d = MakeVector(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedDot(x, y, d));
+  }
+}
+BENCHMARK(BM_WeightedDot)->Arg(1 << 18);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = MakeVector(n, 4);
+  auto y = MakeVector(n, 5);
+  for (auto _ : state) {
+    Axpy(0.5, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 18);
+
+void BM_LaplacianSpmmFused(benchmark::State& state) {
+  const CsrGraph& g = KronGraph();
+  const auto n = static_cast<std::size_t>(g.NumVertices());
+  const auto k = static_cast<std::size_t>(state.range(0));
+  DenseMatrix S(n, k), P(n, k);
+  Xoshiro256 rng(6);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < n; ++r) S.At(r, c) = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    LaplacianTimesMatrixFused(g, S, P);
+    benchmark::DoNotOptimize(P.Data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.NumArcs() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_LaplacianSpmmFused)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_LaplacianSpmmExplicit(benchmark::State& state) {
+  const CsrGraph& g = KronGraph();
+  const auto n = static_cast<std::size_t>(g.NumVertices());
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const ExplicitLaplacian L = BuildExplicitLaplacian(g);
+  DenseMatrix S(n, k), P(n, k);
+  Xoshiro256 rng(7);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < n; ++r) S.At(r, c) = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    LaplacianTimesMatrixExplicit(L, S, P);
+    benchmark::DoNotOptimize(P.Data());
+  }
+}
+BENCHMARK(BM_LaplacianSpmmExplicit)->Arg(10);
+
+void BM_ParallelBfsKron(benchmark::State& state) {
+  const CsrGraph& g = KronGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelBfsDistances(g, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.NumArcs());
+}
+BENCHMARK(BM_ParallelBfsKron);
+
+void BM_SerialBfsKron(benchmark::State& state) {
+  const CsrGraph& g = KronGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerialBfs(g, 0));
+  }
+}
+BENCHMARK(BM_SerialBfsKron);
+
+void BM_ParallelBfsGrid(benchmark::State& state) {
+  const CsrGraph& g = GridGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelBfsDistances(g, 0));
+  }
+}
+BENCHMARK(BM_ParallelBfsGrid);
+
+void BM_GramSchmidt(benchmark::State& state) {
+  const auto kind = static_cast<GramSchmidtKind>(state.range(0));
+  constexpr std::size_t n = 1 << 16;
+  constexpr std::size_t k = 20;
+  const auto d = MakeVector(n, 8);
+  DenseMatrix original(n, k);
+  Xoshiro256 rng(9);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < n; ++r) original.At(r, c) = rng.NextDouble();
+  }
+  GramSchmidtOptions options;
+  options.kind = kind;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DenseMatrix S = original;
+    state.ResumeTiming();
+    DOrthogonalize(S, d, options);
+    benchmark::DoNotOptimize(S.Data());
+  }
+}
+BENCHMARK(BM_GramSchmidt)
+    ->Arg(static_cast<int>(GramSchmidtKind::Modified))
+    ->Arg(static_cast<int>(GramSchmidtKind::Classical));
+
+}  // namespace
+}  // namespace parhde
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// §3 future-work ablation: low-diameter decomposition. Level-synchronous
+// BFS has O(diameter) depth — terrible on road-like graphs — while LDD
+// clusters have radius O(log n / beta). This bench sweeps beta on the road
+// analogue and reports cluster count, max radius (the depth a cluster-wise
+// traversal would see), and the cut-edge fraction paid for it.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bfs/ldd.hpp"
+#include "bfs/serial_bfs.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Sec 3 future work: low-diameter decomposition ==\n");
+
+  for (const auto& ng : LargeSuite()) {
+    if (ng.name != "road350" && ng.name != "kron15") continue;
+    const dist_t diameter = PseudoDiameter(ng.graph);
+    std::printf("-- %s (n=%d, m=%lld, pseudo-diameter=%d) --\n",
+                ng.name.c_str(), ng.graph.NumVertices(),
+                static_cast<long long>(ng.graph.NumEdges()), diameter);
+
+    TextTable table({"beta", "clusters", "max radius", "cut edges", "cut %",
+                     "time (s)"});
+    for (const double beta : {0.02, 0.05, 0.1, 0.2, 0.5}) {
+      LddOptions options;
+      options.beta = beta;
+      options.seed = 3;
+      LddResult ldd;
+      const double seconds = TimeSeconds(
+          [&] { ldd = LowDiameterDecomposition(ng.graph, options); });
+      table.AddRow({TextTable::Num(beta, 2),
+                    TextTable::Int(static_cast<long long>(ldd.centers.size())),
+                    TextTable::Int(MaxClusterRadius(ng.graph, ldd)),
+                    TextTable::Int(ldd.cut_edges),
+                    TextTable::Num(100.0 * static_cast<double>(ldd.cut_edges) /
+                                       static_cast<double>(ng.graph.NumEdges()),
+                                   1),
+                    TextTable::Num(seconds, 3)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf("shape: max radius falls far below the graph diameter as beta\n"
+              "grows, at the price of a ~beta fraction of cut edges — the\n"
+              "depth/work trade the paper cites [11, 12, 37].\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// §4.5.3 endgame: ParHDE as the warm start for a modern eigensolver.
+// Compares (a) power iteration, (b) LOBPCG from random, (c) LOBPCG from
+// the ParHDE axes — iterations and wall time to the same tolerance.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hde/refine.hpp"
+#include "linalg/lobpcg.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Sec 4.5.3: power iteration vs LOBPCG (cold/ParHDE-warm) ==\n");
+  TextTable table({"Graph", "Solver", "Iters", "Time (s)", "lambda_2"});
+
+  for (const auto& ng : SmallSuite()) {
+    const vid_t n = ng.graph.NumVertices();
+
+    {
+      PowerIterationOptions pi;
+      pi.tolerance = 1e-8;
+      pi.max_iterations = 100000;
+      WallTimer t;
+      const PowerIterationResult r =
+          PowerIteration(ng.graph, RandomLayout(n, 3), pi);
+      // Walk eigenvalue μ ↔ generalized (L, D) eigenvalue 1 − μ.
+      table.AddRow({ng.name, "power-iter", TextTable::Int(r.iterations),
+                    TextTable::Num(t.Seconds(), 3),
+                    TextTable::Num(1.0 - r.eigenvalue[0], 6)});
+    }
+    LobpcgOptions options;
+    options.tolerance = 1e-7;
+    options.max_iterations = 3000;
+    {
+      WallTimer t;
+      const LobpcgResult r = Lobpcg(ng.graph, options);
+      table.AddRow({ng.name, "lobpcg-cold", TextTable::Int(r.iterations),
+                    TextTable::Num(t.Seconds(), 3),
+                    TextTable::Num(r.eigenvalues[0], 6)});
+    }
+    {
+      WallTimer t;
+      const HdeResult hde = RunParHde(ng.graph, DefaultOptions(10));
+      const LobpcgResult r = Lobpcg(ng.graph, options, &hde.axes);
+      table.AddRow({ng.name, "lobpcg-warm", TextTable::Int(r.iterations),
+                    TextTable::Num(t.Seconds(), 3),
+                    TextTable::Num(r.eigenvalues[0], 6)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("shape: LOBPCG needs orders of magnitude fewer iterations than\n"
+              "power iteration; the ParHDE warm start trims more — the\n"
+              "preprocessing role §4.5.3 proposes.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §4.5.3 eigensolver preprocessing: power iteration on the walk matrix,
+// cold-started from random coordinates vs warm-started from a refined
+// ParHDE layout. Kirmani et al. report 22x-131x; the shape to reproduce is
+// a large iteration-count reduction from the warm start.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hde/refine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Sec 4.5.3: ParHDE as eigensolver preconditioner ==\n");
+  TextTable table({"Graph", "Cold iters", "Warm iters", "Reduction",
+                   "HDE+refine (s)", "Saved (s)"});
+
+  PowerIterationOptions pi;
+  pi.tolerance = 1e-8;
+  pi.max_iterations = 200000;
+
+  for (const auto& ng : SmallSuite()) {
+    const vid_t n = ng.graph.NumVertices();
+
+    const WallTimer cold_timer;
+    const PowerIterationResult cold =
+        PowerIteration(ng.graph, RandomLayout(n, 3), pi);
+    const double cold_s = cold_timer.Seconds();
+
+    WallTimer warm_timer;
+    HdeOptions options = DefaultOptions(10);
+    const HdeResult hde = RunParHde(ng.graph, options);
+    Layout warm = hde.layout;
+    WeightedCentroidRefine(ng.graph, warm, 3);
+    const double precond_s = warm_timer.Seconds();
+    const PowerIterationResult warm_result = PowerIteration(ng.graph, warm, pi);
+    const double warm_total_s = warm_timer.Seconds();
+
+    table.AddRow(
+        {ng.name, TextTable::Int(cold.iterations),
+         TextTable::Int(warm_result.iterations),
+         TextTable::Num(static_cast<double>(cold.iterations) /
+                            std::max(warm_result.iterations, 1), 1) + "x",
+         TextTable::Num(precond_s, 3),
+         TextTable::Num(cold_s - warm_total_s, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper-adjacent claim (Kirmani et al. Table 6): HDE+centroid\n"
+              "refinement is 22x-131x faster than cold power iteration.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// §4.4 SpMM comparison: ParHDE's fused L·S kernel (degree array, no
+// materialized Laplacian) vs the explicit-Laplacian generic SpMM that
+// stands in for MKL's mkl_sparse_d_mm. The paper reports the fused kernel
+// 2.50x faster on average, with MKL's matrix allocation untimed on top.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "linalg/laplacian_ops.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Sec 4.4: fused LS vs explicit-Laplacian SpMM (s=10) ==\n");
+  TextTable table({"Graph", "Fused (s)", "Explicit (s)", "Alloc (s)",
+                   "Fused speedup"});
+
+  const auto suite = LargeSuite();
+  double total_ratio = 0.0;
+  int count = 0;
+  for (const auto& ng : suite) {
+    const auto n = static_cast<std::size_t>(ng.graph.NumVertices());
+    DenseMatrix S(n, 10);
+    for (std::size_t c = 0; c < S.Cols(); ++c) {
+      for (std::size_t r = 0; r < n; ++r) {
+        S.At(r, c) = static_cast<double>((r * (c + 1)) % 17) / 17.0;
+      }
+    }
+    DenseMatrix P(n, S.Cols());
+
+    const double fused = TimeSeconds(
+        [&] { LaplacianTimesMatrixFused(ng.graph, S, P); });
+
+    ExplicitLaplacian L;
+    const double alloc =
+        TimeSeconds([&] { L = BuildExplicitLaplacian(ng.graph); });
+    const double explicit_time =
+        TimeSeconds([&] { LaplacianTimesMatrixExplicit(L, S, P); });
+
+    total_ratio += explicit_time / fused;
+    ++count;
+    table.AddRow({ng.name, TextTable::Num(fused, 4),
+                  TextTable::Num(explicit_time, 4), TextTable::Num(alloc, 4),
+                  TextTable::Num(explicit_time / fused, 2) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("average fused speedup: %.2fx (paper: 2.50x vs MKL, allocation "
+              "untimed)\n", total_ratio / count);
+
+  // §3.1's "special cases such as s >> 1": the adjacency-reuse (row-major)
+  // kernel traverses each adjacency list once for all s columns, so its
+  // advantage grows with s.
+  std::printf("\n-- fused (per-column) vs row-major (adjacency-reuse) "
+              "kernel, kron analogue --\n");
+  TextTable sweep({"s", "Fused (s)", "RowMajor (s)", "RowMajor speedup"});
+  const CsrGraph& g = suite[1].graph;  // kron15
+  const auto n = static_cast<std::size_t>(g.NumVertices());
+  for (const std::size_t s : {1u, 10u, 50u, 100u}) {
+    DenseMatrix S(n, s), P(n, s);
+    for (std::size_t c = 0; c < s; ++c) {
+      for (std::size_t r = 0; r < n; ++r) {
+        S.At(r, c) = static_cast<double>((r + 3 * c) % 23) / 23.0;
+      }
+    }
+    const double fused_t = TimeSeconds(
+        [&] { LaplacianTimesMatrixFused(g, S, P); });
+    const double rm_t = TimeSeconds(
+        [&] { LaplacianTimesMatrixRowMajor(g, S, P); });
+    sweep.AddRow({TextTable::Int(static_cast<long long>(s)),
+                  TextTable::Num(fused_t, 4), TextTable::Num(rm_t, 4),
+                  TextTable::Num(fused_t / rm_t, 2) + "x"});
+  }
+  std::printf("%s\n", sweep.Render().c_str());
+  std::printf("note: adjacency reuse only pays when the CSR arrays spill\n"
+              "the cache (billion-edge regime); on these cache-resident\n"
+              "analogues the two transposition passes dominate and the\n"
+              "per-column fused kernel — the paper's choice — wins.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §4.5.4 stress-majorization initialization study: HDE layouts (the paper
+// suggests replacing PHDE with ParHDE here) vs random starts. Reports the
+// stress after fixed sweep budgets — a warm start should sit at lower
+// stress at every budget, i.e. reach any given quality sooner.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hde/phde.hpp"
+#include "hde/refine.hpp"
+#include "hde/stress.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Sec 4.5.4: stress-majorization initialization ==\n");
+  std::printf("(edge 1-stress after a fixed number of SMACOF sweeps)\n");
+  TextTable table({"Graph", "Init", "sweep 0", "sweep 20", "sweep 100",
+                   "sweep 300"});
+
+  auto run = [&](const NamedGraph& ng, const char* name,
+                 const Layout& init) {
+    std::vector<std::string> row{ng.name, name};
+    Layout current = init;
+    RescaleToStressOptimum(ng.graph, current);
+    row.push_back(TextTable::Num(EdgeStress(ng.graph, current), 1));
+    int done = 0;
+    for (const int target : {20, 100, 300}) {
+      StressOptions options;
+      options.max_iterations = target - done;
+      options.tolerance = 0.0;  // run the full budget
+      const StressResult r = StressMajorize(ng.graph, current, options);
+      current = r.layout;
+      done = target;
+      row.push_back(TextTable::Num(r.final_stress, 1));
+    }
+    table.AddRow(std::move(row));
+  };
+
+  for (const auto& ng : SmallSuite()) {
+    const vid_t n = ng.graph.NumVertices();
+    run(ng, "random", RandomLayout(n, 7));
+    run(ng, "ParHDE", RunParHde(ng.graph, DefaultOptions(10)).layout);
+    run(ng, "PHDE", RunPhde(ng.graph, DefaultOptions(10)).layout);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("expected shape: HDE-family inits dominate the random start\n"
+              "at small sweep budgets (the global structure is already\n"
+              "right); all inits converge toward similar stress eventually.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 6: BFS-phase time with the default k-centers strategy (sequential
+// parallel BFSes) vs randomly-chosen pivots (concurrent serial BFSes), 30
+// sources, on the five small graphs. The paper sees 1.4x-10.1x in favor of
+// random pivots, largest on high-diameter/small graphs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hde/pivots.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Table 6: k-centers vs random pivots, BFS phase, 30 sources ==\n");
+  TextTable table({"Graph", "Stands for", "Default (s)", "Rand. pivots (s)",
+                   "Rel. speedup"});
+
+  for (const auto& ng : SmallSuite()) {
+    HdeOptions options = DefaultOptions(30);
+
+    options.pivots = PivotStrategy::KCenters;
+    const double def =
+        MinTimeSeconds(3, [&] { RunDistancePhase(ng.graph, options); });
+
+    options.pivots = PivotStrategy::Random;
+    const double rnd =
+        MinTimeSeconds(3, [&] { RunDistancePhase(ng.graph, options); });
+
+    table.AddRow({ng.name, ng.paper_name, TextTable::Num(def, 3),
+                  TextTable::Num(rnd, 3), TextTable::Num(def / rnd, 1) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper: 2.8x/1.7x/1.4x/10.1x/9.1x for CurlCurl_4/kkt_power/"
+              "cage14/ecology1/pa2010.\n"
+              "note: the random strategy also skips the farthest-vertex\n"
+              "reductions, so it wins even on one core; the concurrency win\n"
+              "on top of that requires multiple hardware threads.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 7: Modified vs Classical Gram-Schmidt for the D-orthogonalization
+// phase. CGS batches projection coefficients (fewer synchronizations, one
+// fused subtraction sweep) and the paper measures it 2.1x-2.8x faster.
+// Uses s = 30 so the DOrtho phase is long enough to time reliably at this
+// scale.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hde/pivots.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhde;
+  using namespace parhde::bench;
+
+  std::printf("== Table 7: MGS vs CGS D-orthogonalization (s=30) ==\n");
+  TextTable table({"Graph", "MGS (s)", "CGS (s)", "Rel. speedup", "resid MGS",
+                   "resid CGS"});
+
+  for (const auto& ng : LargeSuite()) {
+    HdeOptions options = DefaultOptions(30);
+    const DistancePhase phase = RunDistancePhase(ng.graph, options);
+    const auto n = static_cast<std::size_t>(ng.graph.NumVertices());
+    const auto& metric = ng.graph.WeightedDegrees();
+
+    auto make_s = [&] {
+      DenseMatrix S(n, phase.B.Cols() + 1);
+      Fill(S.Col(0), 1.0);
+      for (std::size_t c = 0; c < phase.B.Cols(); ++c) {
+        Copy(phase.B.Col(c), S.Col(c + 1));
+      }
+      return S;
+    };
+
+    DenseMatrix mgs_matrix = make_s();
+    GramSchmidtOptions gs;
+    gs.kind = GramSchmidtKind::Modified;
+    const double mgs_time =
+        TimeSeconds([&] { DOrthogonalize(mgs_matrix, metric, gs); });  // destructive: single shot
+    const double mgs_resid = OrthonormalityResidual(mgs_matrix, metric);
+
+    DenseMatrix cgs_matrix = make_s();
+    gs.kind = GramSchmidtKind::Classical;
+    const double cgs_time =
+        TimeSeconds([&] { DOrthogonalize(cgs_matrix, metric, gs); });
+    const double cgs_resid = OrthonormalityResidual(cgs_matrix, metric);
+
+    table.AddRow({ng.name, TextTable::Num(mgs_time, 3),
+                  TextTable::Num(cgs_time, 3),
+                  TextTable::Num(mgs_time / cgs_time, 1) + "x",
+                  TextTable::Num(mgs_resid, 10),
+                  TextTable::Num(cgs_resid, 10)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper: CGS 2.1x-2.8x faster, no drawing-quality change; the\n"
+              "residual columns confirm both stay orthonormal here.\n"
+              "note: CGS's win comes from needing 2 parallel-region barriers\n"
+              "per column instead of MGS's 2k, plus 1/3 the memory traffic —\n"
+              "effects that need many hardware threads / out-of-cache data.\n"
+              "On few cores with cache-resident columns the two schemes are\n"
+              "compute-bound and tie (flop counts are identical).\n");
+  return 0;
+}

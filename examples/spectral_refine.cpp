@@ -1,0 +1,64 @@
+// §4.5.3 demo: ParHDE as a preprocessing step for an iterative eigensolver.
+// Draws the plate three ways — raw ParHDE (paper Fig. 1 top), after
+// weighted-centroid refinement, and after power iteration to convergence
+// (approaching Fig. 1 bottom, the true eigenvector drawing) — and reports
+// how many power-iteration steps the warm start saves.
+#include <cstdio>
+
+#include "draw/layout.hpp"
+#include "draw/png_writer.hpp"
+#include "draw/raster.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+#include "hde/refine.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parhde;
+  ArgParser args(argc, argv);
+  const auto size = static_cast<vid_t>(args.GetInt("size", 80));
+
+  const CsrGraph graph =
+      LargestComponent(BuildCsrGraph(PlateNumVertices(size, size),
+                                     GenPlateWithHoles(size, size)))
+          .graph;
+
+  HdeOptions options;
+  options.subspace_dim = static_cast<int>(args.GetInt("s", 20));
+  options.start_vertex = 0;
+  const HdeResult hde = RunParHde(graph, options);
+  WritePngFile(DrawGraph(graph, NormalizeToCanvas(hde.layout, 700, 700), nullptr, nullptr, false, /*antialias=*/true),
+               "refine_0_parhde.png");
+
+  Layout refined = hde.layout;
+  WeightedCentroidRefine(graph, refined, 5);
+  WritePngFile(DrawGraph(graph, NormalizeToCanvas(refined, 700, 700), nullptr, nullptr, false, /*antialias=*/true),
+               "refine_1_centroid.png");
+
+  PowerIterationOptions pi;
+  pi.tolerance = 1e-9;
+  pi.max_iterations = 200000;
+
+  const PowerIterationResult warm = PowerIteration(graph, refined, pi);
+  WritePngFile(DrawGraph(graph, NormalizeToCanvas(warm.axes, 700, 700), nullptr, nullptr, false, /*antialias=*/true),
+               "refine_2_eigenvectors.png");
+
+  const PowerIterationResult cold =
+      PowerIteration(graph, RandomLayout(graph.NumVertices(), 3), pi);
+
+  std::printf("power iteration to tol=%.0e:\n", pi.tolerance);
+  std::printf("  cold random start : %d iterations (converged=%d)\n",
+              cold.iterations, cold.converged);
+  std::printf("  ParHDE+refine warm: %d iterations (converged=%d)\n",
+              warm.iterations, warm.converged);
+  std::printf("  reduction         : %.1fx\n",
+              static_cast<double>(cold.iterations) /
+                  static_cast<double>(warm.iterations > 0 ? warm.iterations : 1));
+  std::printf("  walk-matrix eigenvalues: %.6f %.6f\n", warm.eigenvalue[0],
+              warm.eigenvalue[1]);
+  std::printf("wrote refine_0_parhde.png refine_1_centroid.png "
+              "refine_2_eigenvectors.png (cf. paper Fig. 1 top vs bottom)\n");
+  return 0;
+}

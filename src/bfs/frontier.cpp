@@ -1,0 +1,72 @@
+#include "bfs/frontier.hpp"
+
+#include <algorithm>
+
+namespace parhde {
+
+Bitmap::Bitmap(vid_t n)
+    : n_(n), words_((static_cast<std::size_t>(n) + 63) / 64) {
+  Reset();
+}
+
+void Bitmap::Reset() {
+  const auto nw = static_cast<std::int64_t>(words_.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < nw; ++i) {
+    words_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t Bitmap::Count() const {
+  const auto nw = static_cast<std::int64_t>(words_.size());
+  std::int64_t total = 0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (std::int64_t i = 0; i < nw; ++i) {
+    total += __builtin_popcountll(
+        words_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+FrontierQueue::FrontierQueue(vid_t capacity) {
+  current_.reserve(static_cast<std::size_t>(capacity));
+  next_.resize(static_cast<std::size_t>(capacity));
+}
+
+void FrontierQueue::InitWith(vid_t v) {
+  current_.assign(1, v);
+  next_size_.store(0, std::memory_order_relaxed);
+}
+
+void FrontierQueue::Flush(std::vector<vid_t>& staged) {
+  if (staged.empty()) return;
+  const std::size_t at =
+      next_size_.fetch_add(staged.size(), std::memory_order_relaxed);
+  std::copy(staged.begin(), staged.end(),
+            next_.begin() + static_cast<std::ptrdiff_t>(at));
+  staged.clear();
+}
+
+void FrontierQueue::Advance() {
+  const std::size_t size = next_size_.exchange(0, std::memory_order_relaxed);
+  current_.assign(next_.begin(), next_.begin() + static_cast<std::ptrdiff_t>(size));
+}
+
+void FrontierQueue::LoadFromBitmap(const Bitmap& bitmap) {
+  current_.clear();
+  for (vid_t v = 0; v < bitmap.Size(); ++v) {
+    if (bitmap.Get(v)) current_.push_back(v);
+  }
+  next_size_.store(0, std::memory_order_relaxed);
+}
+
+void FrontierQueue::StoreToBitmap(Bitmap& bitmap) const {
+  bitmap.Reset();
+  const auto size = static_cast<std::int64_t>(current_.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < size; ++i) {
+    bitmap.Set(current_[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace parhde

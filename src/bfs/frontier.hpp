@@ -1,0 +1,94 @@
+// Frontier data structures for the level-synchronous BFS kernels: a compact
+// vertex queue for top-down steps and an atomic bitmap for bottom-up steps,
+// with conversions between the two (the representation switch is part of the
+// direction-optimizing heuristic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhde {
+
+/// Fixed-size concurrent bitmap over vertex ids.
+class Bitmap {
+ public:
+  explicit Bitmap(vid_t n);
+
+  /// Clears every bit (parallel).
+  void Reset();
+
+  /// Sets bit v; safe to call concurrently.
+  void Set(vid_t v) {
+    words_[Word(v)].fetch_or(Mask(v), std::memory_order_relaxed);
+  }
+
+  /// Non-atomic set for single-writer phases (bottom-up owns each v).
+  void SetUnsynced(vid_t v) {
+    words_[Word(v)].store(
+        words_[Word(v)].load(std::memory_order_relaxed) | Mask(v),
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool Get(vid_t v) const {
+    return (words_[Word(v)].load(std::memory_order_relaxed) & Mask(v)) != 0;
+  }
+
+  /// Population count (parallel reduction).
+  [[nodiscard]] std::int64_t Count() const;
+
+  [[nodiscard]] vid_t Size() const { return n_; }
+
+  void Swap(Bitmap& other) {
+    words_.swap(other.words_);
+    std::swap(n_, other.n_);
+  }
+
+ private:
+  static std::size_t Word(vid_t v) { return static_cast<std::size_t>(v) >> 6; }
+  static std::uint64_t Mask(vid_t v) { return 1ULL << (v & 63); }
+
+  vid_t n_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+/// Growable frontier queue with thread-local staging buffers: threads append
+/// to private buffers and flush in bulk, avoiding a shared atomic cursor on
+/// every push (GAP's SlidingQueue idea).
+class FrontierQueue {
+ public:
+  explicit FrontierQueue(vid_t capacity);
+
+  /// Current frontier contents.
+  [[nodiscard]] const std::vector<vid_t>& Vertices() const { return current_; }
+  [[nodiscard]] std::int64_t Size() const {
+    return static_cast<std::int64_t>(current_.size());
+  }
+  [[nodiscard]] bool Empty() const { return current_.empty(); }
+
+  /// Replaces the frontier with a single seed vertex.
+  void InitWith(vid_t v);
+
+  /// Appends to the *next* frontier from inside a parallel region.
+  /// Each thread passes its own staging buffer; Flush publishes it.
+  void Flush(std::vector<vid_t>& staged);
+
+  /// Makes the accumulated next frontier current and clears staging.
+  void Advance();
+
+  /// Rebuilds the current frontier from a bitmap (bottom-up -> top-down
+  /// switch). Vertex order is ascending, keeping runs cache-friendly.
+  void LoadFromBitmap(const Bitmap& bitmap);
+
+  /// Fills a bitmap from the current frontier (top-down -> bottom-up switch).
+  void StoreToBitmap(Bitmap& bitmap) const;
+
+ private:
+  std::vector<vid_t> current_;
+  std::vector<vid_t> next_;
+  std::atomic<std::size_t> next_size_{0};
+};
+
+}  // namespace parhde

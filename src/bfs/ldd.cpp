@@ -1,0 +1,137 @@
+#include "bfs/ldd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bfs/frontier.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+
+LddResult LowDiameterDecomposition(const CsrGraph& graph,
+                                   const LddOptions& options) {
+  const vid_t n = graph.NumVertices();
+  assert(options.beta > 0.0);
+
+  LddResult result;
+  result.cluster.assign(static_cast<std::size_t>(n), kInvalidVid);
+  if (n == 0) return result;
+
+  // Exponential shifts, one independent stream per vertex so the draw is
+  // thread-count invariant.
+  std::vector<double> shift(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    Xoshiro256 rng(options.seed ^
+                   (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(v) + 1)));
+    const double u = rng.NextDouble();
+    shift[static_cast<std::size_t>(v)] =
+        -std::log1p(-u) / options.beta;  // Exp(beta), finite since u < 1
+  }
+  double max_shift = 0.0;
+  for (const double s : shift) max_shift = std::max(max_shift, s);
+
+  // Center v activates at round floor(max_shift - shift[v]); the fractional
+  // remainder breaks ties among same-round claims (smaller wins, as in MPX).
+  std::vector<int> start(static_cast<std::size_t>(n));
+  std::vector<double> frac(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    const double when = max_shift - shift[static_cast<std::size_t>(v)];
+    start[static_cast<std::size_t>(v)] = static_cast<int>(std::floor(when));
+    frac[static_cast<std::size_t>(v)] =
+        when - std::floor(when);
+  }
+
+  Bitmap frontier(n);   // vertices assigned in the previous round
+  Bitmap next(n);
+  std::int64_t remaining = n;
+  int round = 0;
+
+  while (remaining > 0) {
+    next.Reset();
+    std::int64_t assigned = 0;
+
+    // Deterministic claims: every unassigned vertex scans its options —
+    // self-start (becoming a center) or a neighbor assigned last round —
+    // and takes the minimum (tie-fraction, center-id) priority. Single
+    // writer per vertex, so no atomics.
+#pragma omp parallel for schedule(dynamic, 512) reduction(+ : assigned)
+    for (vid_t v = 0; v < n; ++v) {
+      if (result.cluster[static_cast<std::size_t>(v)] != kInvalidVid) continue;
+
+      vid_t best_center = kInvalidVid;
+      double best_frac = 2.0;  // fractions are < 1
+      if (start[static_cast<std::size_t>(v)] <= round) {
+        best_center = v;
+        best_frac = frac[static_cast<std::size_t>(v)];
+      }
+      for (const vid_t u : graph.Neighbors(v)) {
+        if (!frontier.Get(u)) continue;
+        const vid_t c = result.cluster[static_cast<std::size_t>(u)];
+        const double f = frac[static_cast<std::size_t>(c)];
+        if (f < best_frac || (f == best_frac && c < best_center)) {
+          best_frac = f;
+          best_center = c;
+        }
+      }
+      if (best_center != kInvalidVid) {
+        result.cluster[static_cast<std::size_t>(v)] = best_center;
+        next.SetUnsynced(v);
+        ++assigned;
+      }
+    }
+
+    frontier.Swap(next);
+    remaining -= assigned;
+    ++round;
+  }
+  result.rounds = round;
+
+  // Collect centers (vertices that cluster to themselves) in id order and
+  // count cut edges.
+  for (vid_t v = 0; v < n; ++v) {
+    if (result.cluster[static_cast<std::size_t>(v)] == v) {
+      result.centers.push_back(v);
+    }
+  }
+  eid_t cut = 0;
+#pragma omp parallel for reduction(+ : cut) schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t u : graph.Neighbors(v)) {
+      if (u > v && result.cluster[static_cast<std::size_t>(u)] !=
+                       result.cluster[static_cast<std::size_t>(v)]) {
+        ++cut;
+      }
+    }
+  }
+  result.cut_edges = cut;
+  return result;
+}
+
+dist_t MaxClusterRadius(const CsrGraph& graph, const LddResult& ldd) {
+  dist_t worst = 0;
+  for (const vid_t center : ldd.centers) {
+    // BFS from the center restricted to its own cluster.
+    std::vector<dist_t> dist(static_cast<std::size_t>(graph.NumVertices()),
+                             kInfDist);
+    std::vector<vid_t> queue{center};
+    dist[static_cast<std::size_t>(center)] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vid_t v = queue[head];
+      worst = std::max(worst, dist[static_cast<std::size_t>(v)]);
+      for (const vid_t u : graph.Neighbors(v)) {
+        if (ldd.cluster[static_cast<std::size_t>(u)] == center &&
+            dist[static_cast<std::size_t>(u)] == kInfDist) {
+          dist[static_cast<std::size_t>(u)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace parhde

@@ -1,0 +1,50 @@
+// Low-diameter decomposition (Miller-Peng-Xu via the practical
+// multi-source-BFS formulation of Shun-Dhulipala-Blelloch) — the §3
+// future-work item for replacing level-synchronous BFS's O(n) worst-case
+// depth: partition the graph into clusters of diameter O(log n / beta)
+// such that only ~beta·m edges cross clusters, then traverse clusters
+// independently.
+//
+// Each vertex draws an exponential shift delta_v ~ Exp(beta); vertex v
+// joins the cluster of the center u minimizing dist(u, v) - delta_u. The
+// implementation discretizes shifts to integer start rounds and runs one
+// level-synchronous multi-source BFS in which center u starts at round
+// ceil(max_shift - delta_u), with fractional shifts breaking same-round
+// ties.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+struct LddOptions {
+  /// Decomposition parameter: larger beta → smaller clusters, more cut
+  /// edges (expected cut fraction ≈ beta).
+  double beta = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct LddResult {
+  /// Cluster id per vertex — the center vertex's id.
+  std::vector<vid_t> cluster;
+  /// Distinct cluster centers, in activation order.
+  std::vector<vid_t> centers;
+  /// BFS rounds executed (bounds the max cluster radius).
+  int rounds = 0;
+  /// Edges whose endpoints landed in different clusters.
+  eid_t cut_edges = 0;
+};
+
+/// Decomposes the graph. Every vertex is assigned to exactly one cluster
+/// and every cluster is connected (each vertex joins via a neighbor already
+/// in the cluster).
+LddResult LowDiameterDecomposition(const CsrGraph& graph,
+                                   const LddOptions& options = {});
+
+/// Max over clusters of the BFS eccentricity from the cluster's center
+/// within the cluster (the radius the O(log n / beta) bound speaks about).
+dist_t MaxClusterRadius(const CsrGraph& graph, const LddResult& ldd);
+
+}  // namespace parhde

@@ -1,0 +1,184 @@
+#include "bfs/parallel_bfs.hpp"
+
+#include <atomic>
+#include <cassert>
+
+#include "bfs/frontier.hpp"
+
+namespace parhde {
+namespace {
+
+/// Top-down step: expand the frontier queue, claiming vertices via CAS on
+/// the parent array. The claiming thread alone writes dist[u], so distances
+/// need no atomics (the paper's modification of GAP).
+/// Returns the number of arcs examined.
+std::int64_t TopDownStep(const CsrGraph& graph, FrontierQueue& frontier,
+                         std::vector<std::atomic<vid_t>>& parent,
+                         std::vector<dist_t>& dist, dist_t next_level) {
+  const auto& current = frontier.Vertices();
+  const auto fsize = static_cast<std::int64_t>(current.size());
+  std::int64_t examined = 0;
+
+#pragma omp parallel reduction(+ : examined)
+  {
+    std::vector<vid_t> staged;
+    staged.reserve(1024);
+#pragma omp for schedule(dynamic, 64) nowait
+    for (std::int64_t i = 0; i < fsize; ++i) {
+      const vid_t v = current[static_cast<std::size_t>(i)];
+      for (const vid_t u : graph.Neighbors(v)) {
+        ++examined;
+        vid_t expected = kInvalidVid;
+        if (parent[static_cast<std::size_t>(u)].load(std::memory_order_relaxed) ==
+                kInvalidVid &&
+            parent[static_cast<std::size_t>(u)].compare_exchange_strong(
+                expected, v, std::memory_order_relaxed)) {
+          dist[static_cast<std::size_t>(u)] = next_level;
+          staged.push_back(u);
+          if (staged.size() == staged.capacity()) frontier.Flush(staged);
+        }
+      }
+    }
+    frontier.Flush(staged);
+  }
+  frontier.Advance();
+  return examined;
+}
+
+/// Bottom-up step: every unvisited vertex scans its adjacency for a parent
+/// in the current frontier bitmap. Each u has exactly one writer, so parent
+/// and dist writes are unsynchronized. Returns arcs examined; sets
+/// `next` bits for newly reached vertices.
+std::int64_t BottomUpStep(const CsrGraph& graph, const Bitmap& front,
+                          Bitmap& next,
+                          std::vector<std::atomic<vid_t>>& parent,
+                          std::vector<dist_t>& dist, dist_t next_level,
+                          std::int64_t& awake_count) {
+  const vid_t n = graph.NumVertices();
+  std::int64_t examined = 0;
+  std::int64_t awake = 0;
+
+#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : examined, awake)
+  for (vid_t u = 0; u < n; ++u) {
+    if (parent[static_cast<std::size_t>(u)].load(std::memory_order_relaxed) !=
+        kInvalidVid) {
+      continue;
+    }
+    if (dist[static_cast<std::size_t>(u)] != kInfDist) continue;  // source
+    for (const vid_t v : graph.Neighbors(u)) {
+      ++examined;
+      if (front.Get(v)) {
+        parent[static_cast<std::size_t>(u)].store(v, std::memory_order_relaxed);
+        dist[static_cast<std::size_t>(u)] = next_level;
+        next.SetUnsynced(u);
+        ++awake;
+        break;  // early exit: one parent suffices
+      }
+    }
+  }
+  awake_count = awake;
+  return examined;
+}
+
+/// Sum of out-degrees of the queue frontier, the m_f term of the
+/// direction-optimizing heuristic.
+std::int64_t FrontierOutEdges(const CsrGraph& graph,
+                              const FrontierQueue& frontier) {
+  const auto& current = frontier.Vertices();
+  const auto fsize = static_cast<std::int64_t>(current.size());
+  std::int64_t edges = 0;
+#pragma omp parallel for reduction(+ : edges) schedule(static)
+  for (std::int64_t i = 0; i < fsize; ++i) {
+    edges += graph.Degree(current[static_cast<std::size_t>(i)]);
+  }
+  return edges;
+}
+
+}  // namespace
+
+BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
+                      const BfsOptions& options) {
+  const vid_t n = graph.NumVertices();
+  assert(source >= 0 && source < n);
+
+  BfsResult result;
+  result.dist.assign(static_cast<std::size_t>(n), kInfDist);
+  std::vector<std::atomic<vid_t>> parent(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    parent[static_cast<std::size_t>(v)].store(kInvalidVid,
+                                              std::memory_order_relaxed);
+  }
+
+  FrontierQueue frontier(n);
+  frontier.InitWith(source);
+  result.dist[static_cast<std::size_t>(source)] = 0;
+  // Claim the source up front (parent = itself, GAP-style) so neighbors
+  // cannot re-acquire it and overwrite dist[source].
+  parent[static_cast<std::size_t>(source)].store(source,
+                                                 std::memory_order_relaxed);
+
+  Bitmap front_bm(n);
+  Bitmap next_bm(n);
+
+  // Track unexplored arcs for the alpha heuristic.
+  std::int64_t edges_remaining = graph.NumArcs();
+  bool bottom_up = options.mode == BfsOptions::Mode::BottomUpOnly;
+  if (bottom_up) frontier.StoreToBitmap(front_bm);
+  std::int64_t frontier_size = 1;
+  dist_t level = 0;
+
+  while (frontier_size > 0) {
+    const dist_t next_level = level + 1;
+    if (!bottom_up && options.mode == BfsOptions::Mode::Auto) {
+      const std::int64_t mf = FrontierOutEdges(graph, frontier);
+      if (static_cast<double>(mf) >
+          static_cast<double>(edges_remaining) / options.alpha) {
+        frontier.StoreToBitmap(front_bm);
+        bottom_up = true;
+      }
+    }
+
+    if (bottom_up) {
+      next_bm.Reset();
+      std::int64_t awake = 0;
+      result.stats.edges_examined += BottomUpStep(
+          graph, front_bm, next_bm, parent, result.dist, next_level, awake);
+      ++result.stats.bottom_up_steps;
+      frontier_size = awake;
+      front_bm.Swap(next_bm);
+      if (options.mode == BfsOptions::Mode::Auto &&
+          static_cast<double>(frontier_size) <
+              static_cast<double>(n) / options.beta) {
+        frontier.LoadFromBitmap(front_bm);
+        bottom_up = false;
+      }
+    } else {
+      const std::int64_t out_edges = FrontierOutEdges(graph, frontier);
+      edges_remaining -= out_edges;
+      result.stats.edges_examined +=
+          TopDownStep(graph, frontier, parent, result.dist, next_level);
+      ++result.stats.top_down_steps;
+      frontier_size = frontier.Size();
+    }
+
+    if (frontier_size > 0) ++result.stats.levels;
+    level = next_level;
+  }
+
+  result.parent.resize(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    result.parent[static_cast<std::size_t>(v)] =
+        parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  }
+  result.parent[static_cast<std::size_t>(source)] = kInvalidVid;
+  return result;
+}
+
+std::vector<dist_t> ParallelBfsDistances(const CsrGraph& graph, vid_t source,
+                                         const BfsOptions& options) {
+  return ParallelBfs(graph, source, options).dist;
+}
+
+}  // namespace parhde

@@ -1,0 +1,54 @@
+// Parallel level-synchronous BFS kernels (§3.1).
+//
+// The default is the direction-optimizing BFS of Beamer et al. as shipped in
+// the GAP Benchmark Suite, modified — exactly as the paper describes — to
+// record hop distances without extra atomics: a vertex's distance is written
+// only by the thread that claims it (compare-and-swap on the parent array in
+// top-down; single-writer semantics in bottom-up).
+//
+// Pure top-down and pure bottom-up drivers are exposed for the ablation
+// benchmarks and tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// Direction-switch heuristics; defaults follow GAP (alpha=15, beta=18).
+struct BfsOptions {
+  /// Switch top-down -> bottom-up when frontier out-edges exceed
+  /// (unexplored edges) / alpha.
+  double alpha = 15.0;
+  /// Switch bottom-up -> top-down when frontier size drops below n / beta.
+  double beta = 18.0;
+  /// Force a single strategy (for ablation); Auto is direction-optimizing.
+  enum class Mode { Auto, TopDownOnly, BottomUpOnly } mode = Mode::Auto;
+};
+
+/// Counters for the traversal analysis in Fig. 5 (middle).
+struct BfsStats {
+  std::int64_t levels = 0;
+  std::int64_t top_down_steps = 0;
+  std::int64_t bottom_up_steps = 0;
+  std::int64_t edges_examined = 0;  // arcs touched across all steps
+};
+
+/// Result of one BFS: distances (kInfDist if unreachable), parents
+/// (kInvalidVid for source and unreachable vertices), and step statistics.
+struct BfsResult {
+  std::vector<dist_t> dist;
+  std::vector<vid_t> parent;
+  BfsStats stats;
+};
+
+/// Runs a parallel BFS from `source`.
+BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
+                      const BfsOptions& options = {});
+
+/// Distances only; avoids exposing parents when callers don't need them.
+std::vector<dist_t> ParallelBfsDistances(const CsrGraph& graph, vid_t source,
+                                         const BfsOptions& options = {});
+
+}  // namespace parhde

@@ -1,0 +1,60 @@
+#include "bfs/serial_bfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parhde {
+
+std::vector<dist_t> SerialBfs(const CsrGraph& graph, vid_t source) {
+  return SerialBfsWithParents(graph, source).dist;
+}
+
+SerialBfsTree SerialBfsWithParents(const CsrGraph& graph, vid_t source) {
+  const vid_t n = graph.NumVertices();
+  assert(source >= 0 && source < n);
+  SerialBfsTree tree;
+  tree.dist.assign(static_cast<std::size_t>(n), kInfDist);
+  tree.parent.assign(static_cast<std::size_t>(n), kInvalidVid);
+
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  queue.push_back(source);
+  tree.dist[static_cast<std::size_t>(source)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t v = queue[head];
+    const dist_t dv = tree.dist[static_cast<std::size_t>(v)];
+    for (const vid_t u : graph.Neighbors(v)) {
+      if (tree.dist[static_cast<std::size_t>(u)] == kInfDist) {
+        tree.dist[static_cast<std::size_t>(u)] = dv + 1;
+        tree.parent[static_cast<std::size_t>(u)] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return tree;
+}
+
+dist_t Eccentricity(const CsrGraph& graph, vid_t source) {
+  const auto dist = SerialBfs(graph, source);
+  dist_t ecc = 0;
+  for (const dist_t d : dist) {
+    if (d != kInfDist) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+dist_t PseudoDiameter(const CsrGraph& graph) {
+  if (graph.NumVertices() == 0) return 0;
+  // Double sweep: BFS from vertex 0, then BFS from the farthest vertex.
+  const auto first = SerialBfs(graph, 0);
+  vid_t far = 0;
+  for (vid_t v = 0; v < graph.NumVertices(); ++v) {
+    if (first[static_cast<std::size_t>(v)] != kInfDist &&
+        first[static_cast<std::size_t>(v)] > first[static_cast<std::size_t>(far)]) {
+      far = v;
+    }
+  }
+  return Eccentricity(graph, far);
+}
+
+}  // namespace parhde

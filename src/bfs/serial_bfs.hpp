@@ -1,0 +1,26 @@
+// Serial BFS baseline — the traversal the paper's "prior parallel
+// implementation" used (it did not parallelize BFS), and the reference for
+// correctness tests of the parallel kernels.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// Hop distances from `source`; unreachable vertices get kInfDist.
+std::vector<dist_t> SerialBfs(const CsrGraph& graph, vid_t source);
+
+/// Distances and parents (kInvalidVid for source/unreachable).
+struct SerialBfsTree {
+  std::vector<dist_t> dist;
+  std::vector<vid_t> parent;
+};
+SerialBfsTree SerialBfsWithParents(const CsrGraph& graph, vid_t source);
+
+/// Eccentricity of `source` (max finite distance); 0 for singleton graphs.
+dist_t Eccentricity(const CsrGraph& graph, vid_t source);
+
+/// Pseudo-diameter via double-sweep BFS (lower bound on the true diameter).
+dist_t PseudoDiameter(const CsrGraph& graph);
+
+}  // namespace parhde

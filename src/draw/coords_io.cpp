@@ -1,0 +1,44 @@
+#include "draw/coords_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parhde {
+
+void WriteCoordinates(const Layout& layout, std::ostream& out) {
+  out.precision(17);
+  for (std::size_t v = 0; v < layout.x.size(); ++v) {
+    out << layout.x[v] << ' ' << layout.y[v] << '\n';
+  }
+}
+
+void WriteCoordinatesFile(const Layout& layout, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("coords: cannot open " + path);
+  WriteCoordinates(layout, out);
+}
+
+Layout ReadCoordinates(std::istream& in) {
+  Layout layout;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream entry(line);
+    double x = 0.0, y = 0.0;
+    if (!(entry >> x >> y)) {
+      throw std::runtime_error("coords: bad line: " + line);
+    }
+    layout.x.push_back(x);
+    layout.y.push_back(y);
+  }
+  return layout;
+}
+
+Layout ReadCoordinatesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("coords: cannot open " + path);
+  return ReadCoordinates(in);
+}
+
+}  // namespace parhde

@@ -1,0 +1,22 @@
+// Coordinate persistence: the plain "x y" per-line text format the CLI
+// emits (compatible with gnuplot/matplotlib ingestion) plus readers, so
+// layouts can be cached, diffed, and post-processed outside the library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Writes one "x y" line per vertex with full double precision.
+void WriteCoordinates(const Layout& layout, std::ostream& out);
+void WriteCoordinatesFile(const Layout& layout, const std::string& path);
+
+/// Reads "x y" lines ('#' comments allowed). Throws std::runtime_error on
+/// malformed input.
+Layout ReadCoordinates(std::istream& in);
+Layout ReadCoordinatesFile(const std::string& path);
+
+}  // namespace parhde

@@ -1,0 +1,36 @@
+// Layout post-processing: map raw HDE coordinates onto a pixel canvas
+// (aspect-preserving) and compute simple layout-quality metrics used by
+// EXPERIMENTS.md to sanity-check drawings without eyeballing them.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Integer pixel positions, one per vertex.
+struct PixelLayout {
+  std::vector<int> x;
+  std::vector<int> y;
+  int width = 0;
+  int height = 0;
+};
+
+/// Scales and translates a layout into [margin, width-margin] x
+/// [margin, height-margin], preserving aspect ratio. Degenerate layouts
+/// (zero extent) land in the canvas center.
+PixelLayout NormalizeToCanvas(const Layout& layout, int width, int height,
+                              int margin = 8);
+
+/// Mean squared Euclidean edge length of the layout after normalizing the
+/// coordinates to unit RMS radius — lower means neighbors sit closer,
+/// the numerator intuition of Eq. 1.
+double NormalizedEdgeLengthEnergy(const CsrGraph& graph, const Layout& layout);
+
+/// Fraction of vertex pairs (sampled) farther apart in the layout than the
+/// average — a scatter proxy for the denominator of Eq. 1.
+double LayoutSpread(const Layout& layout);
+
+}  // namespace parhde

@@ -1,0 +1,36 @@
+// Layout-quality metrics from the graph-drawing evaluation literature the
+// paper leans on (Brandes-Pich [6], Gibson et al. [17], Hachul-Jünger
+// [21]) — used to check "we get similar drawings" (§4.5.1) numerically
+// instead of by eye:
+//
+//  * neighborhood preservation — for sampled vertices, the fraction of
+//    graph neighbors found among the deg(v) nearest vertices in the layout;
+//  * distance correlation — Pearson correlation between hop distance and
+//    layout Euclidean distance, averaged over sampled BFS sources.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+struct QualityOptions {
+  /// Vertices sampled for neighborhood preservation (exact kNN per sample).
+  int np_samples = 256;
+  /// BFS sources sampled for distance correlation.
+  int dc_sources = 8;
+  std::uint64_t seed = 1;
+};
+
+/// In [0, 1]; 1 means every sampled vertex's graph neighbors are exactly
+/// its nearest layout neighbors.
+double NeighborhoodPreservation(const CsrGraph& graph, const Layout& layout,
+                                const QualityOptions& options = {});
+
+/// In [-1, 1]; near 1 means layout distances track hop distances.
+double DistanceCorrelation(const CsrGraph& graph, const Layout& layout,
+                           const QualityOptions& options = {});
+
+}  // namespace parhde

@@ -1,0 +1,131 @@
+#include "draw/png_writer.hpp"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace parhde {
+namespace {
+
+void PushU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Appends one chunk: length, type, payload, CRC over type+payload.
+void PushChunk(std::vector<std::uint8_t>& out, const char type[4],
+               const std::vector<std::uint8_t>& payload) {
+  PushU32(out, static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> body;
+  body.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) body.push_back(static_cast<std::uint8_t>(type[i]));
+  body.insert(body.end(), payload.begin(), payload.end());
+  out.insert(out.end(), body.begin(), body.end());
+  PushU32(out, Crc32(body.data(), body.size()));
+}
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = CrcTable();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t Adler32(const std::uint8_t* data, std::size_t size) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = 1, b = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    a = (a + data[i]) % kMod;
+    b = (b + a) % kMod;
+  }
+  return (b << 16) | a;
+}
+
+std::vector<std::uint8_t> EncodePng(const Canvas& canvas) {
+  const int width = canvas.Width();
+  const int height = canvas.Height();
+
+  std::vector<std::uint8_t> png = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'};
+
+  // IHDR: 8-bit RGB (color type 2), no interlace.
+  std::vector<std::uint8_t> ihdr;
+  PushU32(ihdr, static_cast<std::uint32_t>(width));
+  PushU32(ihdr, static_cast<std::uint32_t>(height));
+  ihdr.push_back(8);   // bit depth
+  ihdr.push_back(2);   // color type: truecolor
+  ihdr.push_back(0);   // compression
+  ihdr.push_back(0);   // filter
+  ihdr.push_back(0);   // interlace
+  PushChunk(png, "IHDR", ihdr);
+
+  // Raw scanline data: per-row filter byte 0 + RGB triples.
+  const auto& pixels = canvas.Pixels();
+  std::vector<std::uint8_t> raw;
+  const std::size_t row_bytes = static_cast<std::size_t>(width) * 3;
+  raw.reserve((row_bytes + 1) * static_cast<std::size_t>(height));
+  for (int y = 0; y < height; ++y) {
+    raw.push_back(0);  // filter: None
+    const std::size_t at = static_cast<std::size_t>(y) * row_bytes;
+    raw.insert(raw.end(), pixels.begin() + static_cast<std::ptrdiff_t>(at),
+               pixels.begin() + static_cast<std::ptrdiff_t>(at + row_bytes));
+  }
+
+  // zlib stream: header, stored DEFLATE blocks (<= 65535 bytes), Adler-32.
+  std::vector<std::uint8_t> idat;
+  idat.push_back(0x78);  // CM=8, CINFO=7
+  idat.push_back(0x01);  // FCHECK making the header a multiple of 31
+  std::size_t at = 0;
+  while (at < raw.size()) {
+    const std::size_t len = std::min<std::size_t>(raw.size() - at, 65535);
+    const bool final_block = at + len == raw.size();
+    idat.push_back(final_block ? 1 : 0);  // BFINAL + BTYPE=00 (stored)
+    idat.push_back(static_cast<std::uint8_t>(len & 0xff));
+    idat.push_back(static_cast<std::uint8_t>(len >> 8));
+    idat.push_back(static_cast<std::uint8_t>(~len & 0xff));
+    idat.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xff));
+    idat.insert(idat.end(), raw.begin() + static_cast<std::ptrdiff_t>(at),
+                raw.begin() + static_cast<std::ptrdiff_t>(at + len));
+    at += len;
+  }
+  PushU32(idat, Adler32(raw.data(), raw.size()));
+  PushChunk(png, "IDAT", idat);
+
+  PushChunk(png, "IEND", {});
+  return png;
+}
+
+void WritePng(const Canvas& canvas, std::ostream& out) {
+  const auto bytes = EncodePng(canvas);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void WritePngFile(const Canvas& canvas, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("png: cannot open " + path);
+  WritePng(canvas, out);
+}
+
+}  // namespace parhde

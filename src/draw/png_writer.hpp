@@ -1,0 +1,31 @@
+// Dependency-free PNG encoder — the "open-source PNG format file writer"
+// the paper uses to emit drawings (§4.1), built from scratch: zlib stream
+// with stored (uncompressed) DEFLATE blocks, Adler-32, and per-chunk CRC-32.
+// Stored blocks keep the encoder tiny and the output verifiable; drawings
+// are write-once artifacts so compression is irrelevant here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "draw/raster.hpp"
+
+namespace parhde {
+
+/// Serializes the canvas as an 8-bit RGB PNG.
+void WritePng(const Canvas& canvas, std::ostream& out);
+void WritePngFile(const Canvas& canvas, const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range — exposed for tests.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+/// Adler-32 over a byte range — exposed for tests.
+std::uint32_t Adler32(const std::uint8_t* data, std::size_t size);
+
+/// Builds the complete PNG byte stream (used by tests to validate chunk
+/// structure without touching the filesystem).
+std::vector<std::uint8_t> EncodePng(const Canvas& canvas);
+
+}  // namespace parhde

@@ -1,0 +1,172 @@
+#include "draw/raster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parhde {
+
+Canvas::Canvas(int width, int height, Rgb background)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height * 3) {
+  assert(width > 0 && height > 0);
+  for (std::size_t i = 0; i < pixels_.size(); i += 3) {
+    pixels_[i] = background.r;
+    pixels_[i + 1] = background.g;
+    pixels_[i + 2] = background.b;
+  }
+}
+
+void Canvas::SetPixel(int x, int y, Rgb c) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  const std::size_t at =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 3;
+  pixels_[at] = c.r;
+  pixels_[at + 1] = c.g;
+  pixels_[at + 2] = c.b;
+}
+
+Rgb Canvas::GetPixel(int x, int y) const {
+  assert(x >= 0 && y >= 0 && x < width_ && y < height_);
+  const std::size_t at =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 3;
+  return {pixels_[at], pixels_[at + 1], pixels_[at + 2]};
+}
+
+void Canvas::DrawLine(int x0, int y0, int x1, int y1, Rgb c) {
+  // Integer Bresenham, all octants.
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    SetPixel(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Canvas::BlendPixel(int x, int y, Rgb c, double alpha) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  const Rgb base = GetPixel(x, y);
+  auto mix = [alpha](std::uint8_t under, std::uint8_t over) {
+    return static_cast<std::uint8_t>(
+        std::lround(under * (1.0 - alpha) + over * alpha));
+  };
+  SetPixel(x, y, {mix(base.r, c.r), mix(base.g, c.g), mix(base.b, c.b)});
+}
+
+void Canvas::DrawLineAA(double x0, double y0, double x1, double y1, Rgb c) {
+  // Xiaolin Wu's algorithm: walk the major axis, splitting each step's
+  // coverage between the two pixels straddling the ideal line.
+  const bool steep = std::abs(y1 - y0) > std::abs(x1 - x0);
+  if (steep) {
+    std::swap(x0, y0);
+    std::swap(x1, y1);
+  }
+  if (x0 > x1) {
+    std::swap(x0, x1);
+    std::swap(y0, y1);
+  }
+  const double dx = x1 - x0;
+  const double gradient = dx == 0.0 ? 1.0 : (y1 - y0) / dx;
+
+  auto plot = [&](int x, int y, double a) {
+    if (steep) {
+      BlendPixel(y, x, c, a);
+    } else {
+      BlendPixel(x, y, c, a);
+    }
+  };
+  auto fpart = [](double v) { return v - std::floor(v); };
+  auto rfpart = [&](double v) { return 1.0 - fpart(v); };
+
+  // First endpoint.
+  double xend = std::round(x0);
+  double yend = y0 + gradient * (xend - x0);
+  double xgap = rfpart(x0 + 0.5);
+  const int xpxl1 = static_cast<int>(xend);
+  const int ypxl1 = static_cast<int>(std::floor(yend));
+  plot(xpxl1, ypxl1, rfpart(yend) * xgap);
+  plot(xpxl1, ypxl1 + 1, fpart(yend) * xgap);
+  double intery = yend + gradient;
+
+  // Second endpoint.
+  xend = std::round(x1);
+  yend = y1 + gradient * (xend - x1);
+  xgap = fpart(x1 + 0.5);
+  const int xpxl2 = static_cast<int>(xend);
+  const int ypxl2 = static_cast<int>(std::floor(yend));
+  plot(xpxl2, ypxl2, rfpart(yend) * xgap);
+  plot(xpxl2, ypxl2 + 1, fpart(yend) * xgap);
+
+  // Interior.
+  for (int x = xpxl1 + 1; x < xpxl2; ++x) {
+    const int y = static_cast<int>(std::floor(intery));
+    plot(x, y, rfpart(intery));
+    plot(x, y + 1, fpart(intery));
+    intery += gradient;
+  }
+}
+
+void Canvas::DrawDot(int x, int y, int radius, Rgb c) {
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      SetPixel(x + dx, y + dy, c);
+    }
+  }
+}
+
+Rgb PartColor(int part) {
+  static constexpr Rgb kPalette[12] = {
+      {31, 119, 180}, {255, 127, 14},  {44, 160, 44},   {214, 39, 40},
+      {148, 103, 189}, {140, 86, 75},  {227, 119, 194}, {127, 127, 127},
+      {188, 189, 34}, {23, 190, 207},  {174, 199, 232}, {255, 187, 120}};
+  return kPalette[static_cast<std::size_t>(part < 0 ? -part : part) % 12];
+}
+
+Canvas DrawGraph(const CsrGraph& graph, const PixelLayout& pixels,
+                 Rgb (*edge_color)(vid_t, vid_t, const void*), const void* ctx,
+                 bool draw_vertices, bool antialias) {
+  Canvas canvas(pixels.width, pixels.height);
+  const vid_t n = graph.NumVertices();
+  assert(pixels.x.size() == static_cast<std::size_t>(n));
+
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t u : graph.Neighbors(v)) {
+      if (u <= v) continue;
+      const Rgb c =
+          edge_color ? edge_color(v, u, ctx) : color::kBlack;
+      if (antialias) {
+        canvas.DrawLineAA(pixels.x[static_cast<std::size_t>(v)],
+                          pixels.y[static_cast<std::size_t>(v)],
+                          pixels.x[static_cast<std::size_t>(u)],
+                          pixels.y[static_cast<std::size_t>(u)], c);
+      } else {
+        canvas.DrawLine(pixels.x[static_cast<std::size_t>(v)],
+                        pixels.y[static_cast<std::size_t>(v)],
+                        pixels.x[static_cast<std::size_t>(u)],
+                        pixels.y[static_cast<std::size_t>(u)], c);
+      }
+    }
+  }
+  if (draw_vertices) {
+    for (vid_t v = 0; v < n; ++v) {
+      canvas.DrawDot(pixels.x[static_cast<std::size_t>(v)],
+                     pixels.y[static_cast<std::size_t>(v)], 1, color::kRed);
+    }
+  }
+  return canvas;
+}
+
+}  // namespace parhde

@@ -1,0 +1,75 @@
+// RGB raster canvas and a Bresenham line rasterizer — the node-link
+// renderer behind the paper's drawings ("edges are drawn as straight lines
+// of fixed thickness", §4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "draw/layout.hpp"
+
+namespace parhde {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+namespace color {
+inline constexpr Rgb kWhite{255, 255, 255};
+inline constexpr Rgb kBlack{0, 0, 0};
+inline constexpr Rgb kRed{200, 30, 30};
+inline constexpr Rgb kBlue{30, 60, 200};
+inline constexpr Rgb kGreen{20, 140, 60};
+inline constexpr Rgb kGray{150, 150, 150};
+}  // namespace color
+
+/// Fixed-size RGB8 image with (0,0) at the top left.
+class Canvas {
+ public:
+  Canvas(int width, int height, Rgb background = color::kWhite);
+
+  [[nodiscard]] int Width() const { return width_; }
+  [[nodiscard]] int Height() const { return height_; }
+
+  /// Out-of-bounds writes are silently clipped.
+  void SetPixel(int x, int y, Rgb c);
+  [[nodiscard]] Rgb GetPixel(int x, int y) const;
+
+  /// Bresenham line from (x0,y0) to (x1,y1), clipped to the canvas.
+  void DrawLine(int x0, int y0, int x1, int y1, Rgb c);
+
+  /// Xiaolin Wu anti-aliased line: fractional coverage is alpha-blended
+  /// over whatever is already on the canvas.
+  void DrawLineAA(double x0, double y0, double x1, double y1, Rgb c);
+
+  /// Alpha-blends `c` over the existing pixel (alpha in [0, 1]).
+  void BlendPixel(int x, int y, Rgb c, double alpha);
+
+  /// Filled square dot of side 2*radius+1 centered at (x,y).
+  void DrawDot(int x, int y, int radius, Rgb c);
+
+  /// Raw interleaved RGB rows, size Width()*Height()*3.
+  [[nodiscard]] const std::vector<std::uint8_t>& Pixels() const {
+    return pixels_;
+  }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Distinct per-part colors for the partition-visualization example; cycles
+/// after 12 parts.
+Rgb PartColor(int part);
+
+/// Renders a node-link drawing: every edge as a line, optional vertex dots.
+/// `edge_color(u, v)` selects per-edge colors (e.g. cut edges in red);
+/// pass nullptr for uniform black edges. `antialias` switches to Wu lines.
+Canvas DrawGraph(const CsrGraph& graph, const PixelLayout& pixels,
+                 Rgb (*edge_color)(vid_t, vid_t, const void*) = nullptr,
+                 const void* ctx = nullptr, bool draw_vertices = false,
+                 bool antialias = false);
+
+}  // namespace parhde

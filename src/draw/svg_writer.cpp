@@ -1,0 +1,67 @@
+#include "draw/svg_writer.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace parhde {
+namespace {
+
+void EmitColor(std::ostream& out, Rgb c) {
+  out << "rgb(" << static_cast<int>(c.r) << ',' << static_cast<int>(c.g) << ','
+      << static_cast<int>(c.b) << ')';
+}
+
+}  // namespace
+
+void WriteSvg(const CsrGraph& graph, const PixelLayout& pixels,
+              std::ostream& out, const SvgOptions& options,
+              const std::vector<Rgb>& edge_colors) {
+  const vid_t n = graph.NumVertices();
+  assert(pixels.x.size() == static_cast<std::size_t>(n));
+
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixels.width
+      << "\" height=\"" << pixels.height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<g stroke-width=\"" << options.stroke_width << "\">\n";
+
+  std::size_t edge_index = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t u : graph.Neighbors(v)) {
+      if (u <= v) continue;
+      const Rgb c = edge_colors.empty() ? options.edge_color
+                                        : edge_colors.at(edge_index);
+      out << "<line x1=\"" << pixels.x[static_cast<std::size_t>(v)] << "\" y1=\""
+          << pixels.y[static_cast<std::size_t>(v)] << "\" x2=\""
+          << pixels.x[static_cast<std::size_t>(u)] << "\" y2=\""
+          << pixels.y[static_cast<std::size_t>(u)] << "\" stroke=\"";
+      EmitColor(out, c);
+      out << "\"/>\n";
+      ++edge_index;
+    }
+  }
+  out << "</g>\n";
+
+  if (options.draw_vertices) {
+    for (vid_t v = 0; v < n; ++v) {
+      out << "<circle cx=\"" << pixels.x[static_cast<std::size_t>(v)]
+          << "\" cy=\"" << pixels.y[static_cast<std::size_t>(v)] << "\" r=\""
+          << options.vertex_radius << "\" fill=\"";
+      EmitColor(out, options.vertex_color);
+      out << "\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+}
+
+void WriteSvgFile(const CsrGraph& graph, const PixelLayout& pixels,
+                  const std::string& path, const SvgOptions& options,
+                  const std::vector<Rgb>& edge_colors) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("svg: cannot open " + path);
+  WriteSvg(graph, pixels, out, options, edge_colors);
+}
+
+}  // namespace parhde

@@ -1,0 +1,31 @@
+// SVG writer — a vector-format alternative to the PNG path, convenient for
+// the browser-based interactive visualization direction the paper sketches
+// in §4.5.2.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "draw/raster.hpp"
+
+namespace parhde {
+
+struct SvgOptions {
+  double stroke_width = 0.5;
+  Rgb edge_color = color::kBlack;
+  bool draw_vertices = false;
+  double vertex_radius = 1.0;
+  Rgb vertex_color = color::kRed;
+};
+
+/// Writes a node-link SVG. `edge_colors`, if non-empty, must hold one color
+/// per undirected edge in CSR (v < u) order and overrides options.edge_color.
+void WriteSvg(const CsrGraph& graph, const PixelLayout& pixels,
+              std::ostream& out, const SvgOptions& options = {},
+              const std::vector<Rgb>& edge_colors = {});
+void WriteSvgFile(const CsrGraph& graph, const PixelLayout& pixels,
+                  const std::string& path, const SvgOptions& options = {},
+                  const std::vector<Rgb>& edge_colors = {});
+
+}  // namespace parhde

@@ -1,0 +1,159 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <numeric>
+
+#include "util/parallel.hpp"
+
+namespace parhde {
+namespace {
+
+/// Merges the weights of a run of duplicate arcs.
+weight_t MergeWeights(BuildOptions::MergePolicy policy, weight_t acc,
+                      weight_t next) {
+  switch (policy) {
+    case BuildOptions::MergePolicy::Sum:
+      return acc + next;
+    case BuildOptions::MergePolicy::Min:
+      return std::min(acc, next);
+    case BuildOptions::MergePolicy::Max:
+      return std::max(acc, next);
+    case BuildOptions::MergePolicy::First:
+      return acc;
+  }
+  return acc;
+}
+
+}  // namespace
+
+CsrGraph BuildCsrGraph(vid_t n, const EdgeList& edges,
+                       const BuildOptions& opts) {
+  assert(n >= 0);
+  const auto nedges = static_cast<std::int64_t>(edges.size());
+
+  // Pass 1: count arcs per vertex (both directions, self loops skipped).
+  std::vector<eid_t> counts(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<std::atomic<eid_t>> atomic_counts(static_cast<std::size_t>(n));
+    for (auto& c : atomic_counts) c.store(0, std::memory_order_relaxed);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < nedges; ++i) {
+      const Edge& e = edges[static_cast<std::size_t>(i)];
+      assert(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+      if (e.u == e.v) continue;
+      atomic_counts[static_cast<std::size_t>(e.u)].fetch_add(
+          1, std::memory_order_relaxed);
+      atomic_counts[static_cast<std::size_t>(e.v)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      counts[static_cast<std::size_t>(v)] =
+          atomic_counts[static_cast<std::size_t>(v)].load(
+              std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<eid_t> offsets;
+  ExclusivePrefixSum(counts, offsets);
+  const auto narcs = static_cast<std::size_t>(offsets.back());
+
+  // Pass 2: scatter arcs using per-vertex atomic cursors.
+  std::vector<vid_t> adj(narcs);
+  std::vector<weight_t> wts(opts.keep_weights ? narcs : 0);
+  {
+    std::vector<std::atomic<eid_t>> cursor(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      cursor[static_cast<std::size_t>(v)].store(
+          offsets[static_cast<std::size_t>(v)], std::memory_order_relaxed);
+    }
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < nedges; ++i) {
+      const Edge& e = edges[static_cast<std::size_t>(i)];
+      if (e.u == e.v) continue;
+      const auto pu = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.u)].fetch_add(
+              1, std::memory_order_relaxed));
+      const auto pv = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.v)].fetch_add(
+              1, std::memory_order_relaxed));
+      adj[pu] = e.v;
+      adj[pv] = e.u;
+      if (opts.keep_weights) {
+        wts[pu] = e.w;
+        wts[pv] = e.w;
+      }
+    }
+  }
+
+  // Pass 3: sort each adjacency list and merge duplicates, compacting the
+  // arrays in place. New per-vertex lengths are gathered, then a second
+  // prefix sum produces the final offsets.
+  std::vector<eid_t> new_counts(static_cast<std::size_t>(n), 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto lo = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+    if (lo == hi) continue;
+    if (opts.keep_weights) {
+      // Sort (neighbor, weight) pairs together.
+      std::vector<std::pair<vid_t, weight_t>> entries;
+      entries.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) entries.emplace_back(adj[i], wts[i]);
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::size_t out = lo;
+      for (std::size_t i = 0; i < entries.size();) {
+        vid_t nb = entries[i].first;
+        weight_t w = entries[i].second;
+        std::size_t j = i + 1;
+        while (j < entries.size() && entries[j].first == nb) {
+          w = MergeWeights(opts.merge, w, entries[j].second);
+          ++j;
+        }
+        adj[out] = nb;
+        wts[out] = w;
+        ++out;
+        i = j;
+      }
+      new_counts[static_cast<std::size_t>(v)] = static_cast<eid_t>(out - lo);
+    } else {
+      std::sort(adj.begin() + static_cast<std::ptrdiff_t>(lo),
+                adj.begin() + static_cast<std::ptrdiff_t>(hi));
+      const auto end = std::unique(adj.begin() + static_cast<std::ptrdiff_t>(lo),
+                                   adj.begin() + static_cast<std::ptrdiff_t>(hi));
+      new_counts[static_cast<std::size_t>(v)] = static_cast<eid_t>(
+          end - (adj.begin() + static_cast<std::ptrdiff_t>(lo)));
+    }
+  }
+
+  std::vector<eid_t> final_offsets;
+  ExclusivePrefixSum(new_counts, final_offsets);
+  const auto final_arcs = static_cast<std::size_t>(final_offsets.back());
+
+  std::vector<vid_t> final_adj(final_arcs);
+  std::vector<weight_t> final_wts(opts.keep_weights ? final_arcs : 0);
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto src = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    const auto dst =
+        static_cast<std::size_t>(final_offsets[static_cast<std::size_t>(v)]);
+    const auto len =
+        static_cast<std::size_t>(new_counts[static_cast<std::size_t>(v)]);
+    std::copy_n(adj.begin() + static_cast<std::ptrdiff_t>(src), len,
+                final_adj.begin() + static_cast<std::ptrdiff_t>(dst));
+    if (opts.keep_weights) {
+      std::copy_n(wts.begin() + static_cast<std::ptrdiff_t>(src), len,
+                  final_wts.begin() + static_cast<std::ptrdiff_t>(dst));
+    }
+  }
+
+  return CsrGraph(std::move(final_offsets), std::move(final_adj),
+                  std::move(final_wts));
+}
+
+}  // namespace parhde

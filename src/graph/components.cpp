@@ -1,0 +1,194 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace parhde {
+namespace {
+
+/// Disjoint-set union with path halving and union by smaller-root, so the
+/// final root of each set is the smallest vertex id it contains.
+class Dsu {
+ public:
+  explicit Dsu(vid_t n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  vid_t Find(vid_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void Union(vid_t a, vid_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent_[static_cast<std::size_t>(b)] = a;
+    } else {
+      parent_[static_cast<std::size_t>(a)] = b;
+    }
+  }
+
+ private:
+  std::vector<vid_t> parent_;
+};
+
+}  // namespace
+
+std::vector<vid_t> ConnectedComponents(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  Dsu dsu(n);
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t u : graph.Neighbors(v)) {
+      if (u > v) dsu.Union(v, u);
+    }
+  }
+  std::vector<vid_t> labels(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) labels[static_cast<std::size_t>(v)] = dsu.Find(v);
+  return labels;
+}
+
+std::vector<vid_t> ParallelConnectedComponents(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  std::vector<std::atomic<vid_t>> parent(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    parent[static_cast<std::size_t>(v)].store(v, std::memory_order_relaxed);
+  }
+
+  auto atomic_min = [&](vid_t slot, vid_t candidate) {
+    vid_t current = parent[static_cast<std::size_t>(slot)].load(
+        std::memory_order_relaxed);
+    bool changed = false;
+    while (candidate < current) {
+      if (parent[static_cast<std::size_t>(slot)].compare_exchange_weak(
+              current, candidate, std::memory_order_relaxed)) {
+        changed = true;
+        break;
+      }
+    }
+    return changed;
+  };
+
+  bool hooked = true;
+  while (hooked) {
+    hooked = false;
+
+    // Hook phase: along every edge, pull the larger current label down to
+    // the smaller one. Labels only decrease, so this is a monotone fixpoint.
+    bool any = false;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(|| : any)
+    for (vid_t v = 0; v < n; ++v) {
+      const vid_t pv =
+          parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+      for (const vid_t u : graph.Neighbors(v)) {
+        const vid_t pu = parent[static_cast<std::size_t>(u)].load(
+            std::memory_order_relaxed);
+        if (pu < pv) {
+          any = atomic_min(v, pu) || any;
+        } else if (pv < pu) {
+          any = atomic_min(u, pv) || any;
+        }
+      }
+    }
+    hooked = any;
+
+    // Pointer jumping: compress label chains so the next hook phase works
+    // on near-roots. Each vertex only reads other slots and monotonically
+    // lowers its own, so relaxed atomics suffice.
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      vid_t label =
+          parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+      while (true) {
+        const vid_t grand = parent[static_cast<std::size_t>(label)].load(
+            std::memory_order_relaxed);
+        if (grand == label) break;
+        label = grand;
+      }
+      atomic_min(v, label);
+    }
+  }
+
+  std::vector<vid_t> labels(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    labels[static_cast<std::size_t>(v)] =
+        parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  }
+  return labels;
+}
+
+vid_t CountComponents(const std::vector<vid_t>& labels) {
+  vid_t count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == static_cast<vid_t>(v)) ++count;
+  }
+  return count;
+}
+
+ComponentExtraction LargestComponent(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  const std::vector<vid_t> labels = ConnectedComponents(graph);
+
+  // Pick the label with the most members; ties go to the smaller label
+  // (which, by canonical labeling, is also the older component).
+  std::unordered_map<vid_t, vid_t> sizes;
+  for (const vid_t l : labels) ++sizes[l];
+  vid_t best_label = kInvalidVid;
+  vid_t best_size = 0;
+  for (const auto& [label, size] : sizes) {
+    if (size > best_size || (size == best_size && label < best_label)) {
+      best_label = label;
+      best_size = size;
+    }
+  }
+
+  ComponentExtraction result;
+  result.old_to_new.assign(static_cast<std::size_t>(n), kInvalidVid);
+  result.new_to_old.reserve(static_cast<std::size_t>(best_size));
+  vid_t next = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (labels[static_cast<std::size_t>(v)] == best_label) {
+      result.old_to_new[static_cast<std::size_t>(v)] = next++;
+      result.new_to_old.push_back(v);
+    }
+  }
+
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(graph.NumEdges()));
+  const bool weighted = graph.HasWeights();
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t nv = result.old_to_new[static_cast<std::size_t>(v)];
+    if (nv == kInvalidVid) continue;
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u <= v) continue;
+      const vid_t nu = result.old_to_new[static_cast<std::size_t>(u)];
+      edges.push_back({nv, nu, weighted ? graph.NeighborWeights(v)[i] : 1.0});
+    }
+  }
+
+  BuildOptions opts;
+  opts.keep_weights = weighted;
+  result.graph = BuildCsrGraph(next, edges, opts);
+  return result;
+}
+
+bool IsConnected(const CsrGraph& graph) {
+  if (graph.NumVertices() == 0) return true;
+  const std::vector<vid_t> labels = ConnectedComponents(graph);
+  return CountComponents(labels) == 1;
+}
+
+}  // namespace parhde

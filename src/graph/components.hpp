@@ -1,0 +1,41 @@
+// Connected components and the paper's largest-component extraction (§4.1):
+// remove vertices outside the largest component and renumber contiguously
+// while preserving the original implied ordering.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// Component label per vertex. Labels are the smallest vertex id in the
+/// component, so they are canonical and deterministic.
+std::vector<vid_t> ConnectedComponents(const CsrGraph& graph);
+
+/// Parallel connected components (Shiloach-Vishkin style: min-label hooking
+/// alternated with pointer jumping). Produces exactly the same canonical
+/// labels as ConnectedComponents — the smallest vertex id per component —
+/// in O(log n) rounds over the edge set, so the preprocessing of billion-
+/// edge inputs (§4.1) parallelizes like the rest of the pipeline.
+std::vector<vid_t> ParallelConnectedComponents(const CsrGraph& graph);
+
+/// Number of distinct components given labels from ConnectedComponents.
+vid_t CountComponents(const std::vector<vid_t>& labels);
+
+/// Result of extracting the largest connected component.
+struct ComponentExtraction {
+  CsrGraph graph;                 // the induced subgraph, ids renumbered
+  std::vector<vid_t> old_to_new;  // kInvalidVid for removed vertices
+  std::vector<vid_t> new_to_old;  // size = extracted n
+};
+
+/// Extracts the largest connected component (ties broken toward the
+/// component with the smallest canonical label). New ids are assigned in
+/// increasing old-id order, preserving relative vertex order as the paper
+/// requires for its locality analysis.
+ComponentExtraction LargestComponent(const CsrGraph& graph);
+
+/// True if the whole graph is one connected component (n == 0 counts as
+/// connected).
+bool IsConnected(const CsrGraph& graph);
+
+}  // namespace parhde

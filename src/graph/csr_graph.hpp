@@ -1,0 +1,114 @@
+// Compressed sparse row graph container.
+//
+// This mirrors the paper's "CSR-like format" (§3.1): undirected simple
+// graphs stored with both edge directions, adjacencies sorted per vertex,
+// and — for unweighted graphs — no weight array and no materialized
+// Laplacian (kernels use the degree array for diagonal entries instead).
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhde {
+
+/// One undirected edge of an edge list, the builder's input currency.
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+  weight_t w = 1.0;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// Immutable undirected graph in CSR form.
+///
+/// Invariants (established by BuildCsrGraph, checked by Validate()):
+///  * no self loops, no parallel edges;
+///  * symmetric: v in Adj(u) iff u in Adj(v), with equal weights;
+///  * each adjacency list sorted ascending;
+///  * offsets.size() == n+1, adj.size() == offsets[n] == 2m.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Assembles a graph from prevalidated CSR arrays. `weights` may be empty
+  /// (unweighted) or match `adj` in size.
+  CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> adj,
+           std::vector<weight_t> weights = {});
+
+  /// Number of vertices n.
+  [[nodiscard]] vid_t NumVertices() const {
+    return static_cast<vid_t>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m (each stored twice internally).
+  [[nodiscard]] eid_t NumEdges() const {
+    return static_cast<eid_t>(adj_.size()) / 2;
+  }
+
+  /// Number of stored directed arcs (2m).
+  [[nodiscard]] eid_t NumArcs() const { return static_cast<eid_t>(adj_.size()); }
+
+  /// Unweighted degree of v.
+  [[nodiscard]] vid_t Degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[static_cast<std::size_t>(v) + 1] -
+                              offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Sum of incident edge weights (= Degree(v) for unweighted graphs).
+  /// This is the diagonal of the degrees matrix D.
+  [[nodiscard]] weight_t WeightedDegree(vid_t v) const {
+    return weighted_degree_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sorted neighbors of v.
+  [[nodiscard]] std::span<const vid_t> Neighbors(vid_t v) const {
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {adj_.data() + lo, hi - lo};
+  }
+
+  /// Weights aligned with Neighbors(v). Only valid when HasWeights().
+  [[nodiscard]] std::span<const weight_t> NeighborWeights(vid_t v) const {
+    assert(HasWeights());
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {weights_.data() + lo, hi - lo};
+  }
+
+  [[nodiscard]] bool HasWeights() const { return !weights_.empty(); }
+
+  /// True if edge {u, v} exists (binary search on the sorted adjacency).
+  [[nodiscard]] bool HasEdge(vid_t u, vid_t v) const;
+
+  /// Raw CSR arrays, for kernels that iterate arcs directly.
+  [[nodiscard]] const std::vector<eid_t>& Offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<vid_t>& Adjacency() const { return adj_; }
+  [[nodiscard]] const std::vector<weight_t>& Weights() const { return weights_; }
+  [[nodiscard]] const std::vector<weight_t>& WeightedDegrees() const {
+    return weighted_degree_;
+  }
+
+  /// Max unweighted degree (0 for the empty graph).
+  [[nodiscard]] vid_t MaxDegree() const;
+
+  /// Checks every invariant listed in the class comment; returns false with
+  /// no side effects on violation. Intended for tests and after I/O.
+  [[nodiscard]] bool Validate() const;
+
+  /// Converts back to an edge list with u < v per edge, in CSR order.
+  [[nodiscard]] EdgeList ToEdgeList() const;
+
+ private:
+  std::vector<eid_t> offsets_;
+  std::vector<vid_t> adj_;
+  std::vector<weight_t> weights_;          // empty when unweighted
+  std::vector<weight_t> weighted_degree_;  // always populated, size n
+};
+
+}  // namespace parhde

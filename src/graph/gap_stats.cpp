@@ -1,0 +1,62 @@
+#include "graph/gap_stats.hpp"
+
+#include <algorithm>
+
+namespace parhde {
+
+FibonacciBinner ComputeGapHistogram(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  FibonacciBinner binner(std::max<vid_t>(n, 1));
+  // Thread-local histograms merged at the end keep Add() contention-free.
+  const int nbins = binner.NumBins();
+#pragma omp parallel
+  {
+    std::vector<std::int64_t> local(static_cast<std::size_t>(nbins), 0);
+#pragma omp for schedule(dynamic, 256) nowait
+    for (vid_t v = 0; v < n; ++v) {
+      const auto nbrs = graph.Neighbors(v);
+      for (std::size_t i = 1; i < nbrs.size(); ++i) {
+        const std::int64_t gap = nbrs[i] - nbrs[i - 1];
+        ++local[static_cast<std::size_t>(binner.BinIndex(gap))];
+      }
+    }
+#pragma omp critical
+    {
+      for (int b = 0; b < nbins; ++b) {
+        if (local[static_cast<std::size_t>(b)] != 0) {
+          binner.Add(binner.UpperBound(b) - 1, local[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+  }
+  return binner;
+}
+
+GapSummary ComputeGapSummary(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  GapSummary summary;
+  std::int64_t total = 0;
+  std::int64_t count = 0;
+  std::int64_t max_gap = 0;
+  std::int64_t cached = 0;
+#pragma omp parallel for schedule(dynamic, 256) \
+    reduction(+ : total, count, cached) reduction(max : max_gap)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      const std::int64_t gap = nbrs[i] - nbrs[i - 1];
+      total += gap;
+      ++count;
+      max_gap = std::max(max_gap, gap);
+      if (gap <= 16) ++cached;
+    }
+  }
+  summary.total_gaps = count;
+  summary.mean_gap = count > 0 ? static_cast<double>(total) / static_cast<double>(count) : 0.0;
+  summary.max_gap = max_gap;
+  summary.cache_line_fraction =
+      count > 0 ? static_cast<double>(cached) / static_cast<double>(count) : 0.0;
+  return summary;
+}
+
+}  // namespace parhde

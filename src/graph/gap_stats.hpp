@@ -1,0 +1,31 @@
+// Adjacency-list gap statistics (Figure 2).
+//
+// For a vertex u with sorted adjacencies v1 < v2 < ... < vd, the gaps are
+// v2-v1, ..., vd-v(d-1). Low gaps mean accesses of the form S[v] for
+// v in Adj(u) touch nearby memory — the locality signal that explains the
+// paper's sk-2005 anomaly. The histogram uses Fibonacci binning, and the
+// total gap count is exactly 2m - n for a connected graph with no isolated
+// vertices (each vertex contributes degree-1 gaps).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "util/fibonacci.hpp"
+
+namespace parhde {
+
+/// Builds the Fibonacci-binned histogram of adjacency gaps.
+FibonacciBinner ComputeGapHistogram(const CsrGraph& graph);
+
+/// Summary locality statistics derived from the gap distribution.
+struct GapSummary {
+  std::int64_t total_gaps = 0;   // == 2m - (# vertices with degree >= 1)
+  double mean_gap = 0.0;
+  std::int64_t max_gap = 0;
+  /// Fraction of gaps that fit within one 64-byte cache line of int32 ids
+  /// (gap <= 16) — a direct proxy for SpMM vector reuse.
+  double cache_line_fraction = 0.0;
+};
+
+GapSummary ComputeGapSummary(const CsrGraph& graph);
+
+}  // namespace parhde

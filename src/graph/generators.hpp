@@ -1,0 +1,77 @@
+// Synthetic graph generators standing in for the paper's test suite
+// (Table 2). Each family reproduces the structural property that drives the
+// paper's analysis:
+//
+//   urand   — uniform-random (GAP urand): uniform degrees, zero locality;
+//   kron    — Kronecker/R-MAT (GAP kron): heavy-tailed degrees, shuffled ids;
+//   twitter — R-MAT with a stronger skew, standing in for twitter7;
+//   web     — kron relabelled by RCM in the benches, standing in for
+//             sk-2005's locality-friendly host ordering;
+//   road    — 2-D grid with occasional diagonals: low degree, high diameter;
+//   ecology — plain 2-D grid (ecology1 is a 1000x1000 5-point stencil);
+//   cage    — 3-D grid (cage14-like moderate-degree mesh);
+//   barth5  — triangulated plate with four holes (the drawing figures).
+//
+// All generators return edge lists; feed them through BuildCsrGraph (and
+// LargestComponent where noted) to get preprocessed graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// GAP-style uniform random graph: `m` endpoints pairs drawn uniformly.
+/// Self loops/duplicates are left for the builder to clean, matching GAP's
+/// generator semantics (final m is slightly below the requested value).
+EdgeList GenUniformRandom(vid_t n, eid_t m, std::uint64_t seed);
+
+/// Parameters of the R-MAT recursive partition. GAP's kron uses
+/// (0.57, 0.19, 0.19, 0.05).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d is implied: 1 - a - b - c.
+};
+
+/// Kronecker (R-MAT) graph with 2^scale vertices and edge_factor * 2^scale
+/// edges, vertex ids randomly permuted as in the GAP generator (this is what
+/// destroys locality in Fig. 2's kron27 curve).
+EdgeList GenKronecker(int scale, int edge_factor, std::uint64_t seed,
+                      const RmatParams& params = {});
+
+/// 2-D grid, optionally wrapping (torus). rows*cols vertices, 4-point
+/// stencil. Row-major vertex ordering — the locality-friendly layout that
+/// makes road/ecology analogues cache-friendly.
+EdgeList GenGrid2d(vid_t rows, vid_t cols, bool wrap = false);
+
+/// 2-D grid with each diagonal added independently with probability
+/// `diag_prob` — a road-network analogue (low degree, high diameter,
+/// mild irregularity).
+EdgeList GenRoad(vid_t rows, vid_t cols, double diag_prob, std::uint64_t seed);
+
+/// 3-D grid (7-point stencil), cage-style mesh analogue.
+EdgeList GenGrid3d(vid_t nx, vid_t ny, vid_t nz);
+
+/// Triangulated rows x cols plate with four circular holes, the barth5
+/// analogue used by the drawing examples (Figs. 1, 7, 8). Vertices inside a
+/// hole are emitted as isolated; run LargestComponent afterwards.
+EdgeList GenPlateWithHoles(vid_t rows, vid_t cols);
+
+/// Number of vertices GenPlateWithHoles addresses (rows * cols).
+vid_t PlateNumVertices(vid_t rows, vid_t cols);
+
+/// Simple deterministic families for tests.
+EdgeList GenChain(vid_t n);
+EdgeList GenRing(vid_t n);
+EdgeList GenStar(vid_t n);          // vertex 0 is the hub
+EdgeList GenComplete(vid_t n);
+EdgeList GenBinaryTree(int levels);  // 2^levels - 1 vertices
+
+/// Assigns uniform random weights in [lo, hi] to an edge list in place.
+void AssignRandomWeights(EdgeList& edges, weight_t lo, weight_t hi,
+                         std::uint64_t seed);
+
+}  // namespace parhde

@@ -1,0 +1,208 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parhde {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'P', 'A', 'R', 'H', 'D', 'E', '0', '1'};
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("graph io: " + what);
+}
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) Fail("truncated binary stream");
+  return value;
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  WriteRaw<std::uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> ReadVector(std::istream& in) {
+  const auto size = ReadRaw<std::uint64_t>(in);
+  std::vector<T> v(size);
+  if (size != 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in) Fail("truncated binary stream");
+  }
+  return v;
+}
+
+}  // namespace
+
+MatrixMarketData ReadMatrixMarket(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) Fail("empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") Fail("missing %%MatrixMarket banner");
+  if (ToLower(object) != "matrix" || ToLower(format) != "coordinate") {
+    Fail("only coordinate matrices are supported");
+  }
+  field = ToLower(field);
+  symmetry = ToLower(symmetry);
+  if (field != "pattern" && field != "real" && field != "integer") {
+    Fail("unsupported field type: " + field);
+  }
+
+  MatrixMarketData data;
+  data.pattern = (field == "pattern");
+  data.symmetric = (symmetry == "symmetric");
+
+  // Skip comments, read the size line.
+  long long rows = 0, cols = 0, nnz = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz)) Fail("bad size line");
+    break;
+  }
+  if (rows <= 0 || cols <= 0 || nnz < 0) Fail("bad matrix dimensions");
+  data.n = static_cast<vid_t>(std::max(rows, cols));
+  data.edges.reserve(static_cast<std::size_t>(nnz));
+
+  long long read = 0;
+  while (read < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    double w = 1.0;
+    if (!(entry >> r >> c)) Fail("bad entry line");
+    if (!data.pattern && !(entry >> w)) Fail("missing value in non-pattern file");
+    if (r < 1 || r > rows || c < 1 || c > cols) Fail("entry out of range");
+    data.edges.push_back({static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1),
+                          std::abs(w)});
+    ++read;
+  }
+  if (read != nnz) Fail("fewer entries than declared");
+  return data;
+}
+
+MatrixMarketData ReadMatrixMarketFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Fail("cannot open " + path);
+  return ReadMatrixMarket(in);
+}
+
+void WriteMatrixMarket(const CsrGraph& graph, std::ostream& out) {
+  const bool weighted = graph.HasWeights();
+  // 17 significant digits round-trip any double exactly.
+  out.precision(17);
+  out << "%%MatrixMarket matrix coordinate "
+      << (weighted ? "real" : "pattern") << " symmetric\n";
+  out << "% written by parhde\n";
+  out << graph.NumVertices() << ' ' << graph.NumVertices() << ' '
+      << graph.NumEdges() << '\n';
+  const vid_t n = graph.NumVertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u > v) continue;  // lower triangle: row >= col, rows are v+1
+      out << (v + 1) << ' ' << (u + 1);
+      if (weighted) out << ' ' << graph.NeighborWeights(v)[i];
+      out << '\n';
+    }
+  }
+}
+
+void WriteMatrixMarketFile(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) Fail("cannot open " + path);
+  WriteMatrixMarket(graph, out);
+}
+
+MatrixMarketData ReadEdgeList(std::istream& in) {
+  MatrixMarketData data;
+  data.pattern = true;
+  data.symmetric = true;
+  std::string line;
+  vid_t max_id = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long u = 0, v = 0;
+    double w = 1.0;
+    if (!(entry >> u >> v)) Fail("bad edge line: " + line);
+    if (entry >> w) data.pattern = false;
+    if (u < 0 || v < 0) Fail("negative vertex id");
+    data.edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v), w});
+    max_id = std::max<vid_t>(max_id, static_cast<vid_t>(std::max(u, v)));
+  }
+  data.n = max_id + 1;
+  return data;
+}
+
+MatrixMarketData ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Fail("cannot open " + path);
+  return ReadEdgeList(in);
+}
+
+void WriteBinary(const CsrGraph& graph, std::ostream& out) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  WriteRaw<std::int64_t>(out, graph.NumVertices());
+  WriteVector(out, graph.Offsets());
+  WriteVector(out, graph.Adjacency());
+  WriteVector(out, graph.Weights());
+}
+
+CsrGraph ReadBinary(std::istream& in) {
+  char magic[sizeof(kBinaryMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    Fail("bad binary magic");
+  }
+  const auto n = ReadRaw<std::int64_t>(in);
+  auto offsets = ReadVector<eid_t>(in);
+  auto adj = ReadVector<vid_t>(in);
+  auto weights = ReadVector<weight_t>(in);
+  if (static_cast<std::int64_t>(offsets.size()) != n + 1) {
+    Fail("offset array size mismatch");
+  }
+  return CsrGraph(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+void WriteBinaryFile(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Fail("cannot open " + path);
+  WriteBinary(graph, out);
+}
+
+CsrGraph ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open " + path);
+  return ReadBinary(in);
+}
+
+}  // namespace parhde

@@ -1,0 +1,42 @@
+// Graph I/O: MatrixMarket (the SuiteSparse interchange format the paper's
+// inputs come in), plain edge lists, and a fast binary CSR snapshot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// Parsed MatrixMarket content before CSR assembly.
+struct MatrixMarketData {
+  vid_t n = 0;         // max(rows, cols) — graphs are square
+  EdgeList edges;      // 0-based, direction as given in the file
+  bool pattern = true; // true when the file had no value column
+  bool symmetric = true;
+};
+
+/// Reads a MatrixMarket coordinate file (general or symmetric; pattern,
+/// real, or integer). Throws std::runtime_error on malformed input.
+MatrixMarketData ReadMatrixMarket(std::istream& in);
+MatrixMarketData ReadMatrixMarketFile(const std::string& path);
+
+/// Writes a graph as a symmetric coordinate MatrixMarket file (1-based,
+/// lower triangle, pattern unless the graph is weighted).
+void WriteMatrixMarket(const CsrGraph& graph, std::ostream& out);
+void WriteMatrixMarketFile(const CsrGraph& graph, const std::string& path);
+
+/// Reads whitespace-separated "u v [w]" lines, 0-based, '#' comments.
+/// n is inferred as max id + 1.
+MatrixMarketData ReadEdgeList(std::istream& in);
+MatrixMarketData ReadEdgeListFile(const std::string& path);
+
+/// Binary CSR snapshot (magic + n + arcs + offsets + adjacency + optional
+/// weights). Round-trips exactly.
+void WriteBinary(const CsrGraph& graph, std::ostream& out);
+CsrGraph ReadBinary(std::istream& in);
+void WriteBinaryFile(const CsrGraph& graph, const std::string& path);
+CsrGraph ReadBinaryFile(const std::string& path);
+
+}  // namespace parhde

@@ -1,0 +1,191 @@
+#include "graph/ordering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+
+Permutation RandomPermutation(vid_t n, std::uint64_t seed) {
+  Permutation perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Xoshiro256 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+Permutation BfsOrder(const CsrGraph& graph, vid_t source) {
+  const vid_t n = graph.NumVertices();
+  assert(source >= 0 && source < n);
+  Permutation perm(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  queue.push_back(source);
+  perm[static_cast<std::size_t>(source)] = 0;
+  vid_t next = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t v = queue[head];
+    for (const vid_t u : graph.Neighbors(v)) {
+      if (perm[static_cast<std::size_t>(u)] == kInvalidVid) {
+        perm[static_cast<std::size_t>(u)] = next++;
+        queue.push_back(u);
+      }
+    }
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (perm[static_cast<std::size_t>(v)] == kInvalidVid) {
+      perm[static_cast<std::size_t>(v)] = next++;
+    }
+  }
+  return perm;
+}
+
+namespace {
+
+/// Heuristic pseudo-peripheral vertex: repeat BFS from the farthest vertex
+/// until the eccentricity stops growing (George-Liu style).
+vid_t PseudoPeripheral(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  if (n == 0) return kInvalidVid;
+  vid_t v = 0;
+  // Start from a minimum-degree vertex, the usual RCM heuristic.
+  for (vid_t u = 1; u < n; ++u) {
+    if (graph.Degree(u) < graph.Degree(v)) v = u;
+  }
+  int last_ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<int> depth(static_cast<std::size_t>(n), -1);
+    std::vector<vid_t> queue{v};
+    depth[static_cast<std::size_t>(v)] = 0;
+    vid_t farthest = v;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vid_t x = queue[head];
+      for (const vid_t u : graph.Neighbors(x)) {
+        if (depth[static_cast<std::size_t>(u)] < 0) {
+          depth[static_cast<std::size_t>(u)] = depth[static_cast<std::size_t>(x)] + 1;
+          queue.push_back(u);
+          if (depth[static_cast<std::size_t>(u)] >
+                  depth[static_cast<std::size_t>(farthest)] ||
+              (depth[static_cast<std::size_t>(u)] ==
+                   depth[static_cast<std::size_t>(farthest)] &&
+               graph.Degree(u) < graph.Degree(farthest))) {
+            farthest = u;
+          }
+        }
+      }
+    }
+    const int ecc = depth[static_cast<std::size_t>(farthest)];
+    if (ecc <= last_ecc) break;
+    last_ecc = ecc;
+    v = farthest;
+  }
+  return v;
+}
+
+}  // namespace
+
+Permutation RcmOrder(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  Permutation order;  // Cuthill-McKee visitation order (new -> old).
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  auto run_from = [&](vid_t start) {
+    std::size_t head = order.size();
+    order.push_back(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    std::vector<vid_t> nbrs;
+    while (head < order.size()) {
+      const vid_t v = order[head++];
+      nbrs.assign(graph.Neighbors(v).begin(), graph.Neighbors(v).end());
+      std::sort(nbrs.begin(), nbrs.end(), [&](vid_t a, vid_t b) {
+        const vid_t da = graph.Degree(a), db = graph.Degree(b);
+        return da != db ? da < db : a < b;
+      });
+      for (const vid_t u : nbrs) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          order.push_back(u);
+        }
+      }
+    }
+  };
+
+  const vid_t pp = PseudoPeripheral(graph);
+  if (pp != kInvalidVid) run_from(pp);
+  for (vid_t v = 0; v < n; ++v) {
+    if (!visited[static_cast<std::size_t>(v)]) run_from(v);
+  }
+
+  std::reverse(order.begin(), order.end());
+  Permutation perm(static_cast<std::size_t>(n));
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    perm[static_cast<std::size_t>(order[rank])] = static_cast<vid_t>(rank);
+  }
+  return perm;
+}
+
+Permutation DegreeOrder(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  std::vector<vid_t> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](vid_t a, vid_t b) {
+    return graph.Degree(a) > graph.Degree(b);
+  });
+  Permutation perm(static_cast<std::size_t>(n));
+  for (std::size_t rank = 0; rank < by_degree.size(); ++rank) {
+    perm[static_cast<std::size_t>(by_degree[rank])] = static_cast<vid_t>(rank);
+  }
+  return perm;
+}
+
+Permutation IdentityPermutation(vid_t n) {
+  Permutation perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  return perm;
+}
+
+Permutation InversePermutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    inv[static_cast<std::size_t>(perm[v])] = static_cast<vid_t>(v);
+  }
+  return inv;
+}
+
+bool IsPermutation(const Permutation& perm) {
+  const auto n = static_cast<vid_t>(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (const vid_t p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+CsrGraph ApplyPermutation(const CsrGraph& graph, const Permutation& perm) {
+  assert(perm.size() == static_cast<std::size_t>(graph.NumVertices()));
+  const vid_t n = graph.NumVertices();
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(graph.NumEdges()));
+  const bool weighted = graph.HasWeights();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i]) {
+        edges.push_back({perm[static_cast<std::size_t>(v)],
+                         perm[static_cast<std::size_t>(nbrs[i])],
+                         weighted ? graph.NeighborWeights(v)[i] : 1.0});
+      }
+    }
+  }
+  BuildOptions opts;
+  opts.keep_weights = weighted;
+  return BuildCsrGraph(n, edges, opts);
+}
+
+}  // namespace parhde

@@ -1,0 +1,186 @@
+#include "hde/parhde.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hde/pivots.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/laplacian_ops.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/parallel.hpp"
+
+namespace parhde {
+namespace {
+
+std::vector<double> MetricVector(const CsrGraph& graph,
+                                 const HdeOptions& options) {
+  // Weighted degrees for D-orthogonalization; all-ones for the plain
+  // (Laplacian-eigenvector) variant of §4.5.1.
+  if (options.metric == OrthoMetric::DegreeWeighted) {
+    return graph.WeightedDegrees();
+  }
+  return std::vector<double>(static_cast<std::size_t>(graph.NumVertices()),
+                             1.0);
+}
+
+}  // namespace
+
+HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
+  const vid_t n = graph.NumVertices();
+  assert(n >= 3);
+
+  HdeOptions options = options_in;
+  options.subspace_dim =
+      std::min<int>(options.subspace_dim, static_cast<int>(n) - 1);
+  options.num_axes = std::max(1, options.num_axes);
+  const int s = options.subspace_dim;
+
+  HdeResult result;
+  const std::vector<double> metric = MetricVector(graph, options);
+  GramSchmidtOptions gs_opts;
+  gs_opts.kind = options.gs_kind;
+  gs_opts.drop_tol = options.drop_tol;
+
+  DenseMatrix B(static_cast<std::size_t>(n), static_cast<std::size_t>(s));
+  DenseMatrix S(static_cast<std::size_t>(n), static_cast<std::size_t>(s) + 1);
+  GramSchmidtResult gs;
+
+  // The coupled schedule interleaves each traversal with its projection;
+  // it requires sequential (k-centers) pivots and MGS (§4.4). Any other
+  // configuration uses the decoupled two-phase pipeline — the results are
+  // identical, only timing attribution differs.
+  const bool coupled = options.coupled_bfs_ortho &&
+                       options.pivots == PivotStrategy::KCenters &&
+                       options.gs_kind == GramSchmidtKind::Modified;
+
+  if (coupled) {
+    IncrementalDOrthogonalizer ortho(S, metric, gs_opts);
+    {
+      ScopedPhase scoped(result.timings, phase::kDOrtho);
+      Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
+      ortho.Push(0);
+    }
+    std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
+    vid_t source = ResolveStartVertex(graph, options);
+    for (int i = 0; i < s; ++i) {
+      result.pivots.push_back(source);
+      {
+        ScopedPhase scoped(result.timings, phase::kBfs);
+        const std::vector<dist_t> hops =
+            RunSingleSearch(graph, source, options,
+                            B.Col(static_cast<std::size_t>(i)),
+                            &result.bfs_stats);
+        WallTimer other;
+        MinInto(to_sources, hops);
+        source = ArgmaxFiniteDistance(to_sources);
+        if (source == kInvalidVid) source = result.pivots.back();
+        const double other_seconds = other.Seconds();
+        result.timings.Add(phase::kBfsOther, other_seconds);
+        result.timings.Add(phase::kBfs, -other_seconds);
+      }
+      {
+        ScopedPhase scoped(result.timings, phase::kDOrtho);
+        Copy(B.Col(static_cast<std::size_t>(i)),
+             S.Col(static_cast<std::size_t>(i) + 1));
+        ortho.Push(static_cast<std::size_t>(i) + 1);
+      }
+    }
+    gs = ortho.Finalize();
+  } else {
+    // ---- BFS phase: s traversals, interleaved with pivot selection. ----
+    DistancePhase distances = RunDistancePhase(graph, options);
+    result.pivots = distances.pivots;
+    result.bfs_stats = distances.stats;
+    result.timings.Add(phase::kBfs, distances.traversal_seconds);
+    result.timings.Add(phase::kBfsOther, distances.other_seconds);
+    B = std::move(distances.B);
+
+    // ---- DOrtho phase: build S = [s0 | b1 .. bs] and D-orthogonalize. ----
+    ScopedPhase scoped(result.timings, phase::kDOrtho);
+    Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
+    for (int i = 0; i < s; ++i) {
+      Copy(B.Col(static_cast<std::size_t>(i)),
+           S.Col(static_cast<std::size_t>(i) + 1));
+    }
+    gs = DOrthogonalize(S, metric, gs_opts);
+  }
+
+  // Drop the degenerate 0th column (Alg. 3 line 16). It always survives
+  // orthogonalization (it is the first column), so it is compacted to the
+  // front.
+  assert(!gs.kept.empty() && gs.kept.front() == 0);
+  {
+    std::vector<std::size_t> tail(S.Cols() > 0 ? S.Cols() - 1 : 0);
+    for (std::size_t i = 0; i < tail.size(); ++i) tail[i] = i + 1;
+    S.KeepColumns(tail);
+  }
+  result.kept_columns = static_cast<int>(S.Cols());
+  if (S.Cols() == 0) {
+    // Pathological input (e.g. complete graph with s=1): fall back to a
+    // degenerate layout at the origin rather than crash.
+    result.layout.x.assign(static_cast<std::size_t>(n), 0.0);
+    result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
+    result.axes = DenseMatrix(static_cast<std::size_t>(n), 0);
+    return result;
+  }
+
+  // ---- TripleProd phase: P = L·S (fused SpMM), then Z = Sᵀ·P. ----
+  DenseMatrix P(S.Rows(), S.Cols());
+  {
+    ScopedPhase scoped(result.timings, phase::kTripleProdLs);
+    LaplacianTimesMatrixFused(graph, S, P);
+  }
+  DenseMatrix Z;
+  {
+    ScopedPhase scoped(result.timings, phase::kTripleProdGemm);
+    Z = TransposeTimes(S, P);
+  }
+
+  // ---- Eigensolve on the small s x s matrix. ----
+  DenseMatrix Y;
+  {
+    ScopedPhase scoped(result.timings, phase::kEigensolve);
+    const EigenDecomposition eig = SymmetricEigen(Z);
+    // With S D-orthonormal, minimizing the Hall energy in the subspace means
+    // taking the *smallest* eigenvalues of Z (the paper's "top two" refers
+    // to the reversed ordering of the transition matrix, §2.1).
+    const auto axes =
+        std::min<std::size_t>(static_cast<std::size_t>(options.num_axes),
+                              eig.values.size());
+    Y = SmallestEigenvectors(eig, axes);
+    result.eigenvalues.assign(eig.values.begin(),
+                              eig.values.begin() + static_cast<std::ptrdiff_t>(axes));
+    for (std::size_t a = 0; a < std::min<std::size_t>(2, axes); ++a) {
+      result.axis_eigenvalue[a] = eig.values[a];
+    }
+  }
+
+  // ---- Coordinates: axes = B·Y (paper literal) or S·Y. ----
+  {
+    ScopedPhase scoped(result.timings, phase::kOther);
+    if (options.basis == CoordBasis::Subspace) {
+      result.axes = TallTimesSmall(S, Y);
+    } else {
+      // Columns of S map to kept input columns; kept[0] was the unit vector,
+      // so subspace column c corresponds to B column kept[c+1] - 1.
+      DenseMatrix Bkept(B.Rows(), S.Cols());
+      for (std::size_t c = 0; c < S.Cols(); ++c) {
+        Copy(B.Col(gs.kept[c + 1] - 1), Bkept.Col(c));
+      }
+      result.axes = TallTimesSmall(Bkept, Y);
+    }
+    result.layout.x.assign(result.axes.Col(0).begin(),
+                           result.axes.Col(0).end());
+    if (result.axes.Cols() > 1) {
+      result.layout.y.assign(result.axes.Col(1).begin(),
+                             result.axes.Col(1).end());
+    } else {
+      result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace parhde

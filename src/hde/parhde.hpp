@@ -1,0 +1,128 @@
+// ParHDE — the paper's primary contribution (Alg. 3): High-Dimensional
+// Embedding parallelized for shared memory, organized into the three
+// instrumented phases the paper analyzes (BFS, DOrtho, TripleProd) plus the
+// negligible eigensolve.
+//
+// The variants evaluated in the paper are all reachable through HdeOptions:
+//   * pivot strategy: k-centers farthest-first (default) vs random
+//     concurrent pivots (Table 6);
+//   * orthogonalization metric: D-weighted (default) vs plain, which yields
+//     Laplacian-eigenvector approximations (§4.5.1);
+//   * Gram-Schmidt kind: MGS (default) vs CGS (Table 7);
+//   * distance kernel: direction-optimizing parallel BFS (default), serial
+//     BFS, or Δ-stepping SSSP for weighted graphs (§3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "bfs/parallel_bfs.hpp"
+#include "graph/csr_graph.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "util/timer.hpp"
+
+namespace parhde {
+
+/// How the s pivot (source) vertices are chosen.
+enum class PivotStrategy {
+  KCenters,  // farthest-first 2-approximation; BFSes run one at a time,
+             // each internally parallel (paper default)
+  Random,    // distinct uniform pivots; BFSes run concurrently, each serial
+             // (the Table 6 alternative)
+};
+
+/// Metric for the Gram-Schmidt inner products.
+enum class OrthoMetric {
+  DegreeWeighted,  // D-orthogonalization: approximates the generalized
+                   // eigenproblem Lx = µDx (paper default)
+  Unweighted,      // plain orthogonalization: approximates Laplacian
+                   // eigenvectors (§4.5.1 variant)
+};
+
+/// Which matrix multiplies the small eigenvectors to produce coordinates.
+enum class CoordBasis {
+  DistanceMatrix,  // [x,y] = B·Y — the paper-literal Alg. 3 line 20
+  Subspace,        // [x,y] = S·Y — the orthonormal-basis formulation
+};
+
+/// Which traversal produces the distance columns.
+enum class DistanceKernel {
+  ParallelBfs,    // direction-optimizing BFS (unweighted graphs)
+  SerialBfs,      // reference/baseline traversal
+  DeltaStepping,  // Δ-stepping SSSP (weighted graphs, §3.3)
+};
+
+struct HdeOptions {
+  /// Subspace dimension s; the paper uses 10 for timing tables and 50 as
+  /// the "common choice" (Fig. 5).
+  int subspace_dim = 10;
+  /// BFS start vertex; kInvalidVid picks one from `seed`.
+  vid_t start_vertex = kInvalidVid;
+  std::uint64_t seed = 1;
+  PivotStrategy pivots = PivotStrategy::KCenters;
+  OrthoMetric metric = OrthoMetric::DegreeWeighted;
+  GramSchmidtKind gs_kind = GramSchmidtKind::Modified;
+  CoordBasis basis = CoordBasis::DistanceMatrix;
+  DistanceKernel kernel = DistanceKernel::ParallelBfs;
+  BfsOptions bfs;
+  DeltaSteppingOptions sssp;
+  /// Drop tolerance for near-dependent distance vectors (Alg. 3 line 12).
+  double drop_tol = 1e-3;
+  /// Number of layout axes p — 2 for screen layouts (paper default),
+  /// 3 for 3-D layouts (§2.1 allows either).
+  int num_axes = 2;
+  /// Couple the BFS and D-orthogonalization phases: each distance vector is
+  /// orthogonalized immediately after its traversal instead of in a
+  /// separate pass (§4.4 notes MGS permits this; CGS does not). Requires
+  /// the k-centers pivot strategy and Modified Gram-Schmidt; other
+  /// configurations silently use the decoupled pipeline. Results are
+  /// identical either way — only the execution schedule changes.
+  bool coupled_bfs_ortho = false;
+};
+
+/// A 2-D layout: coordinate k of vertex i is (x[i], y[i]).
+struct Layout {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Everything a benchmark or application needs from one HDE run.
+struct HdeResult {
+  Layout layout;
+  /// Phase names: "BFS", "BFS:Other", "DOrtho", "TripleProd:LS",
+  /// "TripleProd:GEMM", "Eigensolve", "Other".
+  PhaseTimings timings;
+  /// The s source vertices in selection order.
+  std::vector<vid_t> pivots;
+  /// Distance columns that survived orthogonalization (<= s).
+  int kept_columns = 0;
+  /// Eigenvalues of the projected matrix picked for the first two axes.
+  double axis_eigenvalue[2] = {0.0, 0.0};
+  /// All num_axes axes as an n x p matrix; layout.x/.y mirror columns 0/1.
+  DenseMatrix axes;
+  /// Eigenvalue per axis, in axis order.
+  std::vector<double> eigenvalues;
+  /// Aggregate traversal statistics over all s searches.
+  BfsStats bfs_stats;
+};
+
+/// Standard phase-name constants shared by the drivers and benches.
+namespace phase {
+inline constexpr const char* kBfs = "BFS";
+inline constexpr const char* kBfsOther = "BFS:Other";
+inline constexpr const char* kDOrtho = "DOrtho";
+inline constexpr const char* kTripleProdLs = "TripleProd:LS";
+inline constexpr const char* kTripleProdGemm = "TripleProd:GEMM";
+inline constexpr const char* kEigensolve = "Eigensolve";
+inline constexpr const char* kOther = "Other";
+inline constexpr const char* kColCenter = "ColCenter";
+inline constexpr const char* kDblCenter = "DblCntr";
+inline constexpr const char* kMatMul = "MatMul";
+}  // namespace phase
+
+/// Runs ParHDE on a connected undirected graph. Requires n >= 3. The
+/// subspace dimension is clamped to n - 1.
+HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options = {});
+
+}  // namespace parhde

@@ -1,0 +1,32 @@
+// Geometric partitioning from layout coordinates (§4.5.4): ParHDE's
+// coordinates feed a coordinate-bisection partitioner, and the resulting
+// labels drive the intra-/inter-partition edge coloring in the
+// partition-visualization example.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Recursive coordinate bisection: split along the wider axis at the
+/// median until `parts` blocks exist. parts must be a power of two >= 1.
+/// Returns a label in [0, parts) per vertex; block sizes differ by at most
+/// one per split level.
+std::vector<int> CoordinateBisection(const Layout& layout, int parts);
+
+/// Number of edges whose endpoints carry different labels.
+eid_t EdgeCut(const CsrGraph& graph, const std::vector<int>& labels);
+
+/// Size of each part (histogram over labels).
+std::vector<vid_t> PartSizes(const std::vector<int>& labels, int parts);
+
+/// Classic spectral bisection: split at the median of the Fiedler-like
+/// second generalized eigenvector of (L, D), computed with LOBPCG. The
+/// "exact" spectral counterpart to CoordinateBisection's HDE-approximate
+/// split — used to quantify how close the fast geometric partition gets.
+std::vector<int> SpectralBisection(const CsrGraph& graph);
+
+}  // namespace parhde

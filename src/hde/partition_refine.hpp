@@ -1,0 +1,38 @@
+// Boundary refinement of a k-way partition — the Kernighan-Lin-flavored
+// pass the paper says layout coordinates can accelerate (§4.5.4): only
+// boundary vertices are move candidates, and the geometric partition from
+// ParHDE coordinates starts with a small boundary, so refinement converges
+// in few passes.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "hde/partition.hpp"
+
+namespace parhde {
+
+struct RefinePartitionOptions {
+  /// Greedy passes over the boundary (each pass is one KL-style sweep).
+  int max_passes = 10;
+  /// Parts may grow to at most (1 + balance_tolerance) * n / parts.
+  double balance_tolerance = 0.05;
+};
+
+struct RefinePartitionResult {
+  eid_t initial_cut = 0;
+  eid_t final_cut = 0;
+  int passes = 0;       // sweeps actually executed
+  vid_t moves = 0;      // vertices relocated across all passes
+  vid_t initial_boundary = 0;  // move-candidate count before refinement
+};
+
+/// Greedily moves boundary vertices to the neighboring part with maximal
+/// positive cut gain, subject to the balance constraint. Deterministic
+/// (vertices swept in id order); the cut never increases.
+RefinePartitionResult RefinePartition(const CsrGraph& graph,
+                                      std::vector<int>& labels, int parts,
+                                      const RefinePartitionOptions& options = {});
+
+/// Number of vertices with at least one neighbor in a different part.
+vid_t BoundarySize(const CsrGraph& graph, const std::vector<int>& labels);
+
+}  // namespace parhde

@@ -1,0 +1,71 @@
+#include "hde/phde.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hde/pivots.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parhde {
+
+HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
+  const vid_t n = graph.NumVertices();
+  assert(n >= 3);
+
+  HdeOptions options = options_in;
+  options.subspace_dim =
+      std::min<int>(options.subspace_dim, static_cast<int>(n) - 1);
+
+  HdeResult result;
+
+  // ---- BFS phase (same machinery as ParHDE). ----
+  DistancePhase distances = RunDistancePhase(graph, options);
+  result.pivots = distances.pivots;
+  result.bfs_stats = distances.stats;
+  result.timings.Add(phase::kBfs, distances.traversal_seconds);
+  result.timings.Add(phase::kBfsOther, distances.other_seconds);
+  DenseMatrix& C = distances.B;
+
+  // ---- Column centering: two-phase (parallel mean, parallel subtract). ----
+  {
+    ScopedPhase scoped(result.timings, phase::kColCenter);
+    for (std::size_t c = 0; c < C.Cols(); ++c) CenterInPlace(C.Col(c));
+  }
+  result.kept_columns = static_cast<int>(C.Cols());
+
+  // ---- MatMul: the small Gram matrix CᵀC. ----
+  DenseMatrix Z;
+  {
+    ScopedPhase scoped(result.timings, phase::kMatMul);
+    Z = TransposeTimes(C, C);
+  }
+
+  // ---- Eigensolve: PCA takes the two *largest* eigenvalues of CᵀC. ----
+  DenseMatrix Y;
+  {
+    ScopedPhase scoped(result.timings, phase::kEigensolve);
+    const EigenDecomposition eig = SymmetricEigen(Z);
+    const std::size_t axes = std::min<std::size_t>(2, eig.values.size());
+    Y = LargestEigenvectors(eig, axes);
+    for (std::size_t a = 0; a < axes; ++a) {
+      result.axis_eigenvalue[a] = eig.values[eig.values.size() - 1 - a];
+    }
+  }
+
+  // ---- Coordinates: [x,y] = C·Y. ----
+  {
+    ScopedPhase scoped(result.timings, phase::kOther);
+    const DenseMatrix coords = TallTimesSmall(C, Y);
+    result.layout.x.assign(coords.Col(0).begin(), coords.Col(0).end());
+    if (coords.Cols() > 1) {
+      result.layout.y.assign(coords.Col(1).begin(), coords.Col(1).end());
+    } else {
+      result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace parhde

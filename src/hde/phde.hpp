@@ -1,0 +1,17 @@
+// PHDE — the original Harel-Koren High-Dimensional Embedding (Alg. 2),
+// parallelized as §3.2 describes: the distance matrix is column-centered
+// in two parallel phases (means, then subtraction), the small Gram matrix
+// CᵀC is formed, and the two dominant eigenvectors give [x,y] = C·Y.
+#pragma once
+
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Runs parallel PHDE. Reuses HdeOptions: pivots/kernel/seed/subspace_dim
+/// apply; metric/gs_kind/basis are ignored (PHDE has no orthogonalization).
+/// Phase names recorded: "BFS", "BFS:Other", "ColCenter", "MatMul",
+/// "Eigensolve", "Other".
+HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options = {});
+
+}  // namespace parhde

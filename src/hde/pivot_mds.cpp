@@ -1,0 +1,106 @@
+#include "hde/pivot_mds.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hde/pivots.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parhde {
+
+HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
+  const vid_t n = graph.NumVertices();
+  assert(n >= 3);
+
+  HdeOptions options = options_in;
+  options.subspace_dim =
+      std::min<int>(options.subspace_dim, static_cast<int>(n) - 1);
+
+  HdeResult result;
+
+  // ---- BFS phase. ----
+  DistancePhase distances = RunDistancePhase(graph, options);
+  result.pivots = distances.pivots;
+  result.bfs_stats = distances.stats;
+  result.timings.Add(phase::kBfs, distances.traversal_seconds);
+  result.timings.Add(phase::kBfsOther, distances.other_seconds);
+  DenseMatrix& C = distances.B;
+  const std::size_t cols = C.Cols();
+  const auto rows = static_cast<std::int64_t>(C.Rows());
+
+  // ---- Double centering of the squared distances. ----
+  {
+    ScopedPhase scoped(result.timings, phase::kDblCenter);
+    // Square in place, accumulating column means.
+    std::vector<double> col_mean(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c) {
+      auto col = C.Col(c);
+      double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const double sq = col[static_cast<std::size_t>(i)] *
+                          col[static_cast<std::size_t>(i)];
+        col[static_cast<std::size_t>(i)] = sq;
+        total += sq;
+      }
+      col_mean[c] = total / static_cast<double>(rows);
+    }
+    // Row means and grand mean.
+    std::vector<double> row_mean(static_cast<std::size_t>(rows), 0.0);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < rows; ++i) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        total += C.Col(c)[static_cast<std::size_t>(i)];
+      }
+      row_mean[static_cast<std::size_t>(i)] =
+          total / static_cast<double>(cols);
+    }
+    double grand = 0.0;
+    for (const double cm : col_mean) grand += cm;
+    grand /= static_cast<double>(cols);
+    // Apply: c_ij = -1/2 (d² − rowmean − colmean + grand).
+    for (std::size_t c = 0; c < cols; ++c) {
+      auto col = C.Col(c);
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < rows; ++i) {
+        col[static_cast<std::size_t>(i)] =
+            -0.5 * (col[static_cast<std::size_t>(i)] -
+                    row_mean[static_cast<std::size_t>(i)] - col_mean[c] + grand);
+      }
+    }
+  }
+  result.kept_columns = static_cast<int>(cols);
+
+  // ---- MatMul, eigensolve (largest), and coordinates — as PHDE. ----
+  DenseMatrix Z;
+  {
+    ScopedPhase scoped(result.timings, phase::kMatMul);
+    Z = TransposeTimes(C, C);
+  }
+  DenseMatrix Y;
+  {
+    ScopedPhase scoped(result.timings, phase::kEigensolve);
+    const EigenDecomposition eig = SymmetricEigen(Z);
+    const std::size_t axes = std::min<std::size_t>(2, eig.values.size());
+    Y = LargestEigenvectors(eig, axes);
+    for (std::size_t a = 0; a < axes; ++a) {
+      result.axis_eigenvalue[a] = eig.values[eig.values.size() - 1 - a];
+    }
+  }
+  {
+    ScopedPhase scoped(result.timings, phase::kOther);
+    const DenseMatrix coords = TallTimesSmall(C, Y);
+    result.layout.x.assign(coords.Col(0).begin(), coords.Col(0).end());
+    if (coords.Cols() > 1) {
+      result.layout.y.assign(coords.Col(1).begin(), coords.Col(1).end());
+    } else {
+      result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace parhde

@@ -1,0 +1,16 @@
+// PivotMDS (Brandes & Pich) — the fast approximation of classical MDS that
+// §3.2 parallelizes alongside PHDE. Instead of column centering it
+// double-centers the *squared* distance matrix:
+//   C(i,j) = -1/2 (d_ij² − rowmean_i(d²) − colmean_j(d²) + grandmean(d²))
+// and then proceeds exactly like PHDE (CᵀC eigensolve, [x,y] = C·Y).
+#pragma once
+
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Runs parallel PivotMDS. Phase names: "BFS", "BFS:Other", "DblCntr",
+/// "MatMul", "Eigensolve", "Other".
+HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options = {});
+
+}  // namespace parhde

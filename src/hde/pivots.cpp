@@ -1,0 +1,194 @@
+#include "hde/pivots.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bfs/serial_bfs.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+
+/// Runs one search with the configured kernel and writes distances into
+/// `column` (doubles; unreachable vertices get a large finite sentinel so
+/// downstream arithmetic stays finite — connected inputs never hit it).
+/// Returns the integer hop distances for pivot bookkeeping when the kernel
+/// is BFS-based; for SSSP the hop vector is quantized weights.
+std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
+                                    const HdeOptions& options,
+                                    std::span<double> column,
+                                    BfsStats* stats) {
+  const vid_t n = graph.NumVertices();
+  std::vector<dist_t> hops;
+
+  switch (options.kernel) {
+    case DistanceKernel::ParallelBfs: {
+      BfsResult result = ParallelBfs(graph, source, options.bfs);
+      if (stats) {
+        stats->levels += result.stats.levels;
+        stats->top_down_steps += result.stats.top_down_steps;
+        stats->bottom_up_steps += result.stats.bottom_up_steps;
+        stats->edges_examined += result.stats.edges_examined;
+      }
+      hops = std::move(result.dist);
+      break;
+    }
+    case DistanceKernel::SerialBfs: {
+      hops = SerialBfs(graph, source);
+      break;
+    }
+    case DistanceKernel::DeltaStepping: {
+      SsspResult result = DeltaStepping(graph, source, options.sssp);
+      if (stats) stats->edges_examined += result.stats.relaxations;
+#pragma omp parallel for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        const weight_t d = result.dist[static_cast<std::size_t>(v)];
+        column[static_cast<std::size_t>(v)] =
+            std::isfinite(d) ? d : static_cast<double>(n);
+      }
+      // Quantize for the farthest-vertex reduction (ties resolved on the
+      // quantized scale; adequate for pivot spreading).
+      hops.resize(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        const weight_t d = result.dist[static_cast<std::size_t>(v)];
+        hops[static_cast<std::size_t>(v)] =
+            std::isfinite(d) ? static_cast<dist_t>(d) : kInfDist;
+      }
+      return hops;
+    }
+  }
+
+  // BFS kernels: convert hop counts to doubles.
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    const dist_t d = hops[static_cast<std::size_t>(v)];
+    column[static_cast<std::size_t>(v)] =
+        d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+  }
+  return hops;
+}
+
+vid_t ResolveStartVertex(const CsrGraph& graph, const HdeOptions& options) {
+  if (options.start_vertex != kInvalidVid) {
+    assert(options.start_vertex >= 0 &&
+           options.start_vertex < graph.NumVertices());
+    return options.start_vertex;
+  }
+  Xoshiro256 rng(options.seed);
+  return static_cast<vid_t>(
+      rng.NextBounded(static_cast<std::uint64_t>(graph.NumVertices())));
+}
+
+namespace {
+
+DistancePhase RunKCentersPhase(const CsrGraph& graph,
+                               const HdeOptions& options) {
+  const vid_t n = graph.NumVertices();
+  const int s = options.subspace_dim;
+  DistancePhase phase;
+  phase.B = DenseMatrix(static_cast<std::size_t>(n), static_cast<std::size_t>(s));
+  phase.pivots.reserve(static_cast<std::size_t>(s));
+
+  std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
+  vid_t source = ResolveStartVertex(graph, options);
+
+  for (int i = 0; i < s; ++i) {
+    phase.pivots.push_back(source);
+
+    WallTimer traversal;
+    const std::vector<dist_t> hops =
+        RunSingleSearch(graph, source, options,
+                        phase.B.Col(static_cast<std::size_t>(i)), &phase.stats);
+    phase.traversal_seconds += traversal.Seconds();
+
+    // "BFS: Other": maintain min-distance-to-any-source and find the
+    // farthest vertex, which seeds the next search.
+    WallTimer other;
+    MinInto(to_sources, hops);
+    source = ArgmaxFiniteDistance(to_sources);
+    phase.other_seconds += other.Seconds();
+    if (source == kInvalidVid) source = phase.pivots.back();  // degenerate
+  }
+  return phase;
+}
+
+DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
+  const vid_t n = graph.NumVertices();
+  const int s = options.subspace_dim;
+  DistancePhase phase;
+  phase.B = DenseMatrix(static_cast<std::size_t>(n), static_cast<std::size_t>(s));
+  phase.pivots = RandomPivots(n, s, options.seed);
+
+  WallTimer traversal;
+  // Concurrent independent searches: one serial BFS per thread, the paper's
+  // alternative that wins when s exceeds the thread count or the graph has
+  // high diameter (Table 6).
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int i = 0; i < s; ++i) {
+    const std::vector<dist_t> hops =
+        SerialBfs(graph, phase.pivots[static_cast<std::size_t>(i)]);
+    auto column = phase.B.Col(static_cast<std::size_t>(i));
+    for (vid_t v = 0; v < n; ++v) {
+      const dist_t d = hops[static_cast<std::size_t>(v)];
+      column[static_cast<std::size_t>(v)] =
+          d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+    }
+  }
+  phase.traversal_seconds = traversal.Seconds();
+  return phase;
+}
+
+}  // namespace
+
+std::vector<vid_t> RandomPivots(vid_t n, int count, std::uint64_t seed) {
+  assert(count >= 0 && static_cast<vid_t>(count) <= n);
+  // Floyd's algorithm for a uniform sample without replacement, then a
+  // shuffle so pivot order is also uniform.
+  Xoshiro256 rng(seed);
+  std::vector<vid_t> picked;
+  picked.reserve(static_cast<std::size_t>(count));
+  for (vid_t j = n - static_cast<vid_t>(count); j < n; ++j) {
+    const auto t = static_cast<vid_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      picked.push_back(t);
+    } else {
+      picked.push_back(j);
+    }
+  }
+  std::shuffle(picked.begin(), picked.end(), rng);
+  return picked;
+}
+
+std::vector<vid_t> KCentersPivots(const CsrGraph& graph, int count,
+                                  vid_t start) {
+  const vid_t n = graph.NumVertices();
+  assert(start >= 0 && start < n);
+  std::vector<vid_t> pivots;
+  pivots.reserve(static_cast<std::size_t>(count));
+  std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
+  vid_t source = start;
+  for (int i = 0; i < count; ++i) {
+    pivots.push_back(source);
+    const auto hops = ParallelBfsDistances(graph, source);
+    MinInto(to_sources, hops);
+    source = ArgmaxFiniteDistance(to_sources);
+    if (source == kInvalidVid) source = pivots.back();
+  }
+  return pivots;
+}
+
+DistancePhase RunDistancePhase(const CsrGraph& graph,
+                               const HdeOptions& options) {
+  assert(graph.NumVertices() > 0);
+  assert(options.subspace_dim > 0);
+  if (options.pivots == PivotStrategy::Random) {
+    return RunRandomPhase(graph, options);
+  }
+  return RunKCentersPhase(graph, options);
+}
+
+}  // namespace parhde

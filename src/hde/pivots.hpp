@@ -1,0 +1,50 @@
+// Pivot selection and the BFS phase shared by ParHDE, PHDE, and PivotMDS.
+//
+// The k-centers strategy interleaves selection with traversal: after each
+// search, d(j) = min(d(j), b_i(j)) is updated in parallel and the farthest
+// vertex becomes the next source (Alg. 1 lines 13-15; counted as the
+// "BFS: Other" time in Table 1 and Fig. 5 middle). The random strategy
+// draws all pivots up front and runs the searches concurrently, one serial
+// BFS per thread (§4.4, Table 6).
+#pragma once
+
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Output of the distance phase: the n x s column-major distance matrix and
+/// bookkeeping for the phase-breakdown figures.
+struct DistancePhase {
+  DenseMatrix B;               // n x s, column i = distances from pivot i
+  std::vector<vid_t> pivots;   // selection order
+  BfsStats stats;              // aggregate over all searches
+  double traversal_seconds = 0.0;  // time inside BFS/SSSP kernels
+  double other_seconds = 0.0;      // min-update + farthest-vertex search
+};
+
+/// Runs the full distance phase per `options` (strategy x kernel).
+DistancePhase RunDistancePhase(const CsrGraph& graph,
+                               const HdeOptions& options);
+
+/// `count` distinct pivots drawn uniformly without repetition.
+std::vector<vid_t> RandomPivots(vid_t n, int count, std::uint64_t seed);
+
+/// Farthest-first k-centers pivots (2-approximation, Gonzalez). Runs the
+/// same searches as the distance phase but discards the distance matrix;
+/// exposed separately for tests of the approximation property.
+std::vector<vid_t> KCentersPivots(const CsrGraph& graph, int count,
+                                  vid_t start);
+
+/// Runs one distance search from `source` with the kernel configured in
+/// `options`, writing double distances into `column` (length n; unreachable
+/// vertices get the finite sentinel n). Returns quantized hop distances for
+/// farthest-vertex bookkeeping. Used by the coupled BFS+DOrtho mode.
+std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
+                                    const HdeOptions& options,
+                                    std::span<double> column, BfsStats* stats);
+
+/// The start vertex a run will use: options.start_vertex if set, otherwise
+/// one drawn from options.seed.
+vid_t ResolveStartVertex(const CsrGraph& graph, const HdeOptions& options);
+
+}  // namespace parhde

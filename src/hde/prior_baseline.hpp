@@ -1,0 +1,21 @@
+// "Prior parallel implementation" baseline (Table 3, Fig. 3 right) —
+// a faithful stand-in for the Kirmani-Madduri SpectralGraphDrawing code the
+// paper compares against. Its defining costs, per §4.2:
+//   * BFS is NOT parallelized (serial traversal per pivot);
+//   * the Laplacian is explicitly constructed (an Eigen sparse matrix
+//     there; an explicit CSR Laplacian here), inflating memory and time;
+//   * the triple product runs through the generic allocated matrix;
+//   * vector operations allocate temporaries per expression, Eigen-style.
+// Dense vector arithmetic is still OpenMP-parallel, as in the original.
+#pragma once
+
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Runs the prior-style HDE. Honors subspace_dim/start_vertex/seed; the
+/// pivot strategy is always k-centers with serial BFS. Phase names match
+/// RunParHde so breakdowns are directly comparable.
+HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options = {});
+
+}  // namespace parhde

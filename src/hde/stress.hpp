@@ -1,0 +1,61 @@
+// Sparse stress majorization (Gansner-Koren-North style SMACOF updates on
+// the edge set). §4.5.4 notes that HDE layouts are a good initialization
+// for stress majorization; this module implements the optimization so the
+// claim can be measured (bench_stress_init).
+//
+// Objective (1-stress over edges):
+//   stress(X) = Σ_{(i,j)∈E} w_ij (‖x_i − x_j‖ − d_ij)²,
+// with target lengths d_ij = edge weight (1 for unweighted graphs) and
+// w_ij = 1/d_ij². Each majorization sweep applies the standard localized
+// update; sweeps are Jacobi-style (read old, write new) so they
+// parallelize without races, and the energy is monotone non-increasing.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+struct StressOptions {
+  int max_iterations = 200;
+  /// Stop when the relative stress improvement of a sweep drops below this.
+  double tolerance = 1e-6;
+};
+
+struct StressResult {
+  Layout layout;
+  double initial_stress = 0.0;  // after optimal uniform rescaling
+  double final_stress = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Current stress of a layout (no rescaling applied).
+double EdgeStress(const CsrGraph& graph, const Layout& layout);
+
+/// Rescales the layout by the closed-form optimal uniform factor
+/// s* = Σ w d ‖δ‖ / Σ w ‖δ‖² before comparing or optimizing.
+void RescaleToStressOptimum(const CsrGraph& graph, Layout& layout);
+
+/// Runs majorization sweeps from `initial` until convergence or the
+/// iteration cap. The initial layout is rescaled first.
+StressResult StressMajorize(const CsrGraph& graph, const Layout& initial,
+                            const StressOptions& options = {});
+
+/// Pivot-augmented sparse stress (Ortmann-style): besides the edge terms,
+/// every vertex gets `pivots` long-range terms with target lengths equal to
+/// its BFS distance to each pivot (weights 1/d²). This restores the global
+/// structure plain edge-stress cannot see, at O(n·pivots) extra work per
+/// sweep — and reuses the ParHDE pivot/distance machinery to build the
+/// terms. Pivots are selected farthest-first from `seed`.
+StressResult SparseStressMajorize(const CsrGraph& graph, const Layout& initial,
+                                  int pivots,
+                                  const StressOptions& options = {},
+                                  std::uint64_t seed = 1);
+
+/// The pivot-augmented stress value of a layout (edge terms + pivot terms),
+/// used by tests; pivot selection matches SparseStressMajorize.
+double SparseStress(const CsrGraph& graph, const Layout& layout, int pivots,
+                    std::uint64_t seed = 1);
+
+}  // namespace parhde

@@ -1,0 +1,60 @@
+#include "hde/zoom.hpp"
+
+#include <cassert>
+
+#include "bfs/parallel_bfs.hpp"
+#include "graph/builder.hpp"
+
+namespace parhde {
+
+Neighborhood ExtractNeighborhood(const CsrGraph& graph, vid_t center,
+                                 dist_t hops) {
+  const vid_t n = graph.NumVertices();
+  assert(center >= 0 && center < n);
+  assert(hops >= 0);
+
+  const auto dist = ParallelBfsDistances(graph, center);
+
+  Neighborhood result;
+  std::vector<vid_t> old_to_new(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t next = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (dist[static_cast<std::size_t>(v)] != kInfDist &&
+        dist[static_cast<std::size_t>(v)] <= hops) {
+      old_to_new[static_cast<std::size_t>(v)] = next++;
+      result.new_to_old.push_back(v);
+    }
+  }
+  result.center_new_id = old_to_new[static_cast<std::size_t>(center)];
+
+  EdgeList edges;
+  const bool weighted = graph.HasWeights();
+  for (const vid_t v : result.new_to_old) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u <= v) continue;
+      const vid_t nu = old_to_new[static_cast<std::size_t>(u)];
+      if (nu == kInvalidVid) continue;
+      edges.push_back({old_to_new[static_cast<std::size_t>(v)], nu,
+                       weighted ? graph.NeighborWeights(v)[i] : 1.0});
+    }
+  }
+  BuildOptions opts;
+  opts.keep_weights = weighted;
+  result.graph = BuildCsrGraph(next, edges, opts);
+  return result;
+}
+
+ZoomResult ZoomLayout(const CsrGraph& graph, vid_t center, dist_t hops,
+                      const HdeOptions& options) {
+  ZoomResult result;
+  result.neighborhood = ExtractNeighborhood(graph, center, hops);
+  HdeOptions local = options;
+  // Anchor the first pivot at the zoom center for a stable view.
+  local.start_vertex = result.neighborhood.center_new_id;
+  result.hde = RunParHde(result.neighborhood.graph, local);
+  return result;
+}
+
+}  // namespace parhde

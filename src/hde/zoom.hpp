@@ -1,0 +1,32 @@
+// The "zoom" extension (§4.5.2, Fig. 8): extract the k-hop neighborhood of
+// a selected vertex and lay it out independently for interactive drill-down.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+
+/// Induced subgraph of all vertices within `hops` of `center`, with ids
+/// renumbered contiguously in increasing old-id order.
+struct Neighborhood {
+  CsrGraph graph;
+  std::vector<vid_t> new_to_old;
+  vid_t center_new_id = kInvalidVid;
+};
+
+/// BFS-bounded neighborhood extraction (hops >= 0; hops = 0 gives only the
+/// center vertex).
+Neighborhood ExtractNeighborhood(const CsrGraph& graph, vid_t center,
+                                 dist_t hops);
+
+/// Convenience: extract the neighborhood and run ParHDE on it. The
+/// subspace dimension is clamped to the subgraph size internally.
+struct ZoomResult {
+  Neighborhood neighborhood;
+  HdeResult hde;
+};
+ZoomResult ZoomLayout(const CsrGraph& graph, vid_t center, dist_t hops,
+                      const HdeOptions& options = {});
+
+}  // namespace parhde

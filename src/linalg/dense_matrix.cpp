@@ -1,0 +1,21 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+
+namespace parhde {
+
+void DenseMatrix::KeepColumns(const std::vector<std::size_t>& keep) {
+  std::size_t out = 0;
+  for (const std::size_t c : keep) {
+    assert(c < cols_ && c >= out);
+    if (c != out) {
+      std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(c * rows_), rows_,
+                  data_.begin() + static_cast<std::ptrdiff_t>(out * rows_));
+    }
+    ++out;
+  }
+  cols_ = out;
+  data_.resize(rows_ * cols_);
+}
+
+}  // namespace parhde

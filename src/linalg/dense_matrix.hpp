@@ -1,0 +1,56 @@
+// Column-major dense matrix. The paper stores the distance matrix B in
+// column-major format (Alg. 3 line 2) so each BFS writes one contiguous
+// column and the Gram-Schmidt vector ops stream over contiguous memory.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace parhde {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t Rows() const { return rows_; }
+  [[nodiscard]] std::size_t Cols() const { return cols_; }
+
+  [[nodiscard]] double& At(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[c * rows_ + r];
+  }
+  [[nodiscard]] double At(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[c * rows_ + r];
+  }
+
+  /// Contiguous column view.
+  [[nodiscard]] std::span<double> Col(std::size_t c) {
+    assert(c < cols_);
+    return {data_.data() + c * rows_, rows_};
+  }
+  [[nodiscard]] std::span<const double> Col(std::size_t c) const {
+    assert(c < cols_);
+    return {data_.data() + c * rows_, rows_};
+  }
+
+  [[nodiscard]] double* Data() { return data_.data(); }
+  [[nodiscard]] const double* Data() const { return data_.data(); }
+
+  /// Removes columns whose index is not in `keep` (ascending), compacting
+  /// in place — used when Gram-Schmidt drops near-dependent vectors.
+  void KeepColumns(const std::vector<std::size_t>& keep);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace parhde

@@ -1,0 +1,72 @@
+#include "linalg/gemm.hpp"
+
+#include <omp.h>
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace parhde {
+
+DenseMatrix TransposeTimes(const DenseMatrix& A, const DenseMatrix& B) {
+  assert(A.Rows() == B.Rows());
+  const std::size_t n = A.Rows();
+  const std::size_t ka = A.Cols();
+  const std::size_t kb = B.Cols();
+  DenseMatrix Z(ka, kb);
+
+  // Per-thread ka x kb accumulators over row blocks, merged serially:
+  // deterministic for a fixed thread count and free of atomics.
+  std::vector<std::vector<double>> partials;
+#pragma omp parallel
+  {
+#pragma omp single
+    partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
+                    std::vector<double>(ka * kb, 0.0));
+
+    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const auto row = static_cast<std::size_t>(i);
+      for (std::size_t a = 0; a < ka; ++a) {
+        const double av = A.Col(a)[row];
+        if (av == 0.0) continue;
+        for (std::size_t b = 0; b < kb; ++b) {
+          local[a * kb + b] += av * B.Col(b)[row];
+        }
+      }
+    }
+  }
+
+  for (const auto& local : partials) {
+    for (std::size_t a = 0; a < ka; ++a) {
+      for (std::size_t b = 0; b < kb; ++b) {
+        Z.At(a, b) += local[a * kb + b];
+      }
+    }
+  }
+  return Z;
+}
+
+DenseMatrix TallTimesSmall(const DenseMatrix& A, const DenseMatrix& B) {
+  assert(A.Cols() == B.Rows());
+  const std::size_t n = A.Rows();
+  const std::size_t k = A.Cols();
+  const std::size_t p = B.Cols();
+  DenseMatrix C(n, p);
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const auto row = static_cast<std::size_t>(i);
+    for (std::size_t c = 0; c < p; ++c) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        acc += A.Col(j)[row] * B.At(j, c);
+      }
+      C.Col(c)[row] = acc;
+    }
+  }
+  return C;
+}
+
+}  // namespace parhde

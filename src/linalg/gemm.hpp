@@ -1,0 +1,19 @@
+// Small dense products — Step 2 of TripleProd (Z = Sᵀ·P, an s x s result
+// from two tall-skinny matrices; the paper used MKL dgemm here) and the
+// final coordinate expansion [x,y] = B·Y.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace parhde {
+
+/// Z = Aᵀ · B for tall-skinny A (n x ka) and B (n x kb); Z is ka x kb.
+/// Parallelized over row blocks of the long dimension with per-thread
+/// accumulators (arithmetic intensity s, per Table 1).
+DenseMatrix TransposeTimes(const DenseMatrix& A, const DenseMatrix& B);
+
+/// C = A · B for tall-skinny A (n x k) and small B (k x p); C is n x p.
+/// This is the [x,y] = B·Y expansion (Alg. 3 line 20).
+DenseMatrix TallTimesSmall(const DenseMatrix& A, const DenseMatrix& B);
+
+}  // namespace parhde

@@ -1,0 +1,154 @@
+#include "linalg/gram_schmidt.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "linalg/vector_ops.hpp"
+
+namespace parhde {
+namespace {
+
+/// Projects column `target` against every kept column using MGS:
+/// sequentially subtract (s_j' D t / s_j' D s_j) s_j. Kept columns are
+/// already D-normalized, so the denominator is 1.
+void ProjectModified(DenseMatrix& S, std::span<const double> d,
+                     const std::vector<std::size_t>& kept, std::size_t target) {
+  auto t = S.Col(target);
+  for (const std::size_t j : kept) {
+    const auto sj = S.Col(j);
+    const double coeff = WeightedDot(sj, t, d);
+    Axpy(-coeff, sj, t);
+  }
+}
+
+/// CGS: compute every projection coefficient against the original target
+/// vector in ONE fused pass (a Level-2 transposed mat-vec, coeffs = SᵀDt),
+/// then subtract them all in a second fused pass. Two sweeps over the data
+/// instead of MGS's 2k — the batching behind Table 7's 2.1x-2.8x CGS win,
+/// at the cost of classical-Gram-Schmidt stability.
+void ProjectClassical(DenseMatrix& S, std::span<const double> d,
+                      const std::vector<std::size_t>& kept,
+                      std::size_t target) {
+  auto t = S.Col(target);
+  const std::size_t k = kept.size();
+  if (k == 0) return;
+  const auto n = static_cast<std::int64_t>(t.size());
+
+  // Hoist column base pointers out of the hot loops.
+  std::vector<const double*> cols(k);
+  for (std::size_t idx = 0; idx < k; ++idx) cols[idx] = S.Col(kept[idx]).data();
+
+  // Both passes are tiled: within a row chunk, each column is streamed
+  // sequentially while the chunk of t/d stays in L1 — column-major layout
+  // makes iterating idx in the innermost position a miss per element.
+  constexpr std::int64_t kChunk = 4096;
+  const std::int64_t nchunks = (n + kChunk - 1) / kChunk;
+
+  // Pass 1: coeffs = Sᵀ D t with per-thread partials (deterministic for a
+  // fixed thread count; partials merged in thread order).
+  std::vector<double> coeffs(k, 0.0);
+  std::vector<std::vector<double>> partials;
+#pragma omp parallel
+  {
+#pragma omp single
+    partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
+                    std::vector<double>(k, 0.0));
+    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
+    std::vector<double> dt(kChunk);  // d[i]*t[i], shared across all k columns
+#pragma omp for schedule(static)
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::int64_t lo = chunk * kChunk;
+      const std::int64_t hi = std::min(n, lo + kChunk);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        dt[static_cast<std::size_t>(i - lo)] =
+            d[static_cast<std::size_t>(i)] * t[static_cast<std::size_t>(i)];
+      }
+      for (std::size_t idx = 0; idx < k; ++idx) {
+        const double* col = cols[idx];
+        double acc = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          acc += col[static_cast<std::size_t>(i)] *
+                 dt[static_cast<std::size_t>(i - lo)];
+        }
+        local[idx] += acc;
+      }
+    }
+  }
+  for (const auto& local : partials) {
+    for (std::size_t idx = 0; idx < k; ++idx) coeffs[idx] += local[idx];
+  }
+
+  // Pass 2: t -= sum_j coeffs[j] * s_j, fused over all kept columns.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+    const std::int64_t lo = chunk * kChunk;
+    const std::int64_t hi = std::min(n, lo + kChunk);
+    for (std::size_t idx = 0; idx < k; ++idx) {
+      const double c = coeffs[idx];
+      const double* col = cols[idx];
+      for (std::int64_t i = lo; i < hi; ++i) {
+        t[static_cast<std::size_t>(i)] -= c * col[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+IncrementalDOrthogonalizer::IncrementalDOrthogonalizer(
+    DenseMatrix& S, std::span<const double> d,
+    const GramSchmidtOptions& options)
+    : S_(S), d_(d), options_(options) {
+  assert(S.Rows() == d.size());
+}
+
+bool IncrementalDOrthogonalizer::Push(std::size_t c) {
+  assert(kept_.empty() || c > kept_.back());
+  if (options_.kind == GramSchmidtKind::Modified) {
+    ProjectModified(S_, d_, kept_, c);
+  } else {
+    ProjectClassical(S_, d_, kept_, c);
+  }
+  const double norm = WeightedNorm2(S_.Col(c), d_);
+  if (norm <= options_.drop_tol) {
+    ++dropped_;
+    return false;
+  }
+  Scale(S_.Col(c), 1.0 / norm);
+  kept_.push_back(c);
+  return true;
+}
+
+GramSchmidtResult IncrementalDOrthogonalizer::Finalize() {
+  GramSchmidtResult result;
+  result.kept = kept_;
+  result.dropped = dropped_;
+  S_.KeepColumns(result.kept);
+  return result;
+}
+
+GramSchmidtResult DOrthogonalize(DenseMatrix& S, std::span<const double> d,
+                                 const GramSchmidtOptions& options) {
+  IncrementalDOrthogonalizer ortho(S, d, options);
+  const std::size_t cols = S.Cols();
+  for (std::size_t c = 0; c < cols; ++c) ortho.Push(c);
+  return ortho.Finalize();
+}
+
+double OrthonormalityResidual(const DenseMatrix& S, std::span<const double> d) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < S.Cols(); ++i) {
+    for (std::size_t j = i; j < S.Cols(); ++j) {
+      const double dot = WeightedDot(S.Col(i), S.Col(j), d);
+      const double expected = (i == j) ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(dot - expected));
+    }
+  }
+  return worst;
+}
+
+}  // namespace parhde

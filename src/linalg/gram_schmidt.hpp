@@ -1,0 +1,85 @@
+// D-weighted Gram-Schmidt orthogonalization — the DOrtho phase (§3).
+//
+// Given columns s_0..s_k of S (s_0 is the normalized unit vector), produce
+// vectors satisfying s_i' D s_j = delta_ij. The default is Modified
+// Gram-Schmidt with Level-1 kernels; the Classical variant batches the
+// projection coefficients (Level-2 style) and is what Table 7 benchmarks.
+// Near-dependent columns (norm <= drop_tol after projection) are dropped,
+// matching Alg. 3 lines 12-13.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace parhde {
+
+enum class GramSchmidtKind {
+  Modified,   // paper default: MGS, one projection at a time
+  Classical,  // Table 7 alternative: CGS, coefficients batched per column
+};
+
+struct GramSchmidtOptions {
+  GramSchmidtKind kind = GramSchmidtKind::Modified;
+  /// Columns with post-projection D-norm <= drop_tol are discarded
+  /// (paper uses 1e-3).
+  double drop_tol = 1e-3;
+};
+
+struct GramSchmidtResult {
+  /// Indices (into the input matrix) of columns that survived, ascending.
+  std::vector<std::size_t> kept;
+  /// Number of dropped columns.
+  std::size_t dropped = 0;
+};
+
+/// D-orthogonalizes the columns of `S` in place against the diagonal metric
+/// `d` (the weighted-degree vector). On return, the surviving columns are
+/// compacted to the front of S (use result.kept to map back).
+///
+/// Passing a vector of all ones makes this plain (Laplacian-eigenvector)
+/// orthogonalization — the §4.5.1 variant.
+GramSchmidtResult DOrthogonalize(DenseMatrix& S, std::span<const double> d,
+                                 const GramSchmidtOptions& options = {});
+
+/// Incremental D-orthogonalization: columns are pushed one at a time, which
+/// is what lets ParHDE *couple* the BFS and DOrtho phases (§4.4: "the
+/// default [MGS] procedure can also be executed with a coupled BFS and
+/// D-orthogonalization"; CGS cannot, since it needs all columns up front —
+/// Push still accepts it for completeness, projecting against the accepted
+/// prefix).
+///
+/// The referenced matrix and metric must outlive the orthogonalizer.
+/// Call Finalize() once to compact accepted columns to the front of S.
+class IncrementalDOrthogonalizer {
+ public:
+  IncrementalDOrthogonalizer(DenseMatrix& S, std::span<const double> d,
+                             const GramSchmidtOptions& options = {});
+
+  /// Projects column `c` of S against every previously accepted column,
+  /// then normalizes or drops it (drop_tol). Columns must be pushed in
+  /// ascending index order. Returns true if the column was kept.
+  bool Push(std::size_t c);
+
+  [[nodiscard]] const std::vector<std::size_t>& Kept() const { return kept_; }
+  [[nodiscard]] std::size_t Dropped() const { return dropped_; }
+
+  /// Compacts accepted columns to the front of S and returns the summary.
+  /// The orthogonalizer must not be used afterwards.
+  GramSchmidtResult Finalize();
+
+ private:
+  DenseMatrix& S_;
+  std::span<const double> d_;
+  GramSchmidtOptions options_;
+  std::vector<std::size_t> kept_;
+  std::size_t dropped_ = 0;
+};
+
+/// Max |s_i' D s_j - delta_ij| over all column pairs — the orthonormality
+/// residual, used by tests and the EXPERIMENTS verification pass.
+double OrthonormalityResidual(const DenseMatrix& S, std::span<const double> d);
+
+}  // namespace parhde

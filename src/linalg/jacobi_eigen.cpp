@@ -1,0 +1,130 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace parhde {
+namespace {
+
+double OffDiagonalNorm(const DenseMatrix& A) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < A.Rows(); ++i) {
+    for (std::size_t j = 0; j < A.Cols(); ++j) {
+      if (i != j) sum += A.At(i, j) * A.At(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+EigenDecomposition SymmetricEigen(const DenseMatrix& A_in, double tol,
+                                  int max_sweeps) {
+  assert(A_in.Rows() == A_in.Cols());
+  const std::size_t n = A_in.Rows();
+
+  // Work on a symmetrized copy (only the lower triangle of the input is
+  // trusted, mirroring LAPACK's 'L' convention).
+  DenseMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      A.At(i, j) = A_in.At(i, j);
+      A.At(j, i) = A_in.At(i, j);
+    }
+  }
+
+  DenseMatrix V(n, n);
+  for (std::size_t i = 0; i < n; ++i) V.At(i, i) = 1.0;
+
+  double frob = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) frob += A.At(i, j) * A.At(i, j);
+  }
+  frob = std::sqrt(frob);
+  const double threshold = std::max(tol * frob, 1e-300);
+
+  EigenDecomposition result;
+  int sweeps = 0;
+  while (sweeps < max_sweeps && OffDiagonalNorm(A) > threshold) {
+    ++sweeps;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = A.At(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = A.At(p, p);
+        const double aqq = A.At(q, q);
+        // Standard stable rotation angle computation.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to rows/cols p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = A.At(k, p);
+          const double akq = A.At(k, q);
+          A.At(k, p) = c * akp - s * akq;
+          A.At(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = A.At(p, k);
+          const double aqk = A.At(q, k);
+          A.At(p, k) = c * apk - s * aqk;
+          A.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = V.At(k, p);
+          const double vkq = V.At(k, q);
+          V.At(k, p) = c * vkp - s * vkq;
+          V.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  result.sweeps = sweeps;
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return A.At(a, a) < A.At(b, b);
+  });
+
+  result.values.resize(n);
+  result.vectors = DenseMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = A.At(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors.At(i, k) = V.At(i, order[k]);
+    }
+  }
+  return result;
+}
+
+DenseMatrix SmallestEigenvectors(const EigenDecomposition& eig, std::size_t k) {
+  const std::size_t n = eig.vectors.Rows();
+  k = std::min(k, eig.vectors.Cols());
+  DenseMatrix out(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) out.At(i, c) = eig.vectors.At(i, c);
+  }
+  return out;
+}
+
+DenseMatrix LargestEigenvectors(const EigenDecomposition& eig, std::size_t k) {
+  const std::size_t n = eig.vectors.Rows();
+  const std::size_t total = eig.vectors.Cols();
+  k = std::min(k, total);
+  DenseMatrix out(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t src = total - 1 - c;  // descending eigenvalue order
+    for (std::size_t i = 0; i < n; ++i) out.At(i, c) = eig.vectors.At(i, src);
+  }
+  return out;
+}
+
+}  // namespace parhde

@@ -1,0 +1,235 @@
+#include "linalg/laplacian_ops.hpp"
+
+#include <cassert>
+
+namespace parhde {
+
+void LaplacianTimesMatrixFused(const CsrGraph& graph, const DenseMatrix& S,
+                               DenseMatrix& P) {
+  const vid_t n = graph.NumVertices();
+  const std::size_t k = S.Cols();
+  assert(S.Rows() == static_cast<std::size_t>(n));
+  assert(P.Rows() == S.Rows() && P.Cols() == k);
+  const bool weighted = graph.HasWeights();
+  const auto& degrees = graph.WeightedDegrees();
+
+  // Parallelize over (column, vertex-chunk) pairs via collapse, matching the
+  // paper's "OpenMP code with loop collapse pragmas".
+  const std::int64_t nn = n;
+#pragma omp parallel for collapse(2) schedule(dynamic, 1024)
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::int64_t i = 0; i < nn; ++i) {
+      const auto v = static_cast<vid_t>(i);
+      const double* x = S.Col(c).data();
+      const auto nbrs = graph.Neighbors(v);
+      double acc = degrees[static_cast<std::size_t>(v)] *
+                   x[static_cast<std::size_t>(v)];
+      if (weighted) {
+        const auto wts = graph.NeighborWeights(v);
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          acc -= wts[e] * x[static_cast<std::size_t>(nbrs[e])];
+        }
+      } else {
+        for (const vid_t u : nbrs) acc -= x[static_cast<std::size_t>(u)];
+      }
+      P.Col(c)[static_cast<std::size_t>(v)] = acc;
+    }
+  }
+}
+
+void LaplacianTimesVector(const CsrGraph& graph, std::span<const double> x,
+                          std::span<double> y) {
+  const vid_t n = graph.NumVertices();
+  assert(x.size() == static_cast<std::size_t>(n) && y.size() == x.size());
+  const bool weighted = graph.HasWeights();
+  const auto& degrees = graph.WeightedDegrees();
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    double acc = degrees[static_cast<std::size_t>(v)] * x[static_cast<std::size_t>(v)];
+    if (weighted) {
+      const auto wts = graph.NeighborWeights(v);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        acc -= wts[e] * x[static_cast<std::size_t>(nbrs[e])];
+      }
+    } else {
+      for (const vid_t u : nbrs) acc -= x[static_cast<std::size_t>(u)];
+    }
+    y[static_cast<std::size_t>(v)] = acc;
+  }
+}
+
+ExplicitLaplacian BuildExplicitLaplacian(const CsrGraph& graph) {
+  const vid_t n = graph.NumVertices();
+  ExplicitLaplacian L;
+  L.offsets.resize(static_cast<std::size_t>(n) + 1);
+  L.offsets[0] = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    L.offsets[static_cast<std::size_t>(v) + 1] =
+        L.offsets[static_cast<std::size_t>(v)] + graph.Degree(v) + 1;
+  }
+  const auto nnz = static_cast<std::size_t>(L.offsets.back());
+  L.columns.resize(nnz);
+  L.values.resize(nnz);
+  const bool weighted = graph.HasWeights();
+
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    auto out = static_cast<std::size_t>(L.offsets[static_cast<std::size_t>(v)]);
+    const auto nbrs = graph.Neighbors(v);
+    bool diagonal_emitted = false;
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const vid_t u = nbrs[e];
+      if (!diagonal_emitted && u > v) {
+        L.columns[out] = v;
+        L.values[out] = graph.WeightedDegree(v);
+        ++out;
+        diagonal_emitted = true;
+      }
+      L.columns[out] = u;
+      L.values[out] = -(weighted ? graph.NeighborWeights(v)[e] : 1.0);
+      ++out;
+    }
+    if (!diagonal_emitted) {
+      L.columns[out] = v;
+      L.values[out] = graph.WeightedDegree(v);
+    }
+  }
+  return L;
+}
+
+std::int64_t ExplicitLaplacianBytes(const CsrGraph& graph) {
+  const std::int64_t nnz = graph.NumArcs() + graph.NumVertices();
+  const std::int64_t offsets =
+      (static_cast<std::int64_t>(graph.NumVertices()) + 1) *
+      static_cast<std::int64_t>(sizeof(eid_t));
+  return offsets + nnz * static_cast<std::int64_t>(sizeof(vid_t)) +
+         nnz * static_cast<std::int64_t>(sizeof(double));
+}
+
+void LaplacianTimesMatrixExplicit(const ExplicitLaplacian& L,
+                                  const DenseMatrix& S, DenseMatrix& P) {
+  const auto n = static_cast<std::int64_t>(L.offsets.size()) - 1;
+  const std::size_t k = S.Cols();
+  assert(S.Rows() == static_cast<std::size_t>(n));
+  assert(P.Rows() == S.Rows() && P.Cols() == k);
+
+#pragma omp parallel for collapse(2) schedule(dynamic, 1024)
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double* x = S.Col(c).data();
+      double acc = 0.0;
+      const auto lo = static_cast<std::size_t>(L.offsets[static_cast<std::size_t>(i)]);
+      const auto hi =
+          static_cast<std::size_t>(L.offsets[static_cast<std::size_t>(i) + 1]);
+      for (std::size_t e = lo; e < hi; ++e) {
+        acc += L.values[e] * x[static_cast<std::size_t>(L.columns[e])];
+      }
+      P.Col(c)[static_cast<std::size_t>(i)] = acc;
+    }
+  }
+}
+
+void LaplacianTimesMatrixRowMajor(const CsrGraph& graph, const DenseMatrix& S,
+                                  DenseMatrix& P) {
+  const vid_t n = graph.NumVertices();
+  const std::size_t k = S.Cols();
+  assert(S.Rows() == static_cast<std::size_t>(n));
+  assert(P.Rows() == S.Rows() && P.Cols() == k);
+  const bool weighted = graph.HasWeights();
+  const auto& degrees = graph.WeightedDegrees();
+
+  // Transpose S into row-major scratch: row v is the contiguous s-vector
+  // S(v, :). Cost: one streaming pass; pays for itself once each adjacency
+  // is reused k times.
+  std::vector<double> rows(static_cast<std::size_t>(n) * k);
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    for (std::size_t c = 0; c < k; ++c) {
+      rows[static_cast<std::size_t>(v) * k + c] =
+          S.At(static_cast<std::size_t>(v), c);
+    }
+  }
+
+  std::vector<double> out(static_cast<std::size_t>(n) * k);
+#pragma omp parallel
+  {
+    std::vector<double> acc(k);
+#pragma omp for schedule(dynamic, 512)
+    for (vid_t v = 0; v < n; ++v) {
+      const double deg = degrees[static_cast<std::size_t>(v)];
+      const double* self = rows.data() + static_cast<std::size_t>(v) * k;
+      for (std::size_t c = 0; c < k; ++c) acc[c] = deg * self[c];
+      const auto nbrs = graph.Neighbors(v);
+      if (weighted) {
+        const auto wts = graph.NeighborWeights(v);
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          const double* nb =
+              rows.data() + static_cast<std::size_t>(nbrs[e]) * k;
+          const double w = wts[e];
+          for (std::size_t c = 0; c < k; ++c) acc[c] -= w * nb[c];
+        }
+      } else {
+        for (const vid_t u : nbrs) {
+          const double* nb = rows.data() + static_cast<std::size_t>(u) * k;
+          for (std::size_t c = 0; c < k; ++c) acc[c] -= nb[c];
+        }
+      }
+      double* dst = out.data() + static_cast<std::size_t>(v) * k;
+      for (std::size_t c = 0; c < k; ++c) dst[c] = acc[c];
+    }
+  }
+
+  // Transpose back into the column-major result.
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    for (std::size_t c = 0; c < k; ++c) {
+      P.At(static_cast<std::size_t>(v), c) =
+          out[static_cast<std::size_t>(v) * k + c];
+    }
+  }
+}
+
+void TransitionTimesVector(const CsrGraph& graph, std::span<const double> x,
+                           std::span<double> y) {
+  const vid_t n = graph.NumVertices();
+  assert(x.size() == static_cast<std::size_t>(n) && y.size() == x.size());
+  const bool weighted = graph.HasWeights();
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    double acc = 0.0;
+    if (weighted) {
+      const auto wts = graph.NeighborWeights(v);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        acc += wts[e] * x[static_cast<std::size_t>(nbrs[e])];
+      }
+    } else {
+      for (const vid_t u : nbrs) acc += x[static_cast<std::size_t>(u)];
+    }
+    const double deg = graph.WeightedDegree(v);
+    y[static_cast<std::size_t>(v)] = deg > 0.0 ? acc / deg : 0.0;
+  }
+}
+
+double LaplacianQuadraticForm(const CsrGraph& graph,
+                              std::span<const double> x) {
+  const vid_t n = graph.NumVertices();
+  assert(x.size() == static_cast<std::size_t>(n));
+  const bool weighted = graph.HasWeights();
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const vid_t u = nbrs[e];
+      if (u <= v) continue;  // count each undirected edge once
+      const double diff =
+          x[static_cast<std::size_t>(v)] - x[static_cast<std::size_t>(u)];
+      total += (weighted ? graph.NeighborWeights(v)[e] : 1.0) * diff * diff;
+    }
+  }
+  return total;
+}
+
+}  // namespace parhde

@@ -1,0 +1,63 @@
+// Laplacian kernels — Step 1 of the TripleProd phase (§3, §3.1).
+//
+// The fused kernel never materializes L: row i of L·S is computed as
+// deg(i)·S(i,:) − Σ_{j∈adj(i)} S(j,:) straight from the CSR arrays and the
+// (weighted-)degree vector. The explicit variant allocates a CSR Laplacian
+// (diagonal included) and runs a generic SpMM through it — the stand-in for
+// MKL's mkl_sparse_d_mm in the §4.4 comparison.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace parhde {
+
+/// P = L · S, fused. S and P are n x k column-major; P is overwritten.
+/// Works for weighted graphs (L = D − W) and unweighted (L = D − A).
+void LaplacianTimesMatrixFused(const CsrGraph& graph, const DenseMatrix& S,
+                               DenseMatrix& P);
+
+/// y = L · x single-vector convenience (used by power iteration and tests).
+void LaplacianTimesVector(const CsrGraph& graph, std::span<const double> x,
+                          std::span<double> y);
+
+/// Explicit CSR Laplacian with diagonal entries, for the generic baseline.
+struct ExplicitLaplacian {
+  std::vector<eid_t> offsets;   // n+1
+  std::vector<vid_t> columns;   // includes the diagonal entry per row
+  std::vector<double> values;   // deg(i) on diagonal, -w(i,j) off-diagonal
+};
+
+/// Builds the explicit Laplacian (the allocation the paper's prior approach
+/// and MKL both require, and ParHDE avoids).
+ExplicitLaplacian BuildExplicitLaplacian(const CsrGraph& graph);
+
+/// Bytes the explicit Laplacian occupies for this graph — the footprint
+/// the paper blames for the prior implementation's out-of-memory failures
+/// on billion-edge inputs (§4.2). ParHDE's fused kernel needs none of it.
+std::int64_t ExplicitLaplacianBytes(const CsrGraph& graph);
+
+/// P = L · S through the explicit matrix — generic CSR SpMM.
+void LaplacianTimesMatrixExplicit(const ExplicitLaplacian& L,
+                                  const DenseMatrix& S, DenseMatrix& P);
+
+/// P = L · S, adjacency-reuse variant for the s ≫ 1 regime (§3.1's "can be
+/// further improved for special cases"): S is transposed into a row-major
+/// scratch buffer so each vertex's adjacency list is traversed ONCE with a
+/// contiguous s-wide inner loop (arithmetic intensity s), instead of the
+/// fused kernel's one traversal per column. The scratch buffer costs an
+/// extra s·n doubles.
+void LaplacianTimesMatrixRowMajor(const CsrGraph& graph, const DenseMatrix& S,
+                                  DenseMatrix& P);
+
+/// y = (D^{-1} A) x — one step of the walk-matrix power iteration used by
+/// the §4.5.3 eigensolver-preprocessing extension.
+void TransitionTimesVector(const CsrGraph& graph, std::span<const double> x,
+                           std::span<double> y);
+
+/// Quadratic form x' L x == sum over edges of w(i,j) (x_i − x_j)^2, computed
+/// edge-wise (the identity of §2.1; used as a property-test oracle and as
+/// the layout-energy metric in EXPERIMENTS.md).
+double LaplacianQuadraticForm(const CsrGraph& graph, std::span<const double> x);
+
+}  // namespace parhde

@@ -1,0 +1,96 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace parhde {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  }
+  return total;
+}
+
+double WeightedDot(std::span<const double> x, std::span<const double> y,
+                   std::span<const double> d) {
+  assert(x.size() == y.size() && x.size() == d.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += x[static_cast<std::size_t>(i)] * d[static_cast<std::size_t>(i)] *
+             y[static_cast<std::size_t>(i)];
+  }
+  return total;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+  }
+}
+
+void Scale(std::span<double> x, double alpha) {
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] *= alpha;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(Dot(x, x)); }
+
+double WeightedNorm2(std::span<const double> x, std::span<const double> d) {
+  return std::sqrt(WeightedDot(x, x, d));
+}
+
+void Fill(std::span<double> x, double value) {
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = value;
+}
+
+void Copy(std::span<const double> src, std::span<double> dst) {
+  assert(src.size() == dst.size());
+  const auto n = static_cast<std::int64_t>(src.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[static_cast<std::size_t>(i)] = src[static_cast<std::size_t>(i)];
+  }
+}
+
+double Mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  const auto n = static_cast<std::int64_t>(x.size());
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) total += x[static_cast<std::size_t>(i)];
+  return total / static_cast<double>(x.size());
+}
+
+void CenterInPlace(std::span<double> x) {
+  const double mu = Mean(x);
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] -= mu;
+}
+
+double MaxAbs(std::span<const double> x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  double best = 0.0;
+#pragma omp parallel for reduction(max : best) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    best = std::max(best, std::abs(x[static_cast<std::size_t>(i)]));
+  }
+  return best;
+}
+
+}  // namespace parhde

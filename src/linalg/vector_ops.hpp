@@ -1,0 +1,48 @@
+// Parallel Level-1 vector kernels. The paper found its own OpenMP loops
+// faster than MKL/Eigen for these (§3.1), so this is the only BLAS layer
+// ParHDE has. All kernels are deterministic for a fixed thread count
+// (OpenMP static-schedule reductions).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace parhde {
+
+/// Standard inner product x'y.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// D-weighted inner product x'Dy with diagonal D given as a vector —
+/// the kernel behind D-orthogonalization (Alg. 3 line 11).
+double WeightedDot(std::span<const double> x, std::span<const double> y,
+                   std::span<const double> d);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(std::span<double> x, double alpha);
+
+/// Euclidean norm.
+double Norm2(std::span<const double> x);
+
+/// sqrt(x'Dx).
+double WeightedNorm2(std::span<const double> x, std::span<const double> d);
+
+/// x := value everywhere.
+void Fill(std::span<double> x, double value);
+
+/// dst := src (parallel copy).
+void Copy(std::span<const double> src, std::span<double> dst);
+
+/// Arithmetic mean of x (0 for empty).
+double Mean(std::span<const double> x);
+
+/// x -= mean(x) — PHDE's column centering (§3.2), two-phase:
+/// parallel mean, then parallel subtraction.
+void CenterInPlace(std::span<double> x);
+
+/// Maximum |x[i]| (0 for empty).
+double MaxAbs(std::span<const double> x);
+
+}  // namespace parhde

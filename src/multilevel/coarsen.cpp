@@ -1,0 +1,64 @@
+#include "multilevel/coarsen.hpp"
+
+#include <cassert>
+
+#include "graph/builder.hpp"
+
+namespace parhde {
+
+CoarseLevel Contract(const CsrGraph& graph, const std::vector<vid_t>& match,
+                     const std::vector<double>& fine_weight) {
+  const vid_t n = graph.NumVertices();
+  assert(match.size() == static_cast<std::size_t>(n));
+  assert(fine_weight.empty() ||
+         fine_weight.size() == static_cast<std::size_t>(n));
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidVid);
+
+  // Assign coarse ids to pair representatives (smaller endpoint) in
+  // ascending order — deterministic and order-preserving.
+  vid_t coarse_n = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t u = match[static_cast<std::size_t>(v)];
+    if (u >= v) {  // v is the representative (unmatched: u == v)
+      level.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
+      if (u != v) level.fine_to_coarse[static_cast<std::size_t>(u)] = coarse_n;
+      ++coarse_n;
+    }
+  }
+
+  // Accumulate vertex mass.
+  level.vertex_weight.assign(static_cast<std::size_t>(coarse_n), 0.0);
+  for (vid_t v = 0; v < n; ++v) {
+    const double w =
+        fine_weight.empty() ? 1.0 : fine_weight[static_cast<std::size_t>(v)];
+    level.vertex_weight[static_cast<std::size_t>(
+        level.fine_to_coarse[static_cast<std::size_t>(v)])] += w;
+  }
+
+  // Project edges; the builder merges parallels by weight sum and drops
+  // the self loops that contracted pairs produce.
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(graph.NumEdges()));
+  const bool weighted = graph.HasWeights();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u <= v) continue;
+      const vid_t cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+      const vid_t cu = level.fine_to_coarse[static_cast<std::size_t>(u)];
+      if (cv == cu) continue;  // contracted pair
+      edges.push_back({cv, cu, weighted ? graph.NeighborWeights(v)[i] : 1.0});
+    }
+  }
+
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Sum;
+  level.graph = BuildCsrGraph(coarse_n, edges, opts);
+  return level;
+}
+
+}  // namespace parhde

@@ -1,0 +1,25 @@
+// Graph contraction for the multilevel hierarchy: matched pairs become one
+// coarse vertex, parallel coarse edges merge by weight-sum, and vertex
+// weights (contracted fine-vertex counts) accumulate so coarse layouts can
+// weight centroids correctly during prolongation.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// One level of the hierarchy.
+struct CoarseLevel {
+  CsrGraph graph;                    // weighted: edge weight = merged count
+  std::vector<vid_t> fine_to_coarse; // size = finer level's n
+  std::vector<double> vertex_weight; // contracted fine-vertex mass per coarse v
+};
+
+/// Contracts `graph` along `match` (from HeavyEdgeMatching). The coarse
+/// vertex of pair (v, match[v]) takes the smaller endpoint's rank among
+/// pair representatives, keeping ids deterministic. `fine_weight` carries
+/// the mass of each fine vertex (pass empty for all-ones).
+CoarseLevel Contract(const CsrGraph& graph, const std::vector<vid_t>& match,
+                     const std::vector<double>& fine_weight = {});
+
+}  // namespace parhde

@@ -1,0 +1,27 @@
+// Heavy-edge matching — the coarsening kernel of the multilevel paradigm
+// (§2.3, §5: the paper's stated future work is making ParHDE multilevel,
+// the setting of its prior work [27, 33]).
+//
+// A matching pairs each vertex with at most one neighbor; heavy-edge
+// matching greedily prefers the heaviest incident edge so that contracted
+// pairs are maximally similar, which preserves layout structure across
+// levels.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// match[v] is v's partner, or v itself when unmatched. Deterministic:
+/// vertices are visited in a degree-then-id order and partners chosen by
+/// (max weight, min id).
+std::vector<vid_t> HeavyEdgeMatching(const CsrGraph& graph);
+
+/// True if `match` is a valid matching of `graph`: involutive
+/// (match[match[v]] == v) and every matched pair is an edge.
+bool IsValidMatching(const CsrGraph& graph, const std::vector<vid_t>& match);
+
+/// Number of matched pairs (each pair counted once).
+vid_t CountMatchedPairs(const std::vector<vid_t>& match);
+
+}  // namespace parhde

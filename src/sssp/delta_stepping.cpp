@@ -1,0 +1,144 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+namespace parhde {
+namespace {
+
+/// Lock-free monotone decrease of an atomic distance. Returns true if this
+/// call made dist[v] strictly smaller.
+bool AtomicRelax(std::atomic<weight_t>& slot, weight_t candidate) {
+  weight_t current = slot.load(std::memory_order_relaxed);
+  while (candidate < current) {
+    if (slot.compare_exchange_weak(current, candidate,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
+                         const DeltaSteppingOptions& options) {
+  const vid_t n = graph.NumVertices();
+  assert(source >= 0 && source < n);
+  const bool weighted = graph.HasWeights();
+
+  weight_t delta = options.delta;
+  if (delta <= 0.0) {
+    if (weighted && graph.NumArcs() > 0) {
+      weight_t total = 0.0;
+      for (const weight_t w : graph.Weights()) total += w;
+      delta = std::max<weight_t>(total / static_cast<weight_t>(graph.NumArcs()),
+                                 1e-12);
+    } else {
+      delta = 1.0;
+    }
+  }
+
+  SsspResult result;
+  result.stats.delta_used = delta;
+  std::vector<std::atomic<weight_t>> dist(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    dist[static_cast<std::size_t>(v)].store(kInfWeight,
+                                            std::memory_order_relaxed);
+  }
+  dist[static_cast<std::size_t>(source)].store(0.0, std::memory_order_relaxed);
+
+  // Shared buckets, grown on demand. Buckets may hold duplicates; staleness
+  // is checked when a vertex is popped.
+  std::vector<std::vector<vid_t>> buckets(64);
+  buckets[0].push_back(source);
+  std::size_t current = 0;
+  std::int64_t relaxations = 0;
+
+  auto bucket_of = [delta](weight_t d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+
+  while (true) {
+    // Advance to the lowest non-empty bucket.
+    while (current < buckets.size() && buckets[current].empty()) ++current;
+    if (current >= buckets.size()) break;
+
+    // Drain bucket `current`; light-edge relaxations can refill it, so loop
+    // until it stays empty (the paper's "each iteration proceeds in two
+    // phases" with shared and thread-local buckets).
+    while (!buckets[current].empty()) {
+      std::vector<vid_t> frontier;
+      frontier.swap(buckets[current]);
+      ++result.stats.bucket_rounds;
+
+      const auto fsize = static_cast<std::int64_t>(frontier.size());
+      const weight_t settled_bound = static_cast<weight_t>(current) * delta;
+
+#pragma omp parallel reduction(+ : relaxations)
+      {
+        // Phase 1: each thread relaxes its share of the frontier into
+        // thread-local buckets.
+        std::vector<std::vector<vid_t>> local(buckets.size());
+        std::size_t local_max = 0;
+
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < fsize; ++i) {
+          const vid_t v = frontier[static_cast<std::size_t>(i)];
+          const weight_t dv =
+              dist[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+          // Staleness check: if v now belongs to an earlier bucket it has
+          // been (or will be) processed there with a smaller distance.
+          if (dv < settled_bound) continue;
+          if (bucket_of(dv) != current) continue;  // moved to a later bucket
+
+          const auto nbrs = graph.Neighbors(v);
+          for (std::size_t e = 0; e < nbrs.size(); ++e) {
+            const vid_t u = nbrs[e];
+            const weight_t w = weighted ? graph.NeighborWeights(v)[e] : 1.0;
+            const weight_t nd = dv + w;
+            ++relaxations;
+            if (AtomicRelax(dist[static_cast<std::size_t>(u)], nd)) {
+              const std::size_t b = bucket_of(nd);
+              if (b >= local.size()) local.resize(b + 1);
+              local[b].push_back(u);
+              local_max = std::max(local_max, b);
+            }
+          }
+        }
+
+        // Phase 2: publish thread-local buckets into the shared buckets.
+#pragma omp critical
+        {
+          if (local_max >= buckets.size()) buckets.resize(local_max + 1);
+          for (std::size_t b = 0; b < local.size(); ++b) {
+            if (!local[b].empty()) {
+              // Only future buckets matter; entries for already-settled
+              // buckets are stale by construction and skipped anyway.
+              if (b < current) continue;
+              buckets[b].insert(buckets[b].end(), local[b].begin(),
+                                local[b].end());
+            }
+          }
+        }
+      }
+    }
+    ++current;
+  }
+
+  result.stats.relaxations = relaxations;
+  result.dist.resize(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    result.dist[static_cast<std::size_t>(v)] =
+        dist[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace parhde

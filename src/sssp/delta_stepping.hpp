@@ -1,0 +1,36 @@
+// Parallel Δ-stepping SSSP (Meyer & Sanders), following the GAP
+// implementation the paper adapts (§3.3): distances are partitioned into
+// buckets of width Δ; each iteration drains the lowest non-empty shared
+// bucket, with threads relaxing edges into thread-local buckets that are
+// merged afterwards. Buckets are not recycled and settled vertices are
+// skipped lazily via a staleness check, as the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+struct DeltaSteppingOptions {
+  /// Bucket width. <= 0 picks a heuristic: average edge weight (weighted)
+  /// or 1 (unweighted, which degenerates to level-synchronous behaviour).
+  weight_t delta = 0.0;
+};
+
+struct DeltaSteppingStats {
+  std::int64_t relaxations = 0;   // edge relaxations attempted
+  std::int64_t bucket_rounds = 0; // inner iterations over shared buckets
+  weight_t delta_used = 0.0;
+};
+
+struct SsspResult {
+  std::vector<weight_t> dist;
+  DeltaSteppingStats stats;
+};
+
+/// Parallel single-source shortest paths. Weights must be non-negative.
+SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
+                         const DeltaSteppingOptions& options = {});
+
+}  // namespace parhde

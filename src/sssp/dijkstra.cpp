@@ -1,0 +1,38 @@
+#include "sssp/dijkstra.hpp"
+
+#include <cassert>
+#include <queue>
+#include <utility>
+
+namespace parhde {
+
+std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source) {
+  const vid_t n = graph.NumVertices();
+  assert(source >= 0 && source < n);
+  std::vector<weight_t> dist(static_cast<std::size_t>(n), kInfWeight);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+
+  using Entry = std::pair<weight_t, vid_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  const bool weighted = graph.HasWeights();
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;  // stale entry
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      const weight_t w = weighted ? graph.NeighborWeights(v)[i] : 1.0;
+      const weight_t nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(u)]) {
+        dist[static_cast<std::size_t>(u)] = nd;
+        heap.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace parhde

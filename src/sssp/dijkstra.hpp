@@ -1,0 +1,14 @@
+// Serial Dijkstra — the correctness oracle for Δ-stepping and the weighted
+// analogue of the serial BFS baseline.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde {
+
+/// Shortest-path distances from `source` using edge weights (all weights
+/// must be >= 0; unweighted graphs use weight 1 per edge). Unreachable
+/// vertices get kInfWeight.
+std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source);
+
+}  // namespace parhde

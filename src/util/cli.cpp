@@ -1,0 +1,53 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace parhde {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : def;
+}
+
+double ArgParser::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : def;
+}
+
+}  // namespace parhde

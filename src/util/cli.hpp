@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the examples and benchmark drivers.
+//
+// Supports --name=value, --name value, and bare --flag booleans. Unknown
+// flags are collected so callers can reject or ignore them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parhde {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool Has(const std::string& name) const;
+
+  /// String value of --name, or `def` if absent.
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& def) const;
+
+  /// Integer value of --name, or `def` if absent/unparsable.
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t def) const;
+
+  /// Double value of --name, or `def` if absent/unparsable.
+  [[nodiscard]] double GetDouble(const std::string& name, double def) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& Positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parhde

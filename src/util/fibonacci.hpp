@@ -1,0 +1,48 @@
+// Fibonacci binning (Vigna, 2013) — the histogram technique the paper uses
+// in Figure 2 to plot adjacency-list gap distributions on log-log axes.
+//
+// Bin boundaries follow the Fibonacci sequence: x0 = 0, x1 = 1,
+// x_i = x_{i-1} + x_{i-2}. A value g falls into bin i when
+// x_{i-1} <= g < x_i, so small gaps get fine bins and the heavy tail is
+// coarsened geometrically (ratio → golden mean).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parhde {
+
+/// Fibonacci numbers F(0..k) with F(0)=0, F(1)=1, as 64-bit values.
+/// k is capped so the result never overflows int64 (k <= 91).
+std::vector<std::int64_t> FibonacciSequence(int k);
+
+/// Histogram over Fibonacci-width bins.
+class FibonacciBinner {
+ public:
+  /// Creates bins covering gaps up to at least `max_value`.
+  explicit FibonacciBinner(std::int64_t max_value);
+
+  /// Adds one observation. Values must be >= 0.
+  void Add(std::int64_t value, std::int64_t count = 1);
+
+  /// Index of the bin containing `value` (bin i covers [x_{i-1}, x_i)).
+  [[nodiscard]] int BinIndex(std::int64_t value) const;
+
+  /// Upper boundary x_i of bin i, i.e. the point plotted on the x-axis.
+  [[nodiscard]] std::int64_t UpperBound(int bin) const;
+
+  /// Observation count in bin i.
+  [[nodiscard]] std::int64_t Count(int bin) const;
+
+  /// Number of bins.
+  [[nodiscard]] int NumBins() const { return static_cast<int>(counts_.size()); }
+
+  /// Total observations added.
+  [[nodiscard]] std::int64_t TotalCount() const;
+
+ private:
+  std::vector<std::int64_t> bounds_;  // x_0 .. x_k (bin i covers [x_{i-1}, x_i))
+  std::vector<std::int64_t> counts_;  // counts_[i] for bin i+1 boundary
+};
+
+}  // namespace parhde

@@ -1,0 +1,24 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace parhde {
+
+std::int64_t PeakRssBytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (!status) return -1;
+  char line[256];
+  std::int64_t kib = -1;
+  while (std::fgets(line, sizeof(line), status)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + 6, "%lld", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib < 0 ? -1 : kib * 1024;
+}
+
+}  // namespace parhde

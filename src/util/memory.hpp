@@ -1,0 +1,16 @@
+// Peak-memory introspection for the Table 3 analysis: the paper attributes
+// the prior implementation's failures on the 128 GB node to the explicitly
+// constructed Laplacian's footprint; these helpers let the benches report
+// both the measured peak RSS and the analytic size of that allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace parhde {
+
+/// Peak resident set size of this process in bytes (Linux VmHWM);
+/// -1 when the value is unavailable. Monotone non-decreasing over the
+/// process lifetime — sample before/after a phase to attribute growth.
+std::int64_t PeakRssBytes();
+
+}  // namespace parhde

@@ -1,0 +1,57 @@
+// OpenMP helpers: thread configuration, parallel exclusive prefix sums, and
+// parallel reductions used by the CSR builder, BFS frontiers, and the
+// farthest-vertex pivot search.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhde {
+
+/// Number of OpenMP threads the next parallel region will use.
+int NumThreads();
+
+/// Sets the OpenMP thread count for subsequent parallel regions.
+/// Values < 1 are clamped to 1.
+void SetNumThreads(int threads);
+
+/// RAII guard that sets the thread count and restores the previous value on
+/// scope exit; used by the scaling benchmarks (Fig. 4) to sweep core counts.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads);
+  ~ThreadCountGuard();
+
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Parallel exclusive prefix sum.
+///
+/// Writes out[i] = counts[0] + ... + counts[i-1] for i in [0, n], where
+/// out has n+1 entries and out[n] is the grand total. counts and out may not
+/// alias. Deterministic regardless of thread count.
+void ExclusivePrefixSum(const std::vector<eid_t>& counts,
+                        std::vector<eid_t>& out);
+
+/// Parallel argmax over a distance vector with the paper's farthest-vertex
+/// tie-break: among vertices at maximal finite distance, the smallest vertex
+/// id wins, making pivot selection deterministic. Returns kInvalidVid when
+/// every entry is kInfDist or the vector is empty.
+vid_t ArgmaxFiniteDistance(const std::vector<dist_t>& dist);
+
+/// Elementwise d[i] = min(d[i], b[i]) in parallel — the "BFS: Other" update
+/// of Alg. 1 lines 13-14 that maintains distance-to-nearest-source.
+void MinInto(std::vector<dist_t>& d, const std::vector<dist_t>& b);
+
+/// Parallel sum of a double vector (deterministic per thread count via
+/// ordered per-thread partials).
+double ParallelSum(const std::vector<double>& v);
+
+}  // namespace parhde

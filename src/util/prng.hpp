@@ -1,0 +1,60 @@
+// Deterministic, seedable pseudo-random number generators.
+//
+// Graph generation and pivot selection must be reproducible across runs and
+// thread counts, so all randomness flows through these engines rather than
+// std::rand or random_device. SplitMix64 seeds Xoshiro256** (the recommended
+// seeding procedure from Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+namespace parhde {
+
+/// SplitMix64: tiny splittable generator, used mainly for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality general-purpose PRNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  /// bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Jump-equivalent substream: returns a generator seeded from this one,
+  /// suitable for giving each thread/source an independent stream.
+  Xoshiro256 Split();
+
+  // Satisfy the UniformRandomBitGenerator concept so <random> utilities and
+  // std::shuffle can consume this engine directly.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace parhde

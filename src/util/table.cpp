@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace parhde {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol, 0);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      if (c) out << "  ";
+      // Left-align first column (labels), right-align the rest (numbers).
+      const auto pad = width[c] - row[c].size();
+      if (c == 0) {
+        out << row[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < ncol; ++c) rule += width[c] + (c ? 2 : 0);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::Int(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? static_cast<unsigned long long>(-(v + 1)) + 1
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string grouped;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) grouped.push_back(' ');
+    grouped.push_back(*it);
+    ++count;
+  }
+  if (neg) grouped.push_back('-');
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped;
+}
+
+}  // namespace parhde

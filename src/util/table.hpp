@@ -1,0 +1,34 @@
+// Plain-text table formatter used by the benchmark harnesses to print
+// paper-style tables (Tables 2-7) and figure series to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parhde {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule, right-aligned numeric look.
+class TextTable {
+ public:
+  /// Sets the header row and fixes the column count.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the full table, trailing newline included.
+  [[nodiscard]] std::string Render() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double v, int digits = 2);
+
+  /// Formats an integer with thousands separators (paper style: spaces).
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parhde

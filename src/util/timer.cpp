@@ -1,0 +1,37 @@
+#include "util/timer.hpp"
+
+namespace parhde {
+
+void PhaseTimings::Add(const std::string& name, double seconds) {
+  auto [it, inserted] = seconds_.try_emplace(name, 0.0);
+  if (inserted) order_.push_back(name);
+  it->second += seconds;
+}
+
+double PhaseTimings::Get(const std::string& name) const {
+  auto it = seconds_.find(name);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimings::Total() const {
+  double total = 0.0;
+  for (const auto& [name, sec] : seconds_) total += sec;
+  return total;
+}
+
+double PhaseTimings::Percent(const std::string& name) const {
+  const double total = Total();
+  if (total <= 0.0) return 0.0;
+  return 100.0 * Get(name) / total;
+}
+
+void PhaseTimings::Clear() {
+  seconds_.clear();
+  order_.clear();
+}
+
+void PhaseTimings::Merge(const PhaseTimings& other) {
+  for (const auto& name : other.Names()) Add(name, other.Get(name));
+}
+
+}  // namespace parhde

@@ -1,0 +1,31 @@
+// Core integral types shared across the ParHDE library.
+//
+// Vertices are 32-bit signed (the paper's largest graph has 134M vertices;
+// at laptop scale 32 bits is ample and halves memory traffic in the BFS and
+// SpMM phases, which are bandwidth-bound). Edge offsets are 64-bit so CSR
+// offset arrays never overflow even for dense test graphs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parhde {
+
+/// Vertex identifier. Valid vertices are in [0, n); kInvalidVid marks
+/// "unvisited" / "no parent" in traversal kernels.
+using vid_t = std::int32_t;
+
+/// Edge index into the CSR adjacency array.
+using eid_t = std::int64_t;
+
+/// BFS hop distance. kInfDist marks unreachable vertices.
+using dist_t = std::int32_t;
+
+/// Edge weight for the weighted-graph (SSSP) extension.
+using weight_t = double;
+
+inline constexpr vid_t kInvalidVid = -1;
+inline constexpr dist_t kInfDist = std::numeric_limits<dist_t>::max();
+inline constexpr weight_t kInfWeight = std::numeric_limits<weight_t>::infinity();
+
+}  // namespace parhde

@@ -1,0 +1,88 @@
+// Property sweeps over the direction-optimizing heuristic parameters:
+// correctness must be invariant to alpha/beta (they only steer the
+// top-down/bottom-up schedule), and the schedule must respond to them in
+// the documented direction.
+#include <gtest/gtest.h>
+
+#include "bfs/parallel_bfs.hpp"
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+const CsrGraph& SkewedGraph() {
+  static const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 12, GenKronecker(12, 12, 3))).graph;
+  return g;
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, DistancesInvariantToAlpha) {
+  const CsrGraph& g = SkewedGraph();
+  BfsOptions options;
+  options.alpha = GetParam();
+  const auto expected = SerialBfs(g, 0);
+  const auto result = ParallelBfsDistances(g, 0, options);
+  EXPECT_EQ(result, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(1.0, 4.0, 15.0, 100.0, 1e9));
+
+class BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaSweep, DistancesInvariantToBeta) {
+  const CsrGraph& g = SkewedGraph();
+  BfsOptions options;
+  options.beta = GetParam();
+  const auto expected = SerialBfs(g, 0);
+  const auto result = ParallelBfsDistances(g, 0, options);
+  EXPECT_EQ(result, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaSweep,
+                         ::testing::Values(1.0, 5.0, 18.0, 1000.0));
+
+TEST(BfsHeuristics, TinyAlphaDisablesBottomUp) {
+  // GAP semantics: switch when m_f > m_unexplored / alpha, so alpha -> 0
+  // makes the threshold unreachable and the search stays top-down.
+  const CsrGraph& g = SkewedGraph();
+  BfsOptions options;
+  options.alpha = 1e-9;
+  const BfsResult result = ParallelBfs(g, 0, options);
+  EXPECT_EQ(result.stats.bottom_up_steps, 0);
+}
+
+TEST(BfsHeuristics, HugeAlphaForcesImmediateBottomUp) {
+  // alpha -> infinity crosses the threshold on the first frontier.
+  const CsrGraph& g = SkewedGraph();
+  BfsOptions eager;
+  eager.alpha = 1e18;
+  const BfsResult result = ParallelBfs(g, 0, eager);
+  EXPECT_GT(result.stats.bottom_up_steps, 0);
+  EXPECT_EQ(result.stats.top_down_steps, 0);
+}
+
+TEST(BfsHeuristics, EdgesExaminedBoundedByArcTotal) {
+  // Pure top-down examines each arc at most once.
+  const CsrGraph& g = SkewedGraph();
+  BfsOptions options;
+  options.mode = BfsOptions::Mode::TopDownOnly;
+  const BfsResult result = ParallelBfs(g, 0, options);
+  EXPECT_LE(result.stats.edges_examined, g.NumArcs());
+}
+
+TEST(BfsHeuristics, StatsConsistency) {
+  // Every step but the final (emptying) one advances a level.
+  const CsrGraph& g = SkewedGraph();
+  const BfsResult result = ParallelBfs(g, 0);
+  EXPECT_EQ(result.stats.levels,
+            result.stats.top_down_steps + result.stats.bottom_up_steps - 1);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,111 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/parallel.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(Builder, RemovesSelfLoops) {
+  const CsrGraph g = BuildCsrGraph(3, {{0, 0}, {0, 1}, {1, 1}, {2, 2}});
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.Validate());
+}
+
+TEST(Builder, MergesParallelEdges) {
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_TRUE(g.Validate());
+}
+
+TEST(Builder, SymmetrizesDirectedInput) {
+  const CsrGraph g = BuildCsrGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST(Builder, WeightMergeSum) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Sum;
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1, 2.0}, {1, 0, 3.0}}, opts);
+  EXPECT_DOUBLE_EQ(g.NeighborWeights(0)[0], 5.0);
+  EXPECT_TRUE(g.Validate());
+}
+
+TEST(Builder, WeightMergeMin) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1, 2.0}, {0, 1, 3.0}}, opts);
+  EXPECT_DOUBLE_EQ(g.NeighborWeights(0)[0], 2.0);
+}
+
+TEST(Builder, WeightMergeMax) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Max;
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1, 2.0}, {0, 1, 3.0}}, opts);
+  EXPECT_DOUBLE_EQ(g.NeighborWeights(0)[0], 3.0);
+}
+
+TEST(Builder, DropWeightsWhenNotKept) {
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1, 7.0}});
+  EXPECT_FALSE(g.HasWeights());
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 1.0);
+}
+
+TEST(Builder, EdgeCountMatchesCleanInput) {
+  const EdgeList edges = GenGrid2d(10, 10);
+  const CsrGraph g = BuildCsrGraph(100, edges);
+  EXPECT_EQ(g.NumEdges(), static_cast<eid_t>(edges.size()));
+}
+
+TEST(Builder, RandomInputAlwaysValid) {
+  const EdgeList edges = GenUniformRandom(500, 3000, 99);
+  const CsrGraph g = BuildCsrGraph(500, edges);
+  EXPECT_TRUE(g.Validate());
+  EXPECT_LE(g.NumEdges(), 3000);  // self loops and duplicates removed
+  EXPECT_GT(g.NumEdges(), 2500);  // but not many at this density
+}
+
+class BuilderThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuilderThreadSweep, DeterministicStructureAcrossThreads) {
+  ThreadCountGuard guard(GetParam());
+  const EdgeList edges = GenUniformRandom(300, 2000, 7);
+  const CsrGraph g = BuildCsrGraph(300, edges);
+
+  ThreadCountGuard serial(1);
+  const CsrGraph ref = BuildCsrGraph(300, edges);
+  EXPECT_EQ(g.Offsets(), ref.Offsets());
+  EXPECT_EQ(g.Adjacency(), ref.Adjacency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BuilderThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Builder, WeightedDeterministicAcrossThreads) {
+  EdgeList edges = GenUniformRandom(200, 1500, 3);
+  AssignRandomWeights(edges, 1.0, 10.0, 11);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Sum;
+
+  ThreadCountGuard guard(4);
+  const CsrGraph g4 = BuildCsrGraph(200, edges, opts);
+  ThreadCountGuard serial(1);
+  const CsrGraph g1 = BuildCsrGraph(200, edges, opts);
+  EXPECT_EQ(g4.Adjacency(), g1.Adjacency());
+  ASSERT_EQ(g4.Weights().size(), g1.Weights().size());
+  for (std::size_t i = 0; i < g4.Weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(g4.Weights()[i], g1.Weights()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace parhde {
+namespace {
+
+ArgParser Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto args = Parse({"--graph=road", "--s=50"});
+  EXPECT_EQ(args.GetString("graph", ""), "road");
+  EXPECT_EQ(args.GetInt("s", 0), 50);
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  auto args = Parse({"--graph", "kron", "--delta", "2.5"});
+  EXPECT_EQ(args.GetString("graph", ""), "kron");
+  EXPECT_DOUBLE_EQ(args.GetDouble("delta", 0.0), 2.5);
+}
+
+TEST(ArgParser, BareFlag) {
+  auto args = Parse({"--verbose"});
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_FALSE(args.Has("quiet"));
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  auto args = Parse({});
+  EXPECT_EQ(args.GetString("x", "def"), "def");
+  EXPECT_EQ(args.GetInt("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("x", 1.5), 1.5);
+}
+
+TEST(ArgParser, UnparsableNumberFallsBack) {
+  auto args = Parse({"--s=abc"});
+  EXPECT_EQ(args.GetInt("s", 42), 42);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  auto args = Parse({"input.mtx", "--s=10", "output.png"});
+  ASSERT_EQ(args.Positional().size(), 2u);
+  EXPECT_EQ(args.Positional()[0], "input.mtx");
+  EXPECT_EQ(args.Positional()[1], "output.png");
+}
+
+TEST(ArgParser, NegativeNumberAsValue) {
+  auto args = Parse({"--offset=-5"});
+  EXPECT_EQ(args.GetInt("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace parhde

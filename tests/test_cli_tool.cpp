@@ -1,0 +1,128 @@
+// End-to-end test of the parhde_cli binary: generate -> stats -> layout ->
+// partition, exercising the same command lines the README shows. The
+// binary path is injected by CMake as PARHDE_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef PARHDE_CLI_PATH
+#define PARHDE_CLI_PATH ""
+#endif
+
+namespace parhde {
+namespace {
+
+class CliToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(PARHDE_CLI_PATH).empty()) {
+      GTEST_SKIP() << "PARHDE_CLI_PATH not configured";
+    }
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parhde_cli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int Run(const std::string& args) {
+    const std::string cmd = std::string(PARHDE_CLI_PATH) + " " + args +
+                            " > " + (dir_ / "log.txt").string() + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  std::string Log() {
+    std::ifstream in(dir_ / "log.txt");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliToolTest, GenerateStatsLayoutPartitionPipeline) {
+  ASSERT_EQ(Run("generate --family=plate --rows=48 --cols=48 --out=" +
+                Path("g.mtx")),
+            0)
+      << Log();
+  ASSERT_TRUE(std::filesystem::exists(Path("g.mtx")));
+
+  ASSERT_EQ(Run("stats --in=" + Path("g.mtx")), 0) << Log();
+  EXPECT_NE(Log().find("pseudo-diameter"), std::string::npos);
+
+  ASSERT_EQ(Run("layout --in=" + Path("g.mtx") + " --algo=parhde --s=8" +
+                " --coords=" + Path("g.xy") + " --png=" + Path("g.png")),
+            0)
+      << Log();
+  EXPECT_TRUE(std::filesystem::exists(Path("g.xy")));
+  EXPECT_TRUE(std::filesystem::exists(Path("g.png")));
+  EXPECT_GT(std::filesystem::file_size(Path("g.png")), 1000u);
+
+  // Coordinate file has one "x y" line per vertex of the LCC.
+  std::ifstream coords(Path("g.xy"));
+  int lines = 0;
+  std::string line;
+  while (std::getline(coords, line)) ++lines;
+  EXPECT_GT(lines, 1000);
+
+  ASSERT_EQ(Run("partition --in=" + Path("g.mtx") +
+                " --parts=4 --refine --svg=" + Path("parts.svg")),
+            0)
+      << Log();
+  EXPECT_NE(Log().find("after refinement"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(Path("parts.svg")));
+}
+
+TEST_F(CliToolTest, EveryAlgorithmRuns) {
+  ASSERT_EQ(Run("generate --family=grid --rows=30 --cols=30 --out=" +
+                Path("grid.mtx")),
+            0)
+      << Log();
+  for (const std::string algo :
+       {"parhde", "phde", "pivotmds", "prior", "multilevel"}) {
+    EXPECT_EQ(Run("layout --in=" + Path("grid.mtx") + " --algo=" + algo +
+                  " --s=6"),
+              0)
+        << algo << ": " << Log();
+  }
+}
+
+TEST_F(CliToolTest, DrawFromSavedCoordinates) {
+  ASSERT_EQ(Run("generate --family=grid --rows=20 --cols=20 --out=" +
+                Path("g.mtx")),
+            0)
+      << Log();
+  ASSERT_EQ(Run("layout --in=" + Path("g.mtx") + " --s=6 --coords=" +
+                Path("g.xy")),
+            0)
+      << Log();
+  ASSERT_EQ(Run("draw --in=" + Path("g.mtx") + " --coords=" + Path("g.xy") +
+                " --png=" + Path("redrawn.png") + " --aa"),
+            0)
+      << Log();
+  EXPECT_GT(std::filesystem::file_size(Path("redrawn.png")), 1000u);
+
+  // Mismatched coordinate count must be rejected.
+  {
+    std::ofstream bad(Path("short.xy"));
+    bad << "0 0\n1 1\n";
+  }
+  EXPECT_NE(Run("draw --in=" + Path("g.mtx") + " --coords=" +
+                Path("short.xy") + " --png=" + Path("nope.png")),
+            0);
+}
+
+TEST_F(CliToolTest, BadInputsFailCleanly) {
+  EXPECT_NE(Run("layout --in=" + Path("missing.mtx")), 0);
+  EXPECT_NE(Run("layout --in=" + Path("g.mtx") + " --algo=bogus"), 0);
+  EXPECT_NE(Run("frobnicate"), 0);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,90 @@
+#include "multilevel/coarsen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "multilevel/matching.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(Contract, PairBecomesOneVertex) {
+  const CsrGraph g = BuildCsrGraph(3, GenChain(3));  // 0-1-2
+  const std::vector<vid_t> match{1, 0, 2};           // contract 0-1
+  const CoarseLevel level = Contract(g, match);
+  EXPECT_EQ(level.graph.NumVertices(), 2);
+  EXPECT_EQ(level.graph.NumEdges(), 1);
+  EXPECT_EQ(level.fine_to_coarse[0], level.fine_to_coarse[1]);
+  EXPECT_NE(level.fine_to_coarse[0], level.fine_to_coarse[2]);
+}
+
+TEST(Contract, VertexMassConserved) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const CoarseLevel level = Contract(g, HeavyEdgeMatching(g));
+  const double total = std::accumulate(level.vertex_weight.begin(),
+                                       level.vertex_weight.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 400.0);
+  for (const double w : level.vertex_weight) {
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 2.0);
+  }
+}
+
+TEST(Contract, MassAccumulatesAcrossLevels) {
+  const CsrGraph g = BuildCsrGraph(256, GenGrid2d(16, 16));
+  const CoarseLevel l1 = Contract(g, HeavyEdgeMatching(g));
+  const CoarseLevel l2 =
+      Contract(l1.graph, HeavyEdgeMatching(l1.graph), l1.vertex_weight);
+  const double total = std::accumulate(l2.vertex_weight.begin(),
+                                       l2.vertex_weight.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 256.0);
+}
+
+TEST(Contract, EdgeWeightConserved) {
+  // Every fine edge either collapses (pair-internal) or contributes its
+  // weight to exactly one coarse edge; total coarse weight = fine edges
+  // minus internal ones.
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const auto match = HeavyEdgeMatching(g);
+  const CoarseLevel level = Contract(g, match);
+
+  eid_t internal = 0;
+  for (vid_t v = 0; v < g.NumVertices(); ++v) {
+    if (match[static_cast<std::size_t>(v)] > v) ++internal;
+  }
+  double coarse_weight = 0.0;
+  for (const weight_t w : level.graph.Weights()) coarse_weight += w;
+  coarse_weight /= 2.0;  // both arc directions stored
+  EXPECT_DOUBLE_EQ(coarse_weight,
+                   static_cast<double>(g.NumEdges() - internal));
+}
+
+TEST(Contract, PreservesConnectivity) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, GenKronecker(10, 6, 5))).graph;
+  const CoarseLevel level = Contract(g, HeavyEdgeMatching(g));
+  EXPECT_TRUE(IsConnected(level.graph));
+  EXPECT_TRUE(level.graph.Validate());
+}
+
+TEST(Contract, IdentityMatchingKeepsStructure) {
+  const CsrGraph g = BuildCsrGraph(50, GenRing(50));
+  std::vector<vid_t> identity(50);
+  std::iota(identity.begin(), identity.end(), 0);
+  const CoarseLevel level = Contract(g, identity);
+  EXPECT_EQ(level.graph.NumVertices(), 50);
+  EXPECT_EQ(level.graph.NumEdges(), 50);
+}
+
+TEST(Contract, ShrinksRealGraphsSubstantially) {
+  const CsrGraph g = BuildCsrGraph(900, GenGrid2d(30, 30));
+  const CoarseLevel level = Contract(g, HeavyEdgeMatching(g));
+  EXPECT_LT(level.graph.NumVertices(), 600);  // near-perfect matching -> ~450
+}
+
+}  // namespace
+}  // namespace parhde

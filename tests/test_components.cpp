@@ -1,0 +1,136 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(ConnectedComponents, SingleComponent) {
+  const CsrGraph g = BuildCsrGraph(10, GenRing(10));
+  const auto labels = ConnectedComponents(g);
+  EXPECT_EQ(CountComponents(labels), 1);
+  for (const vid_t l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(ConnectedComponents, IsolatedVerticesAreOwnComponents) {
+  const CsrGraph g = BuildCsrGraph(5, {});
+  const auto labels = ConnectedComponents(g);
+  EXPECT_EQ(CountComponents(labels), 5);
+}
+
+TEST(ConnectedComponents, LabelsAreCanonicalMinima) {
+  // Components {0,1}, {2,3,4}: labels must be the smallest member.
+  const CsrGraph g = BuildCsrGraph(5, {{0, 1}, {2, 3}, {3, 4}});
+  const auto labels = ConnectedComponents(g);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[3], 2);
+  EXPECT_EQ(labels[4], 2);
+}
+
+TEST(LargestComponent, PicksBiggest) {
+  // Two components: sizes 2 and 3.
+  const CsrGraph g = BuildCsrGraph(5, {{0, 1}, {2, 3}, {3, 4}});
+  const auto extraction = LargestComponent(g);
+  EXPECT_EQ(extraction.graph.NumVertices(), 3);
+  EXPECT_EQ(extraction.graph.NumEdges(), 2);
+  EXPECT_EQ(extraction.new_to_old, (std::vector<vid_t>{2, 3, 4}));
+}
+
+TEST(LargestComponent, PreservesRelativeOrder) {
+  // Component members 1, 4, 7 must map to 0, 1, 2 in that order.
+  const CsrGraph g = BuildCsrGraph(8, {{1, 4}, {4, 7}, {0, 2}});
+  const auto extraction = LargestComponent(g);
+  EXPECT_EQ(extraction.new_to_old, (std::vector<vid_t>{1, 4, 7}));
+  EXPECT_EQ(extraction.old_to_new[1], 0);
+  EXPECT_EQ(extraction.old_to_new[4], 1);
+  EXPECT_EQ(extraction.old_to_new[7], 2);
+  EXPECT_EQ(extraction.old_to_new[0], kInvalidVid);
+}
+
+TEST(LargestComponent, MappingsAreInverse) {
+  const CsrGraph g = BuildCsrGraph(1 << 10, GenKronecker(10, 4, 5));
+  const auto extraction = LargestComponent(g);
+  for (std::size_t nv = 0; nv < extraction.new_to_old.size(); ++nv) {
+    const vid_t old = extraction.new_to_old[nv];
+    EXPECT_EQ(extraction.old_to_new[static_cast<std::size_t>(old)],
+              static_cast<vid_t>(nv));
+  }
+}
+
+TEST(LargestComponent, KeepsWeights) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(4, {{0, 1, 2.5}, {1, 2, 1.5}}, opts);
+  const auto extraction = LargestComponent(g);
+  EXPECT_TRUE(extraction.graph.HasWeights());
+  EXPECT_EQ(extraction.graph.NumVertices(), 3);
+  EXPECT_DOUBLE_EQ(extraction.graph.NeighborWeights(0)[0], 2.5);
+}
+
+TEST(LargestComponent, ResultIsConnected) {
+  const CsrGraph g = BuildCsrGraph(2000, GenUniformRandom(2000, 3000, 6));
+  const auto extraction = LargestComponent(g);
+  EXPECT_TRUE(IsConnected(extraction.graph));
+  EXPECT_TRUE(extraction.graph.Validate());
+}
+
+TEST(IsConnected, EmptyAndSingleton) {
+  EXPECT_TRUE(IsConnected(BuildCsrGraph(0, {})));
+  EXPECT_TRUE(IsConnected(BuildCsrGraph(1, {})));
+  EXPECT_FALSE(IsConnected(BuildCsrGraph(2, {})));
+}
+
+TEST(ParallelComponents, MatchesSerialOnRandomGraph) {
+  const CsrGraph g = BuildCsrGraph(3000, GenUniformRandom(3000, 4000, 11));
+  EXPECT_EQ(ParallelConnectedComponents(g), ConnectedComponents(g));
+}
+
+TEST(ParallelComponents, MatchesSerialOnKron) {
+  const CsrGraph g = BuildCsrGraph(1 << 12, GenKronecker(12, 4, 13));
+  EXPECT_EQ(ParallelConnectedComponents(g), ConnectedComponents(g));
+}
+
+TEST(ParallelComponents, HighDiameterChain) {
+  // Pointer jumping must conquer a 10k-long chain in O(log n) rounds,
+  // not O(n) label-propagation rounds — this test is fast iff it does.
+  const CsrGraph g = BuildCsrGraph(10000, GenChain(10000));
+  const auto labels = ParallelConnectedComponents(g);
+  for (const vid_t l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(ParallelComponents, IsolatedAndEmpty) {
+  EXPECT_TRUE(ParallelConnectedComponents(BuildCsrGraph(0, {})).empty());
+  const auto labels = ParallelConnectedComponents(BuildCsrGraph(5, {}));
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(labels[v], static_cast<vid_t>(v));
+  }
+}
+
+class ComponentCountSweep
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComponentCountSweep, DisjointRingsCounted) {
+  const int rings = GetParam();
+  EdgeList edges;
+  const vid_t ring_size = 6;
+  for (int r = 0; r < rings; ++r) {
+    const vid_t base = r * ring_size;
+    for (vid_t i = 0; i < ring_size; ++i) {
+      edges.push_back({static_cast<vid_t>(base + i),
+                       static_cast<vid_t>(base + (i + 1) % ring_size), 1.0});
+    }
+  }
+  const CsrGraph g = BuildCsrGraph(rings * ring_size, edges);
+  EXPECT_EQ(CountComponents(ConnectedComponents(g)), rings);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingCounts, ComponentCountSweep,
+                         ::testing::Values(1, 2, 5, 17));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,67 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parhde {
+namespace {
+
+TEST(DenseMatrix, ZeroInitialized) {
+  const DenseMatrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(DenseMatrix, ColumnMajorLayout) {
+  DenseMatrix m(3, 2);
+  m.At(0, 0) = 1;
+  m.At(1, 0) = 2;
+  m.At(2, 0) = 3;
+  m.At(0, 1) = 4;
+  // Column 0 must be contiguous: {1,2,3}.
+  const auto col0 = m.Col(0);
+  EXPECT_DOUBLE_EQ(col0[0], 1);
+  EXPECT_DOUBLE_EQ(col0[1], 2);
+  EXPECT_DOUBLE_EQ(col0[2], 3);
+  EXPECT_DOUBLE_EQ(m.Col(1)[0], 4);
+  EXPECT_EQ(m.Data()[3], 4);  // start of second column
+}
+
+TEST(DenseMatrix, ColSpanWritesThrough) {
+  DenseMatrix m(4, 1);
+  auto col = m.Col(0);
+  col[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 9.0);
+}
+
+TEST(DenseMatrix, KeepColumnsCompacts) {
+  DenseMatrix m(2, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    m.At(0, c) = static_cast<double>(c);
+    m.At(1, c) = static_cast<double>(10 + c);
+  }
+  m.KeepColumns({1, 3});
+  ASSERT_EQ(m.Cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 13.0);
+}
+
+TEST(DenseMatrix, KeepAllColumnsIsNoop) {
+  DenseMatrix m(2, 3);
+  m.At(1, 2) = 5.0;
+  m.KeepColumns({0, 1, 2});
+  EXPECT_EQ(m.Cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+}
+
+TEST(DenseMatrix, KeepNoColumnsEmpties) {
+  DenseMatrix m(2, 3);
+  m.KeepColumns({});
+  EXPECT_EQ(m.Cols(), 0u);
+  EXPECT_EQ(m.Rows(), 2u);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,228 @@
+#include "draw/layout.hpp"
+#include "draw/raster.hpp"
+#include "draw/svg_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(NormalizeToCanvas, FitsInsideMargin) {
+  Layout layout;
+  layout.x = {-10.0, 0.0, 25.0};
+  layout.y = {5.0, -3.0, 7.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 200, 100, 10);
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_GE(px.x[v], 10);
+    EXPECT_LE(px.x[v], 190);
+    EXPECT_GE(px.y[v], 10);
+    EXPECT_LE(px.y[v], 90);
+  }
+}
+
+TEST(NormalizeToCanvas, PreservesAspectRatio) {
+  // Points spanning 2:1 in x:y must keep that ratio in pixels.
+  Layout layout;
+  layout.x = {0.0, 20.0};
+  layout.y = {0.0, 10.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 400, 400, 0);
+  const int dx = px.x[1] - px.x[0];
+  const int dy = px.y[1] - px.y[0];
+  EXPECT_NEAR(static_cast<double>(dx) / dy, 2.0, 0.05);
+}
+
+TEST(NormalizeToCanvas, DegenerateLayoutCenters) {
+  Layout layout;
+  layout.x = {3.0, 3.0};
+  layout.y = {3.0, 3.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 100, 100, 10);
+  EXPECT_EQ(px.x[0], px.x[1]);
+  EXPECT_GT(px.x[0], 30);
+  EXPECT_LT(px.x[0], 70);
+}
+
+TEST(Canvas, BackgroundAndSetPixel) {
+  Canvas canvas(10, 10, color::kWhite);
+  EXPECT_EQ(canvas.GetPixel(5, 5), color::kWhite);
+  canvas.SetPixel(5, 5, color::kRed);
+  EXPECT_EQ(canvas.GetPixel(5, 5), color::kRed);
+}
+
+TEST(Canvas, OutOfBoundsWritesClipped) {
+  Canvas canvas(4, 4);
+  canvas.SetPixel(-1, 0, color::kBlack);
+  canvas.SetPixel(0, 100, color::kBlack);  // must not crash
+  EXPECT_EQ(canvas.GetPixel(0, 0), color::kWhite);
+}
+
+TEST(Canvas, HorizontalLineCoversAllPixels) {
+  Canvas canvas(10, 3);
+  canvas.DrawLine(0, 1, 9, 1, color::kBlack);
+  for (int x = 0; x < 10; ++x) EXPECT_EQ(canvas.GetPixel(x, 1), color::kBlack);
+}
+
+TEST(Canvas, DiagonalLineEndpoints) {
+  Canvas canvas(20, 20);
+  canvas.DrawLine(2, 3, 15, 17, color::kBlue);
+  EXPECT_EQ(canvas.GetPixel(2, 3), color::kBlue);
+  EXPECT_EQ(canvas.GetPixel(15, 17), color::kBlue);
+}
+
+TEST(Canvas, DrawDotRadius) {
+  Canvas canvas(10, 10);
+  canvas.DrawDot(5, 5, 1, color::kGreen);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      EXPECT_EQ(canvas.GetPixel(5 + dx, 5 + dy), color::kGreen);
+    }
+  }
+  EXPECT_EQ(canvas.GetPixel(3, 5), color::kWhite);
+}
+
+TEST(DrawGraph, EdgesLeaveInk) {
+  const CsrGraph g = BuildCsrGraph(4, GenRing(4));
+  Layout layout;
+  layout.x = {0.0, 1.0, 1.0, 0.0};
+  layout.y = {0.0, 0.0, 1.0, 1.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 64, 64, 4);
+  const Canvas canvas = DrawGraph(g, px);
+  int dark = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (canvas.GetPixel(x, y) == color::kBlack) ++dark;
+    }
+  }
+  EXPECT_GT(dark, 100);  // four edges of ~56 px each
+}
+
+TEST(Canvas, BlendPixelInterpolates) {
+  Canvas canvas(4, 4, color::kWhite);
+  canvas.BlendPixel(1, 1, color::kBlack, 0.5);
+  const Rgb mid = canvas.GetPixel(1, 1);
+  EXPECT_NEAR(mid.r, 128, 1);
+  EXPECT_NEAR(mid.g, 128, 1);
+  canvas.BlendPixel(2, 2, color::kBlack, 0.0);
+  EXPECT_EQ(canvas.GetPixel(2, 2), color::kWhite);
+  canvas.BlendPixel(3, 3, color::kBlack, 1.0);
+  EXPECT_EQ(canvas.GetPixel(3, 3), color::kBlack);
+}
+
+TEST(Canvas, AntiAliasedLineCoversEndpointsAndLeavesInk) {
+  Canvas canvas(32, 32);
+  canvas.DrawLineAA(2.0, 3.0, 28.0, 20.0, color::kBlack);
+  // Endpoints must be strongly inked; the total ink should be comparable
+  // to the line length.
+  auto darkness = [&](int x, int y) {
+    const Rgb p = canvas.GetPixel(x, y);
+    return 255 - static_cast<int>(p.r);
+  };
+  EXPECT_GT(darkness(2, 3), 100);
+  EXPECT_GT(darkness(28, 20), 100);
+  long long total = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) total += darkness(x, y);
+  }
+  EXPECT_GT(total, 20 * 255);  // at least ~20 fully dark pixels' worth
+  EXPECT_LT(total, 80 * 255);  // but not a flood fill
+}
+
+TEST(Canvas, AntiAliasedDiagonalUsesPartialCoverage) {
+  // A non-axis-aligned Wu line must produce at least some intermediate
+  // (neither background nor full-ink) pixels.
+  Canvas canvas(16, 16);
+  canvas.DrawLineAA(0.0, 0.0, 15.0, 9.0, color::kBlack);
+  int partial = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const Rgb p = canvas.GetPixel(x, y);
+      if (p.r > 10 && p.r < 245) ++partial;
+    }
+  }
+  EXPECT_GT(partial, 4);
+}
+
+TEST(DrawGraph, AntialiasedVariantRenders) {
+  const CsrGraph g = BuildCsrGraph(4, GenRing(4));
+  Layout layout;
+  layout.x = {0.0, 1.0, 1.0, 0.0};
+  layout.y = {0.0, 0.0, 1.0, 1.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 64, 64, 4);
+  const Canvas canvas =
+      DrawGraph(g, px, nullptr, nullptr, false, /*antialias=*/true);
+  int inked = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (!(canvas.GetPixel(x, y) == color::kWhite)) ++inked;
+    }
+  }
+  EXPECT_GT(inked, 100);
+}
+
+TEST(PartColor, DistinctForFirstTwelve) {
+  for (int a = 0; a < 12; ++a) {
+    for (int b = a + 1; b < 12; ++b) {
+      EXPECT_FALSE(PartColor(a) == PartColor(b)) << a << " vs " << b;
+    }
+  }
+  EXPECT_EQ(PartColor(0), PartColor(12));  // cycles
+}
+
+TEST(Svg, ContainsLinesAndDimensions) {
+  const CsrGraph g = BuildCsrGraph(3, GenChain(3));
+  Layout layout;
+  layout.x = {0.0, 1.0, 2.0};
+  layout.y = {0.0, 1.0, 0.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 120, 80, 5);
+  std::ostringstream out;
+  WriteSvg(g, px, out);
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"120\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"80\""), std::string::npos);
+  // Chain of 3 has exactly 2 edges -> 2 <line> elements.
+  std::size_t lines = 0, at = 0;
+  while ((at = svg.find("<line", at)) != std::string::npos) {
+    ++lines;
+    ++at;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Svg, PerEdgeColorsApplied) {
+  const CsrGraph g = BuildCsrGraph(3, GenChain(3));
+  Layout layout;
+  layout.x = {0.0, 1.0, 2.0};
+  layout.y = {0.0, 0.0, 0.0};
+  const PixelLayout px = NormalizeToCanvas(layout, 100, 50, 5);
+  std::ostringstream out;
+  WriteSvg(g, px, out, {}, {color::kRed, color::kBlue});
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("rgb(200,30,30)"), std::string::npos);
+  EXPECT_NE(svg.find("rgb(30,60,200)"), std::string::npos);
+}
+
+TEST(LayoutMetrics, EdgeEnergyLowerForGoodLayout) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  Layout good;
+  for (vid_t r = 0; r < 10; ++r) {
+    for (vid_t c = 0; c < 10; ++c) {
+      good.x.push_back(c);
+      good.y.push_back(r);
+    }
+  }
+  Layout bad;
+  for (vid_t v = 0; v < 100; ++v) {
+    bad.x.push_back((v * 37) % 100);  // scrambled geometry
+    bad.y.push_back((v * 61) % 100);
+  }
+  EXPECT_LT(NormalizedEdgeLengthEnergy(g, good),
+            NormalizedEdgeLengthEnergy(g, bad) / 10.0);
+}
+
+}  // namespace
+}  // namespace parhde

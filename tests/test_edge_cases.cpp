@@ -1,0 +1,156 @@
+// Focused edge-case coverage across modules: degenerate parameters,
+// boundary values, and cross-module consistency checks that don't fit the
+// per-module files.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "multilevel/multilevel_hde.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "util/memory.hpp"
+#include "util/table.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(Generators, RoadWithZeroDiagonalsIsPlainGrid) {
+  const EdgeList road = GenRoad(10, 12, 0.0, 7);
+  const EdgeList grid = GenGrid2d(10, 12);
+  EXPECT_EQ(road.size(), grid.size());
+}
+
+TEST(Generators, RoadWithCertainDiagonalsAddsAll) {
+  const EdgeList road = GenRoad(10, 12, 1.0, 7);
+  const EdgeList grid = GenGrid2d(10, 12);
+  // One diagonal per interior cell: (rows-1)*(cols-1).
+  EXPECT_EQ(road.size(), grid.size() + 9 * 11);
+}
+
+TEST(Generators, ConstantWeightAssignment) {
+  EdgeList edges = GenChain(20);
+  AssignRandomWeights(edges, 2.5, 2.5, 3);
+  for (const Edge& e : edges) EXPECT_DOUBLE_EQ(e.w, 2.5);
+}
+
+TEST(JacobiEigen, RepeatedEigenvaluesStillOrthonormal) {
+  // 4x4 with eigenvalue 1 of multiplicity 3 and eigenvalue 5.
+  DenseMatrix A(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) A.At(i, i) = 1.0;
+  // Rank-one bump: A += 4 * v v' with v = (1,1,1,1)/2.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) A.At(i, j) += 1.0;
+  }
+  const EigenDecomposition eig = SymmetricEigen(A);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[3], 5.0, 1e-10);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a; b < 4; ++b) {
+      double dot = 0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        dot += eig.vectors.At(i, a) * eig.vectors.At(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, GraphLaplacianSpectrumBounds) {
+  // Laplacian eigenvalues lie in [0, 2*maxdeg]; smallest is 0 for a
+  // connected graph with eigenvector 1.
+  const CsrGraph g = BuildCsrGraph(12, GenRing(12));
+  DenseMatrix L(12, 12);
+  for (vid_t v = 0; v < 12; ++v) {
+    L.At(static_cast<std::size_t>(v), static_cast<std::size_t>(v)) = 2.0;
+    for (const vid_t u : g.Neighbors(v)) {
+      L.At(static_cast<std::size_t>(v), static_cast<std::size_t>(u)) = -1.0;
+    }
+  }
+  const EigenDecomposition eig = SymmetricEigen(L);
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-10);
+  EXPECT_LE(eig.values.back(), 4.0 + 1e-10);
+  // Ring Laplacian: lambda_k = 2 - 2cos(2*pi*k/12); second smallest pair.
+  EXPECT_NEAR(eig.values[1], 2.0 - 2.0 * std::cos(M_PI / 6.0), 1e-10);
+}
+
+TEST(DeltaStepping, StarGraphOneRound) {
+  const CsrGraph g = BuildCsrGraph(50, GenStar(50));
+  const SsspResult result = DeltaStepping(g, 0);
+  EXPECT_GT(result.stats.bucket_rounds, 0);
+  for (vid_t v = 1; v < 50; ++v) {
+    EXPECT_DOUBLE_EQ(result.dist[static_cast<std::size_t>(v)], 1.0);
+  }
+}
+
+TEST(DeltaStepping, SourceOnlyGraph) {
+  const CsrGraph g = BuildCsrGraph(1, {});
+  const SsspResult result = DeltaStepping(g, 0);
+  EXPECT_DOUBLE_EQ(result.dist[0], 0.0);
+}
+
+TEST(Multilevel, WeightedInputGraph) {
+  EdgeList edges = GenGrid2d(25, 25);
+  AssignRandomWeights(edges, 0.5, 3.0, 11);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(625, edges, opts);
+  MultilevelOptions options;
+  options.hde.start_vertex = 0;
+  const MultilevelResult result = RunMultilevelHde(g, options);
+  EXPECT_EQ(result.layout.x.size(), 625u);
+  for (const double x : result.layout.x) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(ParHde, MinimumSizeGraph) {
+  // n = 3, the documented minimum.
+  const CsrGraph g = BuildCsrGraph(3, GenChain(3));
+  HdeOptions options;
+  options.subspace_dim = 2;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_EQ(result.layout.x.size(), 3u);
+  for (const double x : result.layout.x) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(ParHde, CompleteGraphDegeneratesGracefully) {
+  // On K_n all BFS distance vectors equal 1 everywhere except the pivot —
+  // nearly dependent columns, most get dropped; the run must survive.
+  const CsrGraph g = BuildCsrGraph(16, GenComplete(16));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GE(result.kept_columns, 1);
+  for (const double x : result.layout.x) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(PeakRss, ReportsPlausibleValue) {
+  const std::int64_t peak = PeakRssBytes();
+  // Available on Linux; must be at least a few MB for a running test binary.
+  ASSERT_GT(peak, 0);
+  EXPECT_GT(peak, 2LL << 20);
+  EXPECT_LT(peak, 1LL << 40);
+}
+
+TEST(TextTable, HandlesEmptyTable) {
+  TextTable table({"a", "b"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(Components, SelfLoopOnlyVertices) {
+  // Self loops are dropped by the builder; such vertices become isolated.
+  const CsrGraph g = BuildCsrGraph(3, {{0, 0}, {1, 2}});
+  const auto labels = ConnectedComponents(g);
+  EXPECT_EQ(CountComponents(labels), 2);
+  EXPECT_EQ(LargestComponent(g).graph.NumVertices(), 2);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,92 @@
+#include "util/fibonacci.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parhde {
+namespace {
+
+TEST(FibonacciSequence, FirstValues) {
+  const auto fib = FibonacciSequence(10);
+  const std::vector<std::int64_t> expected{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+  EXPECT_EQ(fib, expected);
+}
+
+TEST(FibonacciSequence, CapsBeforeOverflow) {
+  const auto fib = FibonacciSequence(1000);
+  ASSERT_EQ(fib.size(), 92u);  // F(0)..F(91)
+  for (std::size_t i = 2; i < fib.size(); ++i) {
+    EXPECT_EQ(fib[i], fib[i - 1] + fib[i - 2]);
+    EXPECT_GT(fib[i], 0);  // no overflow wraparound
+  }
+}
+
+TEST(FibonacciBinner, BoundariesStrictlyIncrease) {
+  FibonacciBinner binner(1000000);
+  std::int64_t prev = 0;
+  for (int b = 0; b < binner.NumBins(); ++b) {
+    EXPECT_GT(binner.UpperBound(b), prev);
+    prev = binner.UpperBound(b);
+  }
+  EXPECT_GT(prev, 1000000);
+}
+
+TEST(FibonacciBinner, BinIndexMatchesBoundaries) {
+  FibonacciBinner binner(100);
+  // Bin i covers [x_i, x_{i+1}) with boundaries 0,1,2,3,5,8,...
+  EXPECT_EQ(binner.BinIndex(0), 0);
+  EXPECT_EQ(binner.BinIndex(1), 1);
+  EXPECT_EQ(binner.BinIndex(2), 2);
+  EXPECT_EQ(binner.BinIndex(3), 3);
+  EXPECT_EQ(binner.BinIndex(4), 3);  // [3, 5)
+  EXPECT_EQ(binner.BinIndex(5), 4);  // [5, 8)
+  EXPECT_EQ(binner.BinIndex(7), 4);
+  EXPECT_EQ(binner.BinIndex(8), 5);  // [8, 13)
+}
+
+TEST(FibonacciBinner, ValuesBeyondMaxClampToLastBin) {
+  FibonacciBinner binner(10);
+  const int last = binner.NumBins() - 1;
+  binner.Add(1000000);
+  EXPECT_EQ(binner.Count(last), 1);
+}
+
+TEST(FibonacciBinner, CountsAccumulate) {
+  FibonacciBinner binner(100);
+  binner.Add(5);
+  binner.Add(6, 3);
+  binner.Add(7);
+  EXPECT_EQ(binner.Count(binner.BinIndex(5)), 5);
+  EXPECT_EQ(binner.TotalCount(), 5);
+}
+
+TEST(FibonacciBinner, TotalCountSumsAllBins) {
+  FibonacciBinner binner(1000);
+  for (std::int64_t v = 0; v < 500; ++v) binner.Add(v);
+  EXPECT_EQ(binner.TotalCount(), 500);
+  std::int64_t manual = 0;
+  for (int b = 0; b < binner.NumBins(); ++b) manual += binner.Count(b);
+  EXPECT_EQ(manual, 500);
+}
+
+class BinnerPropertySweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BinnerPropertySweep, EveryValueFallsInItsBin) {
+  const std::int64_t max_value = GetParam();
+  FibonacciBinner binner(max_value);
+  for (std::int64_t v = 0; v <= max_value; v = v * 3 / 2 + 1) {
+    const int bin = binner.BinIndex(v);
+    ASSERT_GE(bin, 0);
+    ASSERT_LT(bin, binner.NumBins());
+    // v must be < upper bound of its bin and >= upper bound of bin-1.
+    EXPECT_LT(v, binner.UpperBound(bin));
+    if (bin > 0) {
+      EXPECT_GE(v, binner.UpperBound(bin - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxValues, BinnerPropertySweep,
+                         ::testing::Values(1, 10, 100, 12345, 1000000));
+
+}  // namespace
+}  // namespace parhde

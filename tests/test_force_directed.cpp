@@ -1,0 +1,96 @@
+#include "hde/force_directed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "draw/layout.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(ForceDirected, ProducesFiniteLayout) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const ForceDirectedResult result = FruchtermanReingold(g);
+  ASSERT_EQ(result.layout.x.size(), 100u);
+  for (std::size_t v = 0; v < 100; ++v) {
+    EXPECT_TRUE(std::isfinite(result.layout.x[v]));
+    EXPECT_TRUE(std::isfinite(result.layout.y[v]));
+  }
+  EXPECT_EQ(result.iterations, 100);
+  EXPECT_GT(result.interactions, 0);
+}
+
+TEST(ForceDirected, DeterministicForSeed) {
+  const CsrGraph g = BuildCsrGraph(64, GenRing(64));
+  ForceDirectedOptions options;
+  options.iterations = 20;
+  options.seed = 9;
+  const ForceDirectedResult a = FruchtermanReingold(g, options);
+  const ForceDirectedResult b = FruchtermanReingold(g, options);
+  for (std::size_t v = 0; v < 64; ++v) {
+    EXPECT_DOUBLE_EQ(a.layout.x[v], b.layout.x[v]);
+  }
+}
+
+TEST(ForceDirected, ImprovesEdgeLengthEnergyOverRandom) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  ForceDirectedOptions options;
+  options.iterations = 150;
+  const ForceDirectedResult result = FruchtermanReingold(g, options);
+
+  Layout random;
+  random.x.resize(225);
+  random.y.resize(225);
+  for (std::size_t v = 0; v < 225; ++v) {
+    random.x[v] = static_cast<double>((v * 48271) % 997);
+    random.y[v] = static_cast<double>((v * 16807) % 997);
+  }
+  EXPECT_LT(NormalizedEdgeLengthEnergy(g, result.layout),
+            NormalizedEdgeLengthEnergy(g, random) * 0.5);
+}
+
+TEST(ForceDirected, WarmStartFromHdeKeepsQuality) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions hde;
+  hde.subspace_dim = 10;
+  hde.start_vertex = 0;
+  const Layout init = RunParHde(g, hde).layout;
+
+  ForceDirectedOptions options;
+  options.iterations = 30;
+  const ForceDirectedResult warm = FruchtermanReingold(g, options, &init);
+  const ForceDirectedResult cold = FruchtermanReingold(g, options);
+  EXPECT_LE(NormalizedEdgeLengthEnergy(g, warm.layout),
+            NormalizedEdgeLengthEnergy(g, cold.layout) * 1.5);
+}
+
+TEST(ForceDirected, SeparatesRingNeighbors) {
+  // On a small ring, FR should place adjacent vertices closer than
+  // antipodal ones.
+  const vid_t n = 24;
+  const CsrGraph g = BuildCsrGraph(n, GenRing(n));
+  ForceDirectedOptions options;
+  options.iterations = 300;
+  options.seed = 4;
+  const ForceDirectedResult result = FruchtermanReingold(g, options);
+  auto dist = [&](vid_t a, vid_t b) {
+    const double dx = result.layout.x[static_cast<std::size_t>(a)] -
+                      result.layout.x[static_cast<std::size_t>(b)];
+    const double dy = result.layout.y[static_cast<std::size_t>(a)] -
+                      result.layout.y[static_cast<std::size_t>(b)];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double adjacent = 0.0, antipodal = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    adjacent += dist(v, (v + 1) % n);
+    antipodal += dist(v, (v + n / 2) % n);
+  }
+  EXPECT_LT(adjacent, antipodal * 0.8);
+}
+
+}  // namespace
+}  // namespace parhde

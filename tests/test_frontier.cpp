@@ -1,0 +1,140 @@
+#include "bfs/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace parhde {
+namespace {
+
+TEST(Bitmap, StartsCleared) {
+  Bitmap bm(100);
+  for (vid_t v = 0; v < 100; ++v) EXPECT_FALSE(bm.Get(v));
+  EXPECT_EQ(bm.Count(), 0);
+}
+
+TEST(Bitmap, SetAndGet) {
+  Bitmap bm(200);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(199));
+  EXPECT_FALSE(bm.Get(1));
+  EXPECT_FALSE(bm.Get(65));
+  EXPECT_EQ(bm.Count(), 4);
+}
+
+TEST(Bitmap, ResetClearsEverything) {
+  Bitmap bm(128);
+  for (vid_t v = 0; v < 128; v += 3) bm.Set(v);
+  bm.Reset();
+  EXPECT_EQ(bm.Count(), 0);
+}
+
+TEST(Bitmap, SetUnsyncedEquivalentForSingleWriter) {
+  Bitmap a(100), b(100);
+  for (vid_t v = 7; v < 100; v += 7) {
+    a.Set(v);
+    b.SetUnsynced(v);
+  }
+  for (vid_t v = 0; v < 100; ++v) EXPECT_EQ(a.Get(v), b.Get(v));
+}
+
+TEST(Bitmap, SwapExchangesContents) {
+  Bitmap a(64), b(64);
+  a.Set(5);
+  b.Set(10);
+  a.Swap(b);
+  EXPECT_TRUE(a.Get(10));
+  EXPECT_FALSE(a.Get(5));
+  EXPECT_TRUE(b.Get(5));
+}
+
+TEST(Bitmap, ConcurrentSetsAllLand) {
+  Bitmap bm(10000);
+#pragma omp parallel for
+  for (vid_t v = 0; v < 10000; ++v) {
+    if (v % 2 == 0) bm.Set(v);
+  }
+  EXPECT_EQ(bm.Count(), 5000);
+}
+
+TEST(FrontierQueue, InitWithSeed) {
+  FrontierQueue q(100);
+  q.InitWith(42);
+  EXPECT_EQ(q.Size(), 1);
+  EXPECT_EQ(q.Vertices()[0], 42);
+  EXPECT_FALSE(q.Empty());
+}
+
+TEST(FrontierQueue, FlushAndAdvance) {
+  FrontierQueue q(100);
+  q.InitWith(0);
+  std::vector<vid_t> staged{1, 2, 3};
+  q.Flush(staged);
+  EXPECT_TRUE(staged.empty());  // consumed
+  q.Advance();
+  EXPECT_EQ(q.Size(), 3);
+  std::set<vid_t> contents(q.Vertices().begin(), q.Vertices().end());
+  EXPECT_EQ(contents, (std::set<vid_t>{1, 2, 3}));
+}
+
+TEST(FrontierQueue, AdvanceWithoutFlushEmpties) {
+  FrontierQueue q(10);
+  q.InitWith(5);
+  q.Advance();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(FrontierQueue, ConcurrentFlushesAllArrive) {
+  FrontierQueue q(100000);
+  q.InitWith(0);
+#pragma omp parallel
+  {
+    std::vector<vid_t> staged;
+#pragma omp for
+    for (vid_t v = 0; v < 50000; ++v) {
+      staged.push_back(v);
+      if (staged.size() == 128) q.Flush(staged);
+    }
+    q.Flush(staged);
+  }
+  q.Advance();
+  EXPECT_EQ(q.Size(), 50000);
+  std::vector<vid_t> sorted(q.Vertices().begin(), q.Vertices().end());
+  std::sort(sorted.begin(), sorted.end());
+  for (vid_t v = 0; v < 50000; ++v) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(FrontierQueue, BitmapRoundTrip) {
+  FrontierQueue q(128);
+  q.InitWith(0);
+  std::vector<vid_t> staged{3, 64, 100};
+  q.Flush(staged);
+  q.Advance();
+
+  Bitmap bm(128);
+  q.StoreToBitmap(bm);
+  EXPECT_EQ(bm.Count(), 3);
+  EXPECT_TRUE(bm.Get(3));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(100));
+
+  FrontierQueue q2(128);
+  q2.LoadFromBitmap(bm);
+  EXPECT_EQ(q2.Size(), 3);
+  // LoadFromBitmap yields ascending order.
+  EXPECT_EQ(q2.Vertices()[0], 3);
+  EXPECT_EQ(q2.Vertices()[1], 64);
+  EXPECT_EQ(q2.Vertices()[2], 100);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,148 @@
+// Seeded randomized sweeps ("fuzz-lite"): arbitrary messy edge lists must
+// always yield valid CSR graphs, preprocessing must always yield connected
+// graphs, and the cross-kernel distance agreement must hold on whatever
+// comes out. TEST_P over seeds keeps each failure reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "bfs/parallel_bfs.hpp"
+#include "bfs/serial_bfs.hpp"
+#include "draw/coords_io.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+#include "hde/parhde.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+EdgeList MessyEdges(std::uint64_t seed, vid_t n, std::size_t count) {
+  // Self loops, duplicates, both orientations, skewed endpoints.
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    vid_t u = static_cast<vid_t>(rng.NextBounded(n));
+    vid_t v = rng.NextDouble() < 0.1
+                  ? u  // 10% self loops
+                  : static_cast<vid_t>(
+                        rng.NextBounded(rng.NextDouble() < 0.5 ? n : n / 4 + 1));
+    if (rng.NextDouble() < 0.3 && !edges.empty()) {
+      // 30% duplicates of an earlier edge, possibly flipped.
+      const Edge& prev = edges[rng.NextBounded(edges.size())];
+      u = prev.v;
+      v = prev.u;
+    }
+    edges.push_back({u, v, 0.5 + rng.NextDouble()});
+  }
+  return edges;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, BuilderAlwaysProducesValidGraphs) {
+  const std::uint64_t seed = GetParam();
+  for (const bool weighted : {false, true}) {
+    BuildOptions opts;
+    opts.keep_weights = weighted;
+    opts.merge = BuildOptions::MergePolicy::Min;
+    const CsrGraph g = BuildCsrGraph(500, MessyEdges(seed, 500, 3000), opts);
+    ASSERT_TRUE(g.Validate()) << "seed " << seed << " weighted " << weighted;
+  }
+}
+
+TEST_P(FuzzSweep, PreprocessingYieldsConnectedGraphs) {
+  const std::uint64_t seed = GetParam();
+  const CsrGraph g = BuildCsrGraph(400, MessyEdges(seed, 400, 1200));
+  const auto extraction = LargestComponent(g);
+  EXPECT_TRUE(IsConnected(extraction.graph));
+  EXPECT_TRUE(extraction.graph.Validate());
+}
+
+TEST_P(FuzzSweep, KernelsAgreeOnMessyGraphs) {
+  const std::uint64_t seed = GetParam();
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  const CsrGraph raw = BuildCsrGraph(300, MessyEdges(seed, 300, 1500), opts);
+  const CsrGraph g = LargestComponent(raw).graph;
+  if (g.NumVertices() < 3) GTEST_SKIP();
+
+  // BFS parallel == serial.
+  const auto serial = SerialBfs(g, 0);
+  EXPECT_EQ(ParallelBfsDistances(g, 0), serial);
+
+  // Delta-stepping == Dijkstra on the weighted graph.
+  const auto exact = Dijkstra(g, 0);
+  const auto delta = DeltaStepping(g, 0).dist;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    if (std::isinf(exact[v])) {
+      EXPECT_TRUE(std::isinf(delta[v]));
+    } else {
+      EXPECT_NEAR(delta[v], exact[v], 1e-9);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ParHdeSurvivesMessyGraphs) {
+  const std::uint64_t seed = GetParam();
+  const CsrGraph raw = BuildCsrGraph(300, MessyEdges(seed, 300, 900));
+  const CsrGraph g = LargestComponent(raw).graph;
+  if (g.NumVertices() < 3) GTEST_SKIP();
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.seed = seed;
+  const HdeResult result = RunParHde(g, options);
+  for (const double x : result.layout.x) ASSERT_TRUE(std::isfinite(x));
+  for (const double y : result.layout.y) ASSERT_TRUE(std::isfinite(y));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u,
+                                           0xdeadbeefu));
+
+TEST(CoordsIo, RoundTripsExactly) {
+  Layout layout;
+  layout.x = {0.0, -1.5, 3.14159265358979, 1e-17};
+  layout.y = {2.0, 0.25, -2.71828182845905, 1e17};
+  std::stringstream stream;
+  WriteCoordinates(layout, stream);
+  const Layout back = ReadCoordinates(stream);
+  ASSERT_EQ(back.x.size(), layout.x.size());
+  for (std::size_t v = 0; v < layout.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(back.x[v], layout.x[v]);
+    EXPECT_DOUBLE_EQ(back.y[v], layout.y[v]);
+  }
+}
+
+TEST(CoordsIo, SkipsComments) {
+  std::istringstream in("# header\n1 2\n# middle\n3 4\n");
+  const Layout layout = ReadCoordinates(in);
+  ASSERT_EQ(layout.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(layout.x[1], 3.0);
+}
+
+TEST(CoordsIo, RejectsMalformedLines) {
+  std::istringstream in("1 2\nnot numbers\n");
+  EXPECT_THROW(ReadCoordinates(in), std::runtime_error);
+}
+
+TEST(ParHde, DisconnectedInputDoesNotCrash) {
+  // ParHDE is specified for connected graphs (§4.1 preprocesses to the
+  // LCC), but it must degrade gracefully: unreachable vertices get the
+  // finite sentinel distance and the layout stays finite.
+  const CsrGraph g = BuildCsrGraph(20, {{0, 1}, {1, 2}, {5, 6}, {6, 7}});
+  HdeOptions options;
+  options.subspace_dim = 3;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  for (const double x : result.layout.x) EXPECT_TRUE(std::isfinite(x));
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,63 @@
+#include "graph/gap_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ordering.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(GapHistogram, ChainHasOnlyGapTwo) {
+  // A linear chain with linear ordering: interior vertices see neighbors
+  // v-1 and v+1, gap 2, occurring n-2 times — the paper's ideal case.
+  const vid_t n = 100;
+  const CsrGraph g = BuildCsrGraph(n, GenChain(n));
+  const FibonacciBinner hist = ComputeGapHistogram(g);
+  EXPECT_EQ(hist.TotalCount(), n - 2);
+  const int bin2 = hist.BinIndex(2);
+  EXPECT_EQ(hist.Count(bin2), n - 2);
+}
+
+TEST(GapHistogram, TotalIsTwoMMinusN) {
+  // For a graph with no degree-0 vertices: sum of (deg-1) = 2m - n.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const FibonacciBinner hist = ComputeGapHistogram(g);
+  EXPECT_EQ(hist.TotalCount(), 2 * g.NumEdges() - g.NumVertices());
+}
+
+TEST(GapSummary, MatchesHistogramTotal) {
+  const CsrGraph g = BuildCsrGraph(256, GenKronecker(8, 6, 4));
+  const GapSummary summary = ComputeGapSummary(g);
+  const FibonacciBinner hist = ComputeGapHistogram(g);
+  EXPECT_EQ(summary.total_gaps, hist.TotalCount());
+}
+
+TEST(GapSummary, GridIsLocalShuffledGridIsNot) {
+  // The paper's Fig. 2 observation: locality-friendly orderings have small
+  // gaps; random shuffling destroys them.
+  const CsrGraph grid = BuildCsrGraph(2500, GenGrid2d(50, 50));
+  const CsrGraph shuffled =
+      ApplyPermutation(grid, RandomPermutation(2500, 17));
+  const GapSummary local = ComputeGapSummary(grid);
+  const GapSummary scrambled = ComputeGapSummary(shuffled);
+  EXPECT_LT(local.mean_gap, scrambled.mean_gap / 5.0);
+  EXPECT_GT(local.cache_line_fraction, scrambled.cache_line_fraction);
+}
+
+TEST(GapSummary, EmptyGraph) {
+  const CsrGraph g = BuildCsrGraph(10, {});
+  const GapSummary summary = ComputeGapSummary(g);
+  EXPECT_EQ(summary.total_gaps, 0);
+  EXPECT_DOUBLE_EQ(summary.mean_gap, 0.0);
+}
+
+TEST(GapSummary, MaxGapOfRing) {
+  // Ring 0-1-...-9-0: vertex 0 has neighbors {1, 9}: gap 8 is the max.
+  const CsrGraph g = BuildCsrGraph(10, GenRing(10));
+  EXPECT_EQ(ComputeGapSummary(g).max_gap, 8);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,133 @@
+#include "linalg/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+DenseMatrix RandomMatrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  Xoshiro256 rng(seed);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      m.At(r, c) = rng.NextDouble() * 2.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+TEST(TransposeTimes, SmallByHand) {
+  DenseMatrix A(2, 2), B(2, 2);
+  A.At(0, 0) = 1;
+  A.At(1, 0) = 2;
+  A.At(0, 1) = 3;
+  A.At(1, 1) = 4;
+  B.At(0, 0) = 5;
+  B.At(1, 0) = 6;
+  B.At(0, 1) = 7;
+  B.At(1, 1) = 8;
+  const DenseMatrix Z = TransposeTimes(A, B);
+  EXPECT_DOUBLE_EQ(Z.At(0, 0), 1 * 5 + 2 * 6);
+  EXPECT_DOUBLE_EQ(Z.At(0, 1), 1 * 7 + 2 * 8);
+  EXPECT_DOUBLE_EQ(Z.At(1, 0), 3 * 5 + 4 * 6);
+  EXPECT_DOUBLE_EQ(Z.At(1, 1), 3 * 7 + 4 * 8);
+}
+
+TEST(TransposeTimes, MatchesSerialReference) {
+  const DenseMatrix A = RandomMatrix(777, 6, 1);
+  const DenseMatrix B = RandomMatrix(777, 4, 2);
+  const DenseMatrix Z = TransposeTimes(A, B);
+  ASSERT_EQ(Z.Rows(), 6u);
+  ASSERT_EQ(Z.Cols(), 4u);
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      double expected = 0.0;
+      for (std::size_t r = 0; r < 777; ++r) {
+        expected += A.At(r, a) * B.At(r, b);
+      }
+      EXPECT_NEAR(Z.At(a, b), expected, 1e-10);
+    }
+  }
+}
+
+TEST(TransposeTimes, GramMatrixIsSymmetricPsd) {
+  const DenseMatrix A = RandomMatrix(300, 5, 3);
+  const DenseMatrix Z = TransposeTimes(A, A);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(Z.At(i, i), 0.0);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(Z.At(i, j), Z.At(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(TallTimesSmall, SmallByHand) {
+  DenseMatrix A(3, 2), B(2, 1);
+  for (std::size_t r = 0; r < 3; ++r) {
+    A.At(r, 0) = static_cast<double>(r + 1);
+    A.At(r, 1) = 10.0;
+  }
+  B.At(0, 0) = 2.0;
+  B.At(1, 0) = 0.5;
+  const DenseMatrix C = TallTimesSmall(A, B);
+  ASSERT_EQ(C.Rows(), 3u);
+  ASSERT_EQ(C.Cols(), 1u);
+  EXPECT_DOUBLE_EQ(C.At(0, 0), 1 * 2 + 10 * 0.5);
+  EXPECT_DOUBLE_EQ(C.At(2, 0), 3 * 2 + 10 * 0.5);
+}
+
+TEST(TallTimesSmall, IdentityPassthrough) {
+  const DenseMatrix A = RandomMatrix(100, 3, 4);
+  DenseMatrix I(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) I.At(i, i) = 1.0;
+  const DenseMatrix C = TallTimesSmall(A, I);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t r = 0; r < 100; ++r) {
+      EXPECT_DOUBLE_EQ(C.At(r, c), A.At(r, c));
+    }
+  }
+}
+
+TEST(TransposeTimesThenTall, AssociativityProperty) {
+  // (A'B) consumed by TallTimesSmall equals direct triple product.
+  const DenseMatrix A = RandomMatrix(200, 4, 5);
+  const DenseMatrix B = RandomMatrix(200, 4, 6);
+  const DenseMatrix Z = TransposeTimes(A, B);  // 4x4
+  const DenseMatrix C = TallTimesSmall(A, Z);  // 200x4
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 200; ++r) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        expected += A.At(r, k) * Z.At(k, c);
+      }
+      EXPECT_NEAR(C.At(r, c), expected, 1e-10);
+    }
+  }
+}
+
+class GemmThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmThreadSweep, StableAcrossThreadCounts) {
+  ThreadCountGuard guard(GetParam());
+  const DenseMatrix A = RandomMatrix(999, 7, 8);
+  const DenseMatrix B = RandomMatrix(999, 7, 9);
+  const DenseMatrix Z = TransposeTimes(A, B);
+  ThreadCountGuard serial(1);
+  const DenseMatrix ref = TransposeTimes(A, B);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_NEAR(Z.At(i, j), ref.At(i, j), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GemmThreadSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,158 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(GenUniformRandom, RequestedEdgeCount) {
+  const EdgeList edges = GenUniformRandom(1000, 5000, 1);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const Edge& e : edges) {
+    EXPECT_GE(e.u, 0);
+    EXPECT_LT(e.u, 1000);
+    EXPECT_GE(e.v, 0);
+    EXPECT_LT(e.v, 1000);
+  }
+}
+
+TEST(GenUniformRandom, DeterministicForSeed) {
+  const EdgeList a = GenUniformRandom(100, 500, 42);
+  const EdgeList b = GenUniformRandom(100, 500, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(GenUniformRandom, DegreesAreUniform) {
+  // urand's defining property: near-regular degree distribution.
+  const CsrGraph g = BuildCsrGraph(2000, GenUniformRandom(2000, 16000, 5));
+  const double avg = 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  EXPECT_LT(g.MaxDegree(), avg * 3.0);
+}
+
+TEST(GenKronecker, SkewedDegrees) {
+  // kron's defining property: heavy-tailed degrees (hubs far above average).
+  const CsrGraph g = BuildCsrGraph(1 << 12, GenKronecker(12, 8, 3));
+  const double avg = 2.0 * static_cast<double>(g.NumEdges()) /
+                     std::max<vid_t>(g.NumVertices(), 1);
+  EXPECT_GT(g.MaxDegree(), avg * 10.0);
+}
+
+TEST(GenKronecker, DeterministicForSeed) {
+  const EdgeList a = GenKronecker(8, 4, 9);
+  const EdgeList b = GenKronecker(8, 4, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(GenGrid2d, StructureAndCounts) {
+  const CsrGraph g = BuildCsrGraph(12, GenGrid2d(3, 4));
+  EXPECT_EQ(g.NumVertices(), 12);
+  // 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+  EXPECT_EQ(g.NumEdges(), 17);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_LE(g.MaxDegree(), 4);
+}
+
+TEST(GenGrid2d, TorusIsDegreeRegular) {
+  const CsrGraph g = BuildCsrGraph(36, GenGrid2d(6, 6, true));
+  for (vid_t v = 0; v < 36; ++v) EXPECT_EQ(g.Degree(v), 4);
+}
+
+TEST(GenGrid3d, CountsMatchStencil) {
+  const CsrGraph g = BuildCsrGraph(60, GenGrid3d(3, 4, 5));
+  EXPECT_EQ(g.NumVertices(), 60);
+  // Edges: 2*4*5 + 3*3*5 + 3*4*4 = 40 + 45 + 48 = 133.
+  EXPECT_EQ(g.NumEdges(), 133);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GenRoad, SupersetOfGrid) {
+  const EdgeList road = GenRoad(10, 10, 0.2, 4);
+  const EdgeList grid = GenGrid2d(10, 10);
+  EXPECT_GE(road.size(), grid.size());
+  const CsrGraph g = BuildCsrGraph(100, road);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_LE(g.MaxDegree(), 8);
+}
+
+TEST(GenPlateWithHoles, HasFourHolesWorthOfMissingVertices) {
+  const vid_t rows = 60, cols = 60;
+  const EdgeList edges = GenPlateWithHoles(rows, cols);
+  const CsrGraph raw = BuildCsrGraph(PlateNumVertices(rows, cols), edges);
+  const auto extraction = LargestComponent(raw);
+  // Holes remove a noticeable chunk but the plate remains dominant.
+  EXPECT_LT(extraction.graph.NumVertices(), rows * cols);
+  EXPECT_GT(extraction.graph.NumVertices(), rows * cols / 2);
+  EXPECT_TRUE(IsConnected(extraction.graph));
+}
+
+TEST(GenChain, PathProperties) {
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  EXPECT_EQ(g.NumEdges(), 9);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(9), 1);
+  for (vid_t v = 1; v < 9; ++v) EXPECT_EQ(g.Degree(v), 2);
+}
+
+TEST(GenChain, TrivialSizes) {
+  EXPECT_TRUE(GenChain(0).empty());
+  EXPECT_TRUE(GenChain(1).empty());
+  EXPECT_EQ(GenChain(2).size(), 1u);
+}
+
+TEST(GenRing, AllDegreeTwo) {
+  const CsrGraph g = BuildCsrGraph(7, GenRing(7));
+  for (vid_t v = 0; v < 7; ++v) EXPECT_EQ(g.Degree(v), 2);
+}
+
+TEST(GenBinaryTree, CountsAndLeaves) {
+  const CsrGraph g = BuildCsrGraph(15, GenBinaryTree(4));
+  EXPECT_EQ(g.NumVertices(), 15);
+  EXPECT_EQ(g.NumEdges(), 14);
+  int leaves = 0;
+  for (vid_t v = 0; v < 15; ++v) {
+    if (g.Degree(v) == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 8);
+}
+
+TEST(AssignRandomWeights, InRangeAndDeterministic) {
+  EdgeList a = GenChain(100);
+  EdgeList b = GenChain(100);
+  AssignRandomWeights(a, 2.0, 5.0, 13);
+  AssignRandomWeights(b, 2.0, 5.0, 13);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].w, 2.0);
+    EXPECT_LE(a[i].w, 5.0);
+    EXPECT_DOUBLE_EQ(a[i].w, b[i].w);
+  }
+}
+
+class ConnectivitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConnectivitySweep, KroneckerLargestComponentIsBig) {
+  const int scale = GetParam();
+  const CsrGraph raw =
+      BuildCsrGraph(vid_t{1} << scale, GenKronecker(scale, 16, 77));
+  const auto extraction = LargestComponent(raw);
+  // Kron graphs have isolated vertices but one giant component.
+  EXPECT_GT(extraction.graph.NumVertices(), (vid_t{1} << scale) / 3);
+  EXPECT_TRUE(IsConnected(extraction.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ConnectivitySweep, ::testing::Values(8, 10, 12));
+
+}  // namespace
+}  // namespace parhde

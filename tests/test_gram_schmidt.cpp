@@ -1,0 +1,142 @@
+#include "linalg/gram_schmidt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+DenseMatrix RandomColumns(std::size_t n, std::size_t k, std::uint64_t seed) {
+  DenseMatrix m(n, k);
+  Xoshiro256 rng(seed);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      m.At(r, c) = rng.NextDouble() * 2.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+std::vector<double> RandomMetric(std::size_t n, std::uint64_t seed) {
+  std::vector<double> d(n);
+  Xoshiro256 rng(seed);
+  for (auto& v : d) v = 0.5 + 4.0 * rng.NextDouble();  // positive diagonal
+  return d;
+}
+
+TEST(GramSchmidt, ProducesDOrthonormalColumns) {
+  DenseMatrix S = RandomColumns(500, 8, 1);
+  const auto d = RandomMetric(500, 2);
+  const GramSchmidtResult result = DOrthogonalize(S, d);
+  EXPECT_EQ(result.kept.size(), 8u);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_LT(OrthonormalityResidual(S, d), 1e-10);
+}
+
+TEST(GramSchmidt, ClassicalAlsoOrthonormal) {
+  DenseMatrix S = RandomColumns(500, 8, 3);
+  const auto d = RandomMetric(500, 4);
+  GramSchmidtOptions options;
+  options.kind = GramSchmidtKind::Classical;
+  DOrthogonalize(S, d, options);
+  // CGS is less stable; random well-conditioned columns still come out clean.
+  EXPECT_LT(OrthonormalityResidual(S, d), 1e-8);
+}
+
+TEST(GramSchmidt, DropsDuplicateColumn) {
+  DenseMatrix S = RandomColumns(200, 3, 5);
+  // Make column 2 an exact copy of column 0.
+  for (std::size_t r = 0; r < 200; ++r) S.At(r, 2) = S.At(r, 0);
+  const auto d = RandomMetric(200, 6);
+  const GramSchmidtResult result = DOrthogonalize(S, d);
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(result.kept, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(S.Cols(), 2u);
+}
+
+TEST(GramSchmidt, DropsLinearCombination) {
+  DenseMatrix S = RandomColumns(200, 4, 7);
+  for (std::size_t r = 0; r < 200; ++r) {
+    S.At(r, 3) = 0.5 * S.At(r, 0) - 2.0 * S.At(r, 1) + S.At(r, 2);
+  }
+  const auto d = RandomMetric(200, 8);
+  const GramSchmidtResult result = DOrthogonalize(S, d);
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(S.Cols(), 3u);
+}
+
+TEST(GramSchmidt, DropsZeroColumn) {
+  DenseMatrix S = RandomColumns(100, 3, 9);
+  for (std::size_t r = 0; r < 100; ++r) S.At(r, 1) = 0.0;
+  const auto d = RandomMetric(100, 10);
+  const GramSchmidtResult result = DOrthogonalize(S, d);
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(result.kept, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(GramSchmidt, PreservesSpan) {
+  // After orthogonalization, the original columns must be representable in
+  // the new basis: residual of projecting them back is ~0.
+  DenseMatrix original = RandomColumns(300, 5, 11);
+  DenseMatrix S = original;
+  const auto d = RandomMetric(300, 12);
+  DOrthogonalize(S, d);
+
+  for (std::size_t c = 0; c < original.Cols(); ++c) {
+    std::vector<double> residual(original.Col(c).begin(),
+                                 original.Col(c).end());
+    for (std::size_t j = 0; j < S.Cols(); ++j) {
+      const double coeff = WeightedDot(S.Col(j), residual, d);
+      Axpy(-coeff, S.Col(j), residual);
+    }
+    EXPECT_LT(WeightedNorm2(residual, d), 1e-8) << "column " << c;
+  }
+}
+
+TEST(GramSchmidt, UnitMetricEqualsPlainOrthogonalization) {
+  DenseMatrix S = RandomColumns(200, 4, 13);
+  const std::vector<double> ones(200, 1.0);
+  DOrthogonalize(S, ones);
+  // Plain orthonormality: s_i' s_j = delta_ij.
+  for (std::size_t i = 0; i < S.Cols(); ++i) {
+    for (std::size_t j = i; j < S.Cols(); ++j) {
+      EXPECT_NEAR(Dot(S.Col(i), S.Col(j)), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+class GramSchmidtKindSweep
+    : public ::testing::TestWithParam<GramSchmidtKind> {};
+
+TEST_P(GramSchmidtKindSweep, BothKindsSpanSameSubspace) {
+  DenseMatrix mgs = RandomColumns(150, 6, 21);
+  DenseMatrix other = mgs;
+  const auto d = RandomMetric(150, 22);
+
+  GramSchmidtOptions options;
+  options.kind = GramSchmidtKind::Modified;
+  DOrthogonalize(mgs, d, options);
+  options.kind = GetParam();
+  DOrthogonalize(other, d, options);
+
+  // Cross-projection: every column of `other` lies in span(mgs).
+  for (std::size_t c = 0; c < other.Cols(); ++c) {
+    std::vector<double> residual(other.Col(c).begin(), other.Col(c).end());
+    for (std::size_t j = 0; j < mgs.Cols(); ++j) {
+      const double coeff = WeightedDot(mgs.Col(j), residual, d);
+      Axpy(-coeff, mgs.Col(j), residual);
+    }
+    EXPECT_LT(WeightedNorm2(residual, d), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GramSchmidtKindSweep,
+                         ::testing::Values(GramSchmidtKind::Modified,
+                                           GramSchmidtKind::Classical));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,232 @@
+// End-to-end integration tests: the full pipeline the paper's evaluation
+// exercises — generate, preprocess, lay out, draw, and the cross-algorithm
+// comparisons the benchmarks rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "bfs/serial_bfs.hpp"
+#include "draw/layout.hpp"
+#include "draw/png_writer.hpp"
+#include "draw/raster.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/gap_stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/ordering.hpp"
+#include "hde/parhde.hpp"
+#include "hde/phde.hpp"
+#include "hde/pivot_mds.hpp"
+#include "hde/prior_baseline.hpp"
+#include "linalg/laplacian_ops.hpp"
+#include "linalg/lobpcg.hpp"
+
+namespace parhde {
+namespace {
+
+double NormalizedEnergy(const CsrGraph& g, const std::vector<double>& axis) {
+  std::vector<double> x = axis;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double norm = 0.0;
+  for (auto& v : x) {
+    v -= mean;
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm <= 0.0) return 0.0;
+  for (auto& v : x) v /= norm;
+  return LaplacianQuadraticForm(g, x);
+}
+
+/// Preprocessing pipeline of §4.1: clean, extract LCC, verify invariants.
+CsrGraph Preprocess(vid_t n, const EdgeList& edges) {
+  const CsrGraph raw = BuildCsrGraph(n, edges);
+  const auto extraction = LargestComponent(raw);
+  EXPECT_TRUE(extraction.graph.Validate());
+  EXPECT_TRUE(IsConnected(extraction.graph));
+  return extraction.graph;
+}
+
+TEST(Integration, FullPipelineOnEveryGraphFamily) {
+  struct Family {
+    const char* name;
+    vid_t n;
+    EdgeList edges;
+  };
+  std::vector<Family> families;
+  families.push_back({"urand", 2000, GenUniformRandom(2000, 10000, 1)});
+  families.push_back({"kron", 1 << 11, GenKronecker(11, 8, 2)});
+  families.push_back({"road", 900, GenRoad(30, 30, 0.1, 3)});
+  families.push_back(
+      {"barth5", PlateNumVertices(40, 40), GenPlateWithHoles(40, 40)});
+  families.push_back({"grid3d", 512, GenGrid3d(8, 8, 8)});
+
+  for (auto& family : families) {
+    SCOPED_TRACE(family.name);
+    const CsrGraph g = Preprocess(family.n, family.edges);
+    ASSERT_GE(g.NumVertices(), 100);
+
+    HdeOptions options;
+    options.subspace_dim = 10;
+    options.start_vertex = 0;
+    const HdeResult result = RunParHde(g, options);
+    ASSERT_EQ(result.layout.x.size(),
+              static_cast<std::size_t>(g.NumVertices()));
+    for (const double v : result.layout.x) ASSERT_TRUE(std::isfinite(v));
+
+    // The layout must be meaningfully better than random on every family.
+    Layout random;
+    random.x.resize(result.layout.x.size());
+    random.y.resize(result.layout.y.size());
+    for (std::size_t i = 0; i < random.x.size(); ++i) {
+      random.x[i] = static_cast<double>((i * 48271) % 10007);
+      random.y[i] = static_cast<double>((i * 16807) % 10007);
+    }
+    EXPECT_LT(NormalizedEnergy(g, result.layout.x),
+              NormalizedEnergy(g, random.x));
+  }
+}
+
+TEST(Integration, AllFourAlgorithmsAgreeOnChainOrdering) {
+  // ParHDE, PHDE, PivotMDS and the prior baseline must all recover the
+  // linear order of a path (up to reflection) — the strongest cross-check
+  // that the pipelines compute compatible embeddings.
+  const CsrGraph g = BuildCsrGraph(60, GenChain(60));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+
+  auto monotone_fraction = [](const std::vector<double>& x) {
+    int inc = 0, dec = 0;
+    for (std::size_t v = 0; v + 1 < x.size(); ++v) {
+      if (x[v + 1] > x[v]) ++inc;
+      if (x[v + 1] < x[v]) ++dec;
+    }
+    return static_cast<double>(std::max(inc, dec)) /
+           static_cast<double>(x.size() - 1);
+  };
+
+  EXPECT_GT(monotone_fraction(RunParHde(g, options).layout.x), 0.9);
+  EXPECT_GT(monotone_fraction(RunPhde(g, options).layout.x), 0.9);
+  EXPECT_GT(monotone_fraction(RunPivotMds(g, options).layout.x), 0.9);
+  EXPECT_GT(monotone_fraction(RunPriorHde(g, options).layout.x), 0.9);
+}
+
+TEST(Integration, MatrixMarketToDrawingRoundTrip) {
+  // Write a generated graph to MatrixMarket, read it back, lay out, render
+  // to PNG bytes — the complete user workflow of the README quickstart.
+  const CsrGraph original = Preprocess(400, GenGrid2d(20, 20));
+  std::stringstream mm;
+  WriteMatrixMarket(original, mm);
+  const MatrixMarketData data = ReadMatrixMarket(mm);
+  const CsrGraph loaded = BuildCsrGraph(data.n, data.edges);
+  ASSERT_EQ(loaded.NumEdges(), original.NumEdges());
+
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(loaded, options);
+  const PixelLayout px = NormalizeToCanvas(result.layout, 256, 256);
+  const Canvas canvas = DrawGraph(loaded, px);
+  const auto png = EncodePng(canvas);
+  EXPECT_GT(png.size(), 1000u);
+  EXPECT_EQ(png[1], 'P');
+}
+
+TEST(Integration, OrderingAblationChangesGapsNotLayout) {
+  // §4.4: permuting vertex ids changes memory locality (gaps) but the
+  // algorithm's output is the same graph drawn the same way, modulo the
+  // relabeling. Verify energy is permutation-invariant.
+  const CsrGraph g = Preprocess(900, GenGrid2d(30, 30));
+  const Permutation perm = RandomPermutation(g.NumVertices(), 31);
+  const CsrGraph pg = ApplyPermutation(g, perm);
+
+  EXPECT_GT(ComputeGapSummary(pg).mean_gap, ComputeGapSummary(g).mean_gap);
+
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  HdeOptions perm_options = options;
+  perm_options.start_vertex = perm[0];
+
+  const HdeResult a = RunParHde(g, options);
+  const HdeResult b = RunParHde(pg, perm_options);
+  // Same pivots up to relabeling implies the same subspace and energies.
+  const double ea = NormalizedEnergy(g, a.layout.x);
+  const double eb = NormalizedEnergy(pg, b.layout.x);
+  EXPECT_NEAR(ea, eb, 0.25 * std::max(ea, eb));
+}
+
+TEST(Integration, SubspaceDimensionImprovesQuality) {
+  // More pivots -> richer subspace -> layout energy does not get worse.
+  const CsrGraph g = Preprocess(PlateNumVertices(40, 40),
+                                GenPlateWithHoles(40, 40));
+  HdeOptions small;
+  small.subspace_dim = 3;
+  small.start_vertex = 0;
+  HdeOptions large = small;
+  large.subspace_dim = 30;
+  const double e_small = NormalizedEnergy(g, RunParHde(g, small).layout.x);
+  const double e_large = NormalizedEnergy(g, RunParHde(g, large).layout.x);
+  EXPECT_LE(e_large, e_small * 1.5);
+}
+
+TEST(Integration, ParHdeEigenvaluesAreRayleighRitzUpperBounds) {
+  // ParHDE solves the (L, D) eigenproblem restricted to the distance
+  // subspace; by Rayleigh-Ritz its projected eigenvalues bound the true
+  // ones from above, and the bound tightens as s grows. LOBPCG supplies
+  // the "true" eigenvalues.
+  const CsrGraph g = Preprocess(15 * 22, GenGrid2d(15, 22));
+
+  LobpcgOptions exact_options;
+  exact_options.tolerance = 1e-9;
+  exact_options.max_iterations = 3000;
+  const LobpcgResult exact = Lobpcg(g, exact_options);
+  ASSERT_TRUE(exact.converged);
+
+  double previous_bound = kInfWeight;
+  for (const int s : {4, 10, 25}) {
+    HdeOptions options;
+    options.subspace_dim = s;
+    options.start_vertex = 0;
+    const HdeResult hde = RunParHde(g, options);
+    // Upper bound (allow tiny numerical slack).
+    EXPECT_GE(hde.axis_eigenvalue[0], exact.eigenvalues[0] - 1e-9)
+        << "s=" << s;
+    EXPECT_GE(hde.axis_eigenvalue[1], exact.eigenvalues[1] - 1e-9)
+        << "s=" << s;
+    // Monotone improvement with a richer subspace (modulo drops; allow 5%).
+    EXPECT_LE(hde.axis_eigenvalue[0], previous_bound * 1.05) << "s=" << s;
+    previous_bound = hde.axis_eigenvalue[0];
+  }
+  // At s=25 the subspace approximation should be quite tight.
+  EXPECT_LT(previous_bound, 3.0 * exact.eigenvalues[0]);
+}
+
+TEST(Integration, PhaseTimingsSumToTotal) {
+  const CsrGraph g = Preprocess(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  double sum = 0.0;
+  for (const auto& name : result.timings.Names()) {
+    sum += result.timings.Get(name);
+  }
+  EXPECT_DOUBLE_EQ(sum, result.timings.Total());
+  EXPECT_NEAR(result.timings.Percent(phase::kBfs) +
+                  result.timings.Percent(phase::kBfsOther) +
+                  result.timings.Percent(phase::kDOrtho) +
+                  result.timings.Percent(phase::kTripleProdLs) +
+                  result.timings.Percent(phase::kTripleProdGemm) +
+                  result.timings.Percent(phase::kEigensolve) +
+                  result.timings.Percent(phase::kOther),
+              100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace parhde

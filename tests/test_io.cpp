@@ -1,0 +1,145 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(MatrixMarket, ParsesPatternSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const MatrixMarketData data = ReadMatrixMarket(in);
+  EXPECT_EQ(data.n, 3);
+  EXPECT_TRUE(data.pattern);
+  EXPECT_TRUE(data.symmetric);
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_EQ(data.edges[0].u, 1);
+  EXPECT_EQ(data.edges[0].v, 0);
+}
+
+TEST(MatrixMarket, ParsesRealGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 3.5\n"
+      "2 1 3.5\n");
+  const MatrixMarketData data = ReadMatrixMarket(in);
+  EXPECT_FALSE(data.pattern);
+  EXPECT_FALSE(data.symmetric);
+  EXPECT_DOUBLE_EQ(data.edges[0].w, 3.5);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket x y z w\n1 1 0\n");
+  EXPECT_THROW(ReadMatrixMarket(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 5\n"
+      "2 1\n");
+  EXPECT_THROW(ReadMatrixMarket(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 1\n"
+      "4 1\n");
+  EXPECT_THROW(ReadMatrixMarket(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrGraph g = BuildCsrGraph(20, GenRing(20));
+  std::stringstream stream;
+  WriteMatrixMarket(g, stream);
+  const MatrixMarketData data = ReadMatrixMarket(stream);
+  const CsrGraph g2 = BuildCsrGraph(data.n, data.edges);
+  EXPECT_EQ(g2.Offsets(), g.Offsets());
+  EXPECT_EQ(g2.Adjacency(), g.Adjacency());
+}
+
+TEST(MatrixMarket, WeightedRoundTripPreservesWeights) {
+  EdgeList edges = GenChain(10);
+  AssignRandomWeights(edges, 1.0, 9.0, 21);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(10, edges, opts);
+
+  std::stringstream stream;
+  WriteMatrixMarket(g, stream);
+  const MatrixMarketData data = ReadMatrixMarket(stream);
+  EXPECT_FALSE(data.pattern);
+  const CsrGraph g2 = BuildCsrGraph(data.n, data.edges, opts);
+  ASSERT_EQ(g2.Weights().size(), g.Weights().size());
+  for (std::size_t i = 0; i < g.Weights().size(); ++i) {
+    EXPECT_NEAR(g2.Weights()[i], g.Weights()[i], 1e-9);
+  }
+}
+
+TEST(EdgeListIo, ParsesWithCommentsAndWeights) {
+  std::istringstream in(
+      "# comment\n"
+      "0 1\n"
+      "1 2 4.5\n");
+  const MatrixMarketData data = ReadEdgeList(in);
+  EXPECT_EQ(data.n, 3);
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.edges[1].w, 4.5);
+}
+
+TEST(EdgeListIo, RejectsNegativeIds) {
+  std::istringstream in("0 -1\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RoundTripUnweighted) {
+  const CsrGraph g = BuildCsrGraph(64, GenKronecker(6, 4, 2));
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(g, stream);
+  const CsrGraph g2 = ReadBinary(stream);
+  EXPECT_EQ(g2.Offsets(), g.Offsets());
+  EXPECT_EQ(g2.Adjacency(), g.Adjacency());
+  EXPECT_FALSE(g2.HasWeights());
+}
+
+TEST(BinaryIo, RoundTripWeighted) {
+  EdgeList edges = GenGrid2d(5, 5);
+  AssignRandomWeights(edges, 0.5, 2.0, 8);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(25, edges, opts);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(g, stream);
+  const CsrGraph g2 = ReadBinary(stream);
+  EXPECT_EQ(g2.Weights(), g.Weights());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream << "NOTPARHD_extra_bytes_here";
+  EXPECT_THROW(ReadBinary(stream), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedStream) {
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(g, stream);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream truncated(bytes, std::ios::binary);
+  EXPECT_THROW(ReadBinary(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,108 @@
+// File-backed I/O paths (the *File variants) and the drawing writers, via a
+// scratch directory under the build tree.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "draw/layout.hpp"
+#include "draw/png_writer.hpp"
+#include "draw/raster.hpp"
+#include "draw/svg_writer.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace parhde {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parhde_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, MatrixMarketFileRoundTrip) {
+  const CsrGraph g = BuildCsrGraph(30, GenRing(30));
+  const std::string path = Path("ring.mtx");
+  WriteMatrixMarketFile(g, path);
+  const MatrixMarketData data = ReadMatrixMarketFile(path);
+  const CsrGraph g2 = BuildCsrGraph(data.n, data.edges);
+  EXPECT_EQ(g2.Adjacency(), g.Adjacency());
+}
+
+TEST_F(FileIoTest, MatrixMarketMissingFileThrows) {
+  EXPECT_THROW(ReadMatrixMarketFile(Path("nope.mtx")), std::runtime_error);
+}
+
+TEST_F(FileIoTest, BinaryFileRoundTrip) {
+  EdgeList edges = GenGrid2d(6, 7);
+  AssignRandomWeights(edges, 1.0, 2.0, 3);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(42, edges, opts);
+  const std::string path = Path("grid.bin");
+  WriteBinaryFile(g, path);
+  const CsrGraph g2 = ReadBinaryFile(path);
+  EXPECT_EQ(g2.Adjacency(), g.Adjacency());
+  EXPECT_EQ(g2.Weights(), g.Weights());
+}
+
+TEST_F(FileIoTest, EdgeListFileParses) {
+  const std::string path = Path("edges.txt");
+  {
+    std::ofstream out(path);
+    out << "# test\n0 1\n1 2 2.5\n";
+  }
+  const MatrixMarketData data = ReadEdgeListFile(path);
+  EXPECT_EQ(data.n, 3);
+  EXPECT_EQ(data.edges.size(), 2u);
+}
+
+TEST_F(FileIoTest, PngFileHasSignature) {
+  Canvas canvas(8, 8);
+  canvas.DrawLine(0, 0, 7, 7, color::kBlack);
+  const std::string path = Path("tiny.png");
+  WritePngFile(canvas, path);
+
+  std::ifstream in(path, std::ios::binary);
+  unsigned char sig[8];
+  in.read(reinterpret_cast<char*>(sig), 8);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(sig[0], 0x89);
+  EXPECT_EQ(sig[1], 'P');
+  EXPECT_EQ(sig[2], 'N');
+  EXPECT_EQ(sig[3], 'G');
+}
+
+TEST_F(FileIoTest, SvgFileWellFormed) {
+  const CsrGraph g = BuildCsrGraph(4, GenRing(4));
+  Layout layout;
+  layout.x = {0, 1, 1, 0};
+  layout.y = {0, 0, 1, 1};
+  const PixelLayout px = NormalizeToCanvas(layout, 64, 64, 4);
+  const std::string path = Path("ring.svg");
+  WriteSvgFile(g, px, path);
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<?xml"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+}
+
+TEST_F(FileIoTest, BinaryMissingFileThrows) {
+  EXPECT_THROW(ReadBinaryFile(Path("missing.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parhde

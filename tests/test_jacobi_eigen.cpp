@@ -1,0 +1,160 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+DenseMatrix RandomSymmetric(std::size_t n, std::uint64_t seed) {
+  DenseMatrix A(n, n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.NextDouble() * 2.0 - 1.0;
+      A.At(i, j) = v;
+      A.At(j, i) = v;
+    }
+  }
+  return A;
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  DenseMatrix A(3, 3);
+  A.At(0, 0) = 3.0;
+  A.At(1, 1) = 1.0;
+  A.At(2, 2) = 2.0;
+  const EigenDecomposition eig = SymmetricEigen(A);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DenseMatrix A(2, 2);
+  A.At(0, 0) = 2;
+  A.At(1, 0) = 1;
+  A.At(0, 1) = 1;
+  A.At(1, 1) = 2;
+  const EigenDecomposition eig = SymmetricEigen(A);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  // Eigenvector of λ=1 is (1,-1)/√2 up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors.At(0, 0)), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(eig.vectors.At(0, 0) + eig.vectors.At(1, 0), 0.0, 1e-10);
+}
+
+TEST(JacobiEigen, PathLaplacianSpectrum) {
+  // Laplacian of the path P3: eigenvalues 0, 1, 3.
+  DenseMatrix L(3, 3);
+  L.At(0, 0) = 1;
+  L.At(1, 1) = 2;
+  L.At(2, 2) = 1;
+  L.At(1, 0) = -1;
+  L.At(0, 1) = -1;
+  L.At(2, 1) = -1;
+  L.At(1, 2) = -1;
+  const EigenDecomposition eig = SymmetricEigen(L);
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  // A == V diag(λ) V' within tolerance.
+  const DenseMatrix A = RandomSymmetric(10, 31);
+  const EigenDecomposition eig = SymmetricEigen(A);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 10; ++k) {
+        acc += eig.vectors.At(i, k) * eig.values[k] * eig.vectors.At(j, k);
+      }
+      EXPECT_NEAR(acc, A.At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  const DenseMatrix A = RandomSymmetric(20, 33);
+  const EigenDecomposition eig = SymmetricEigen(A);
+  for (std::size_t a = 0; a < 20; ++a) {
+    for (std::size_t b = a; b < 20; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 20; ++i) {
+        dot += eig.vectors.At(i, a) * eig.vectors.At(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(JacobiEigen, SatisfiesEigenEquation) {
+  const DenseMatrix A = RandomSymmetric(15, 35);
+  const EigenDecomposition eig = SymmetricEigen(A);
+  for (std::size_t k = 0; k < 15; ++k) {
+    for (std::size_t i = 0; i < 15; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < 15; ++j) {
+        av += A.At(i, j) * eig.vectors.At(j, k);
+      }
+      EXPECT_NEAR(av, eig.values[k] * eig.vectors.At(i, k), 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum) {
+  const DenseMatrix A = RandomSymmetric(30, 37);
+  const EigenDecomposition eig = SymmetricEigen(A);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) trace += A.At(i, i);
+  for (const double v : eig.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(JacobiEigen, SmallestAndLargestSelectors) {
+  DenseMatrix A(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) A.At(i, i) = static_cast<double>(i + 1);
+  const EigenDecomposition eig = SymmetricEigen(A);
+
+  const DenseMatrix lo = SmallestEigenvectors(eig, 2);
+  ASSERT_EQ(lo.Cols(), 2u);
+  // λ=1 eigenvector is e0; λ=2 is e1.
+  EXPECT_NEAR(std::abs(lo.At(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(lo.At(1, 1)), 1.0, 1e-12);
+
+  const DenseMatrix hi = LargestEigenvectors(eig, 2);
+  EXPECT_NEAR(std::abs(hi.At(3, 0)), 1.0, 1e-12);  // λ=4 first
+  EXPECT_NEAR(std::abs(hi.At(2, 1)), 1.0, 1e-12);  // λ=3 second
+}
+
+TEST(JacobiEigen, OneByOne) {
+  DenseMatrix A(1, 1);
+  A.At(0, 0) = 42.0;
+  const EigenDecomposition eig = SymmetricEigen(A);
+  EXPECT_DOUBLE_EQ(eig.values[0], 42.0);
+  EXPECT_DOUBLE_EQ(std::abs(eig.vectors.At(0, 0)), 1.0);
+}
+
+class JacobiSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JacobiSizeSweep, ConvergesForAllSizes) {
+  const std::size_t n = GetParam();
+  const DenseMatrix A = RandomSymmetric(n, 100 + n);
+  const EigenDecomposition eig = SymmetricEigen(A);
+  EXPECT_LT(eig.sweeps, 64);
+  // Eigenvalues ascending.
+  EXPECT_TRUE(std::is_sorted(eig.values.begin(), eig.values.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSizeSweep,
+                         ::testing::Values(2u, 5u, 10u, 25u, 50u, 100u));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,89 @@
+#include "multilevel/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(Matching, EmptyAndSingleton) {
+  EXPECT_TRUE(IsValidMatching(BuildCsrGraph(0, {}), HeavyEdgeMatching(BuildCsrGraph(0, {}))));
+  const CsrGraph one = BuildCsrGraph(1, {});
+  const auto match = HeavyEdgeMatching(one);
+  EXPECT_TRUE(IsValidMatching(one, match));
+  EXPECT_EQ(match[0], 0);
+}
+
+TEST(Matching, SingleEdgePairs) {
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1}});
+  const auto match = HeavyEdgeMatching(g);
+  EXPECT_TRUE(IsValidMatching(g, match));
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+  EXPECT_EQ(CountMatchedPairs(match), 1);
+}
+
+TEST(Matching, ChainMatchesAlternately) {
+  const CsrGraph g = BuildCsrGraph(8, GenChain(8));
+  const auto match = HeavyEdgeMatching(g);
+  EXPECT_TRUE(IsValidMatching(g, match));
+  // A path admits a perfect matching for even n; the greedy finds one.
+  EXPECT_EQ(CountMatchedPairs(match), 4);
+}
+
+TEST(Matching, StarMatchesExactlyOnePair) {
+  // Hub can pair with only one leaf; other leaves stay single.
+  const CsrGraph g = BuildCsrGraph(10, GenStar(10));
+  const auto match = HeavyEdgeMatching(g);
+  EXPECT_TRUE(IsValidMatching(g, match));
+  EXPECT_EQ(CountMatchedPairs(match), 1);
+}
+
+TEST(Matching, PrefersHeavyEdges) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  // Vertex 0 (lowest degree, visited first) has two available partners:
+  // the greedy must take the heavier edge 0-2.
+  const CsrGraph g = BuildCsrGraph(
+      4, {{0, 1, 1.0}, {0, 2, 5.0}, {1, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}},
+      opts);
+  const auto match = HeavyEdgeMatching(g);
+  EXPECT_TRUE(IsValidMatching(g, match));
+  EXPECT_EQ(match[0], 2);
+  EXPECT_EQ(match[2], 0);
+}
+
+TEST(Matching, Deterministic) {
+  const CsrGraph g = BuildCsrGraph(1 << 10, GenKronecker(10, 6, 3));
+  EXPECT_EQ(HeavyEdgeMatching(g), HeavyEdgeMatching(g));
+}
+
+TEST(Matching, IsValidMatchingCatchesNonEdges) {
+  const CsrGraph g = BuildCsrGraph(4, GenChain(4));
+  std::vector<vid_t> bogus{3, 1, 2, 0};  // 0-3 is not an edge
+  EXPECT_FALSE(IsValidMatching(g, bogus));
+  std::vector<vid_t> broken{1, 0, 3, 1};  // not involutive
+  EXPECT_FALSE(IsValidMatching(g, broken));
+}
+
+class MatchingRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingRateSweep, GridsMatchNearlyPerfectly) {
+  const int side = GetParam();
+  const CsrGraph g =
+      BuildCsrGraph(side * side, GenGrid2d(side, side));
+  const auto match = HeavyEdgeMatching(g);
+  EXPECT_TRUE(IsValidMatching(g, match));
+  // Grids have perfect or near-perfect matchings; the greedy should pair
+  // at least 80% of vertices.
+  EXPECT_GE(2 * CountMatchedPairs(match), 8 * g.NumVertices() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, MatchingRateSweep,
+                         ::testing::Values(4, 9, 16, 33));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,88 @@
+#include "draw/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+#include "hde/refine.hpp"
+
+namespace parhde {
+namespace {
+
+Layout GridGeometry(vid_t rows, vid_t cols) {
+  Layout layout;
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      layout.x.push_back(c);
+      layout.y.push_back(r);
+    }
+  }
+  return layout;
+}
+
+TEST(NeighborhoodPreservation, PerfectForGridGeometry) {
+  // In the true grid embedding, each vertex's nearest deg(v) vertices are
+  // exactly its grid neighbors (distance 1 vs sqrt(2) for diagonals).
+  const CsrGraph g = BuildCsrGraph(144, GenGrid2d(12, 12));
+  const double np = NeighborhoodPreservation(g, GridGeometry(12, 12));
+  EXPECT_GT(np, 0.99);
+}
+
+TEST(NeighborhoodPreservation, LowForRandomLayout) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const double np = NeighborhoodPreservation(g, RandomLayout(400, 5));
+  EXPECT_LT(np, 0.2);
+}
+
+TEST(NeighborhoodPreservation, HdeBeatsRandom) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult hde = RunParHde(g, options);
+  EXPECT_GT(NeighborhoodPreservation(g, hde.layout),
+            3.0 * NeighborhoodPreservation(g, RandomLayout(400, 5)));
+}
+
+TEST(DistanceCorrelation, NearOneForGridGeometry) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  EXPECT_GT(DistanceCorrelation(g, GridGeometry(15, 15)), 0.9);
+}
+
+TEST(DistanceCorrelation, NearZeroForRandomLayout) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  EXPECT_LT(std::abs(DistanceCorrelation(g, RandomLayout(400, 7))), 0.3);
+}
+
+TEST(DistanceCorrelation, HdeHighOnMesh) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult hde = RunParHde(g, options);
+  EXPECT_GT(DistanceCorrelation(g, hde.layout), 0.8);
+}
+
+TEST(QualityMetrics, DeterministicForSeed) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  const Layout layout = RandomLayout(225, 3);
+  QualityOptions options;
+  options.seed = 11;
+  EXPECT_DOUBLE_EQ(NeighborhoodPreservation(g, layout, options),
+                   NeighborhoodPreservation(g, layout, options));
+  EXPECT_DOUBLE_EQ(DistanceCorrelation(g, layout, options),
+                   DistanceCorrelation(g, layout, options));
+}
+
+TEST(QualityMetrics, TinyGraphsDoNotCrash) {
+  const CsrGraph g = BuildCsrGraph(2, {{0, 1}});
+  Layout layout;
+  layout.x = {0.0, 1.0};
+  layout.y = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(NeighborhoodPreservation(g, layout), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceCorrelation(g, layout), 1.0);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,133 @@
+#include "multilevel/multilevel_hde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "linalg/laplacian_ops.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+double NormalizedEnergy(const CsrGraph& g, const std::vector<double>& axis) {
+  std::vector<double> x = axis;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double norm = 0.0;
+  for (auto& v : x) {
+    v -= mean;
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm <= 0.0) return 0.0;
+  for (auto& v : x) v /= norm;
+  return LaplacianQuadraticForm(g, x);
+}
+
+TEST(Multilevel, BuildsAHierarchy) {
+  const CsrGraph g = BuildCsrGraph(3600, GenGrid2d(60, 60));
+  MultilevelOptions options;
+  options.coarsest_size = 100;
+  options.hde.start_vertex = 0;
+  const MultilevelResult result = RunMultilevelHde(g, options);
+  EXPECT_GE(result.levels, 3);
+  EXPECT_LE(result.coarsest_vertices, 200);
+  EXPECT_EQ(result.layout.x.size(), 3600u);
+}
+
+TEST(Multilevel, SmallGraphSkipsCoarsening) {
+  const CsrGraph g = BuildCsrGraph(50, GenRing(50));
+  MultilevelOptions options;
+  options.coarsest_size = 100;  // already small enough
+  options.hde.start_vertex = 0;
+  const MultilevelResult result = RunMultilevelHde(g, options);
+  EXPECT_EQ(result.levels, 0);
+  EXPECT_EQ(result.layout.x.size(), 50u);
+}
+
+TEST(Multilevel, CoordinatesAreFinite) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 12, GenKronecker(12, 8, 7))).graph;
+  MultilevelOptions options;
+  options.hde.start_vertex = 0;
+  const MultilevelResult result = RunMultilevelHde(g, options);
+  for (std::size_t v = 0; v < result.layout.x.size(); ++v) {
+    EXPECT_TRUE(std::isfinite(result.layout.x[v]));
+    EXPECT_TRUE(std::isfinite(result.layout.y[v]));
+  }
+}
+
+TEST(Multilevel, LayoutEnergyComparableToFlat) {
+  // The multilevel layout must be a real layout, not noise: its spectral
+  // energy should be within a small factor of the flat ParHDE energy and
+  // far below random.
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(PlateNumVertices(64, 64),
+                                     GenPlateWithHoles(64, 64)))
+          .graph;
+  MultilevelOptions options;
+  options.hde.start_vertex = 0;
+  const MultilevelResult ml = RunMultilevelHde(g, options);
+
+  HdeOptions flat;
+  flat.subspace_dim = 10;
+  flat.start_vertex = 0;
+  const HdeResult hde = RunParHde(g, flat);
+
+  Xoshiro256 rng(3);
+  std::vector<double> random(static_cast<std::size_t>(g.NumVertices()));
+  for (auto& v : random) v = rng.NextDouble();
+
+  const double ml_energy = NormalizedEnergy(g, ml.layout.x);
+  const double flat_energy = NormalizedEnergy(g, hde.layout.x);
+  const double random_energy = NormalizedEnergy(g, random);
+  EXPECT_LT(ml_energy, random_energy * 0.2);
+  EXPECT_LT(ml_energy, flat_energy * 10.0);
+}
+
+TEST(Multilevel, RecordsPhaseTimings) {
+  const CsrGraph g = BuildCsrGraph(1600, GenGrid2d(40, 40));
+  MultilevelOptions options;
+  options.hde.start_vertex = 0;
+  const MultilevelResult result = RunMultilevelHde(g, options);
+  EXPECT_GT(result.timings.Get("Coarsen"), 0.0);
+  EXPECT_GT(result.timings.Get("CoarseSolve"), 0.0);
+  EXPECT_GT(result.timings.Get("Prolong"), 0.0);
+}
+
+TEST(Multilevel, DeterministicForFixedOptions) {
+  const CsrGraph g = BuildCsrGraph(900, GenGrid2d(30, 30));
+  MultilevelOptions options;
+  options.hde.start_vertex = 0;
+  const MultilevelResult a = RunMultilevelHde(g, options);
+  const MultilevelResult b = RunMultilevelHde(g, options);
+  EXPECT_EQ(a.levels, b.levels);
+  for (std::size_t v = 0; v < a.layout.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.layout.x[v], b.layout.x[v]);
+  }
+}
+
+class MultilevelDepthSweep : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(MultilevelDepthSweep, CoarsestSizeRespected) {
+  const CsrGraph g = BuildCsrGraph(2500, GenGrid2d(50, 50));
+  MultilevelOptions options;
+  options.coarsest_size = GetParam();
+  options.hde.start_vertex = 0;
+  const MultilevelResult result = RunMultilevelHde(g, options);
+  // Each level halves at best; the coarsest must be under 2x the target
+  // (the level before crossing the threshold can be just above it).
+  EXPECT_LE(result.coarsest_vertices, 2 * GetParam() + 1);
+  EXPECT_GE(result.coarsest_vertices, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, MultilevelDepthSweep,
+                         ::testing::Values(64, 128, 512, 1024));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,139 @@
+#include "graph/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/gap_stats.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(RandomPermutation, IsBijection) {
+  const Permutation perm = RandomPermutation(1000, 3);
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+TEST(RandomPermutation, DeterministicForSeed) {
+  EXPECT_EQ(RandomPermutation(100, 5), RandomPermutation(100, 5));
+  EXPECT_NE(RandomPermutation(100, 5), RandomPermutation(100, 6));
+}
+
+TEST(IdentityPermutation, MapsToSelf) {
+  const Permutation perm = IdentityPermutation(10);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(perm[static_cast<std::size_t>(v)], v);
+}
+
+TEST(InversePermutation, ComposesToIdentity) {
+  const Permutation perm = RandomPermutation(500, 7);
+  const Permutation inv = InversePermutation(perm);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[v])], static_cast<vid_t>(v));
+  }
+}
+
+TEST(IsPermutation, DetectsDuplicates) {
+  EXPECT_FALSE(IsPermutation({0, 1, 1}));
+  EXPECT_FALSE(IsPermutation({0, 1, 5}));
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+}
+
+TEST(BfsOrder, SourceGetsRankZero) {
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  const Permutation perm = BfsOrder(g, 5);
+  EXPECT_EQ(perm[5], 0);
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+TEST(BfsOrder, ChainFromEndIsIdentity) {
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  const Permutation perm = BfsOrder(g, 0);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(perm[static_cast<std::size_t>(v)], v);
+}
+
+TEST(RcmOrder, IsBijectionAndCoversDisconnected) {
+  const CsrGraph g = BuildCsrGraph(7, {{0, 1}, {1, 2}, {4, 5}});
+  EXPECT_TRUE(IsPermutation(RcmOrder(g)));
+}
+
+TEST(RcmOrder, ReducesBandwidthOfShuffledGrid) {
+  // Scramble a grid, then check RCM restores locality (mean gap shrinks).
+  const CsrGraph grid = BuildCsrGraph(900, GenGrid2d(30, 30));
+  const CsrGraph shuffled = ApplyPermutation(grid, RandomPermutation(900, 9));
+  const CsrGraph restored = ApplyPermutation(shuffled, RcmOrder(shuffled));
+
+  const double shuffled_gap = ComputeGapSummary(shuffled).mean_gap;
+  const double restored_gap = ComputeGapSummary(restored).mean_gap;
+  EXPECT_LT(restored_gap, shuffled_gap / 4.0);
+}
+
+TEST(DegreeOrder, HubGetsRankZero) {
+  const CsrGraph g = BuildCsrGraph(10, GenStar(10));
+  const Permutation perm = DegreeOrder(g);
+  EXPECT_EQ(perm[0], 0);  // the hub
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+TEST(ApplyPermutation, PreservesStructure) {
+  const CsrGraph g = BuildCsrGraph(50, GenRing(50));
+  const Permutation perm = RandomPermutation(50, 11);
+  const CsrGraph pg = ApplyPermutation(g, perm);
+  EXPECT_EQ(pg.NumVertices(), g.NumVertices());
+  EXPECT_EQ(pg.NumEdges(), g.NumEdges());
+  EXPECT_TRUE(pg.Validate());
+  // Edge {u, v} maps to {perm[u], perm[v]}.
+  for (vid_t v = 0; v < 50; ++v) {
+    for (const vid_t u : g.Neighbors(v)) {
+      EXPECT_TRUE(pg.HasEdge(perm[static_cast<std::size_t>(v)],
+                             perm[static_cast<std::size_t>(u)]));
+    }
+  }
+}
+
+TEST(ApplyPermutation, IdentityIsNoop) {
+  const CsrGraph g = BuildCsrGraph(64, GenKronecker(6, 4, 13));
+  const CsrGraph pg = ApplyPermutation(g, IdentityPermutation(64));
+  EXPECT_EQ(pg.Offsets(), g.Offsets());
+  EXPECT_EQ(pg.Adjacency(), g.Adjacency());
+}
+
+TEST(ApplyPermutation, PreservesWeights) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(3, {{0, 1, 2.0}, {1, 2, 3.0}}, opts);
+  const Permutation perm{2, 0, 1};
+  const CsrGraph pg = ApplyPermutation(g, perm);
+  // Old edge 0-1 (w=2) is now 2-0.
+  const auto nbrs = pg.Neighbors(2);
+  const auto wts = pg.NeighborWeights(2);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_DOUBLE_EQ(wts[0], 2.0);
+}
+
+class OrderingInvarianceSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingInvarianceSweep, PermutationKeepsConnectivityAndDegrees) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 9, GenKronecker(9, 6, 1))).graph;
+  const Permutation perm = RandomPermutation(g.NumVertices(), GetParam());
+  const CsrGraph pg = ApplyPermutation(g, perm);
+  EXPECT_TRUE(IsConnected(pg));
+  // Degree multiset is invariant.
+  std::vector<vid_t> before, after;
+  for (vid_t v = 0; v < g.NumVertices(); ++v) {
+    before.push_back(g.Degree(v));
+    after.push_back(pg.Degree(v));
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingInvarianceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace parhde

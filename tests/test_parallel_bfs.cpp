@@ -1,0 +1,143 @@
+#include "bfs/parallel_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/parallel.hpp"
+
+namespace parhde {
+namespace {
+
+void ExpectMatchesSerial(const CsrGraph& g, vid_t source,
+                         const BfsOptions& options = {}) {
+  const auto expected = SerialBfs(g, source);
+  const BfsResult result = ParallelBfs(g, source, options);
+  ASSERT_EQ(result.dist.size(), expected.size());
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    EXPECT_EQ(result.dist[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(ParallelBfs, ChainMatchesSerial) {
+  ExpectMatchesSerial(BuildCsrGraph(200, GenChain(200)), 0);
+}
+
+TEST(ParallelBfs, GridMatchesSerial) {
+  ExpectMatchesSerial(BuildCsrGraph(400, GenGrid2d(20, 20)), 7);
+}
+
+TEST(ParallelBfs, KroneckerMatchesSerial) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 11, GenKronecker(11, 8, 2))).graph;
+  ExpectMatchesSerial(g, 0);
+  ExpectMatchesSerial(g, g.NumVertices() / 2);
+}
+
+TEST(ParallelBfs, UniformRandomMatchesSerial) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(3000, GenUniformRandom(3000, 12000, 3)))
+          .graph;
+  ExpectMatchesSerial(g, 1);
+}
+
+TEST(ParallelBfs, DisconnectedMarksUnreachable) {
+  const CsrGraph g = BuildCsrGraph(6, {{0, 1}, {1, 2}, {4, 5}});
+  const BfsResult result = ParallelBfs(g, 0);
+  EXPECT_EQ(result.dist[2], 2);
+  EXPECT_EQ(result.dist[3], kInfDist);
+  EXPECT_EQ(result.dist[4], kInfDist);
+  EXPECT_EQ(result.parent[4], kInvalidVid);
+}
+
+TEST(ParallelBfs, ParentsConsistentWithDistances) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, GenKronecker(10, 6, 9))).graph;
+  const BfsResult result = ParallelBfs(g, 0);
+  for (vid_t v = 0; v < g.NumVertices(); ++v) {
+    if (v == 0) continue;
+    const vid_t p = result.parent[static_cast<std::size_t>(v)];
+    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
+    EXPECT_TRUE(g.HasEdge(p, v));
+    EXPECT_EQ(result.dist[static_cast<std::size_t>(v)],
+              result.dist[static_cast<std::size_t>(p)] + 1);
+  }
+}
+
+TEST(ParallelBfs, TopDownOnlyMatchesSerial) {
+  BfsOptions options;
+  options.mode = BfsOptions::Mode::TopDownOnly;
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, GenKronecker(10, 8, 4))).graph;
+  ExpectMatchesSerial(g, 0, options);
+}
+
+TEST(ParallelBfs, BottomUpOnlyMatchesSerial) {
+  BfsOptions options;
+  options.mode = BfsOptions::Mode::BottomUpOnly;
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  ExpectMatchesSerial(g, 0, options);
+}
+
+TEST(ParallelBfs, DirectionOptimizingUsesBottomUpOnDenseGraph) {
+  // Low-diameter graph with skewed degrees: the heuristic must fire.
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 12, GenKronecker(12, 16, 8))).graph;
+  const BfsResult result = ParallelBfs(g, 0);
+  EXPECT_GT(result.stats.bottom_up_steps, 0);
+}
+
+TEST(ParallelBfs, DirectionOptimizingIsMostlyTopDownOnChain) {
+  // High-diameter, degree-2: top-down dominates. (The alpha heuristic may
+  // legitimately flip to bottom-up for a step or two near the end, when
+  // almost no unexplored edges remain — GAP behaves the same way.)
+  const CsrGraph g = BuildCsrGraph(500, GenChain(500));
+  const BfsResult result = ParallelBfs(g, 0);
+  EXPECT_GE(result.stats.top_down_steps, 450);
+  EXPECT_LE(result.stats.bottom_up_steps, result.stats.top_down_steps / 10);
+}
+
+TEST(ParallelBfs, DirectionOptimizingExaminesFewerEdges) {
+  // The whole point of Beamer's heuristic (§3.1): on low-diameter skewed
+  // graphs the hybrid examines fewer arcs than pure top-down.
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 12, GenKronecker(12, 16, 5))).graph;
+  BfsOptions top_down;
+  top_down.mode = BfsOptions::Mode::TopDownOnly;
+  const auto hybrid = ParallelBfs(g, 0);
+  const auto pure = ParallelBfs(g, 0, top_down);
+  EXPECT_LT(hybrid.stats.edges_examined, pure.stats.edges_examined);
+}
+
+TEST(ParallelBfs, LevelsMatchEccentricity) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const BfsResult result = ParallelBfs(g, 0);
+  EXPECT_EQ(result.stats.levels, Eccentricity(g, 0));
+}
+
+class BfsThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsThreadSweep, DistancesIndependentOfThreadCount) {
+  ThreadCountGuard guard(GetParam());
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 11, GenKronecker(11, 6, 6))).graph;
+  ExpectMatchesSerial(g, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BfsThreadSweep, ::testing::Values(1, 2, 4, 8));
+
+class BfsSourceSweep : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(BfsSourceSweep, RoadGraphAllSourcesMatchSerial) {
+  const CsrGraph g = BuildCsrGraph(900, GenRoad(30, 30, 0.15, 2));
+  const vid_t source = GetParam() % g.NumVertices();
+  ExpectMatchesSerial(g, source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, BfsSourceSweep,
+                         ::testing::Values(0, 1, 17, 450, 899));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,126 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace parhde {
+namespace {
+
+TEST(ExclusivePrefixSum, EmptyInput) {
+  std::vector<eid_t> counts, out;
+  ExclusivePrefixSum(counts, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(ExclusivePrefixSum, SingleElement) {
+  std::vector<eid_t> counts{5}, out;
+  ExclusivePrefixSum(counts, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 5);
+}
+
+TEST(ExclusivePrefixSum, MatchesSerialReference) {
+  std::vector<eid_t> counts;
+  for (int i = 0; i < 10007; ++i) counts.push_back((i * 37) % 11);
+  std::vector<eid_t> out;
+  ExclusivePrefixSum(counts, out);
+  ASSERT_EQ(out.size(), counts.size() + 1);
+  eid_t running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(out[i], running) << "at index " << i;
+    running += counts[i];
+  }
+  EXPECT_EQ(out.back(), running);
+}
+
+TEST(ExclusivePrefixSum, AllZeros) {
+  std::vector<eid_t> counts(1000, 0), out;
+  ExclusivePrefixSum(counts, out);
+  for (const eid_t v : out) EXPECT_EQ(v, 0);
+}
+
+class PrefixSumThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSumThreadSweep, DeterministicAcrossThreadCounts) {
+  ThreadCountGuard guard(GetParam());
+  std::vector<eid_t> counts;
+  for (int i = 0; i < 4096; ++i) counts.push_back(i % 7);
+  std::vector<eid_t> out;
+  ExclusivePrefixSum(counts, out);
+  eid_t running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(out[i], running);
+    running += counts[i];
+  }
+  EXPECT_EQ(out.back(), running);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PrefixSumThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ArgmaxFiniteDistance, EmptyVectorReturnsInvalid) {
+  std::vector<dist_t> dist;
+  EXPECT_EQ(ArgmaxFiniteDistance(dist), kInvalidVid);
+}
+
+TEST(ArgmaxFiniteDistance, AllInfiniteReturnsInvalid) {
+  std::vector<dist_t> dist(100, kInfDist);
+  EXPECT_EQ(ArgmaxFiniteDistance(dist), kInvalidVid);
+}
+
+TEST(ArgmaxFiniteDistance, FindsUniqueMax) {
+  std::vector<dist_t> dist(100, 3);
+  dist[42] = 17;
+  EXPECT_EQ(ArgmaxFiniteDistance(dist), 42);
+}
+
+TEST(ArgmaxFiniteDistance, TieBreaksToSmallestId) {
+  std::vector<dist_t> dist(100, 1);
+  dist[30] = 9;
+  dist[60] = 9;
+  EXPECT_EQ(ArgmaxFiniteDistance(dist), 30);
+}
+
+TEST(ArgmaxFiniteDistance, IgnoresInfiniteEntries) {
+  std::vector<dist_t> dist(50, 2);
+  dist[10] = kInfDist;  // would be max if counted
+  dist[20] = 5;
+  EXPECT_EQ(ArgmaxFiniteDistance(dist), 20);
+}
+
+TEST(MinInto, ElementwiseMinimum) {
+  std::vector<dist_t> d{5, 1, kInfDist, 7};
+  const std::vector<dist_t> b{3, 4, 2, kInfDist};
+  MinInto(d, b);
+  EXPECT_EQ(d, (std::vector<dist_t>{3, 1, 2, 7}));
+}
+
+TEST(ParallelSum, MatchesAccumulate) {
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(0.25 * i);
+  const double expected = std::accumulate(v.begin(), v.end(), 0.0);
+  EXPECT_DOUBLE_EQ(ParallelSum(v), expected);
+}
+
+TEST(ThreadCountGuard, RestoresPreviousValue) {
+  const int before = NumThreads();
+  {
+    ThreadCountGuard guard(2);
+    EXPECT_EQ(NumThreads(), 2);
+  }
+  EXPECT_EQ(NumThreads(), before);
+}
+
+TEST(SetNumThreads, ClampsToAtLeastOne) {
+  const int before = NumThreads();
+  SetNumThreads(0);
+  EXPECT_GE(NumThreads(), 1);
+  SetNumThreads(before);
+}
+
+}  // namespace
+}  // namespace parhde

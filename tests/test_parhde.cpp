@@ -1,0 +1,252 @@
+#include "hde/parhde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "linalg/laplacian_ops.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+CsrGraph Barth5Analogue() {
+  const vid_t rows = 48, cols = 48;
+  return LargestComponent(
+             BuildCsrGraph(PlateNumVertices(rows, cols),
+                           GenPlateWithHoles(rows, cols)))
+      .graph;
+}
+
+double Variance(const std::vector<double>& v) {
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - mean) * (x - mean);
+  return var / static_cast<double>(v.size());
+}
+
+TEST(ParHde, ProducesFiniteCoordinates) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  ASSERT_EQ(result.layout.x.size(), 400u);
+  ASSERT_EQ(result.layout.y.size(), 400u);
+  for (std::size_t v = 0; v < 400; ++v) {
+    EXPECT_TRUE(std::isfinite(result.layout.x[v]));
+    EXPECT_TRUE(std::isfinite(result.layout.y[v]));
+  }
+}
+
+TEST(ParHde, LayoutIsNotDegenerate) {
+  const CsrGraph g = Barth5Analogue();
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GT(Variance(result.layout.x), 1e-9);
+  EXPECT_GT(Variance(result.layout.y), 1e-9);
+}
+
+TEST(ParHde, RecordsAllPhases) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 5;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GT(result.timings.Get(phase::kBfs), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kDOrtho), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kTripleProdLs), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kTripleProdGemm), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kEigensolve), 0.0);
+}
+
+TEST(ParHde, DeterministicForFixedSeedAndThreads) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.seed = 11;
+  const HdeResult a = RunParHde(g, options);
+  const HdeResult b = RunParHde(g, options);
+  EXPECT_EQ(a.pivots, b.pivots);
+  for (std::size_t v = 0; v < a.layout.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.layout.x[v], b.layout.x[v]);
+    EXPECT_DOUBLE_EQ(a.layout.y[v], b.layout.y[v]);
+  }
+}
+
+TEST(ParHde, SubspaceDimClampedToGraphSize) {
+  const CsrGraph g = BuildCsrGraph(10, GenRing(10));
+  HdeOptions options;
+  options.subspace_dim = 100;  // > n
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_LE(result.pivots.size(), 9u);
+  EXPECT_EQ(result.layout.x.size(), 10u);
+}
+
+TEST(ParHde, ChainLayoutOrdersVerticesAlongAxis) {
+  // On a path, the Fiedler-like first axis must be monotone (up to sign),
+  // so layout x-order matches path order or its reverse.
+  const CsrGraph g = BuildCsrGraph(64, GenChain(64));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  int increasing = 0, decreasing = 0;
+  for (std::size_t v = 0; v + 1 < 64; ++v) {
+    if (result.layout.x[v + 1] > result.layout.x[v]) ++increasing;
+    if (result.layout.x[v + 1] < result.layout.x[v]) ++decreasing;
+  }
+  EXPECT_TRUE(increasing >= 60 || decreasing >= 60)
+      << "increasing=" << increasing << " decreasing=" << decreasing;
+}
+
+TEST(ParHde, EnergyBeatsRandomLayout) {
+  // The whole point of spectral layout: neighbors end up close. Compare the
+  // Laplacian quadratic form of the (normalized) HDE axes vs random axes.
+  const CsrGraph g = Barth5Analogue();
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+
+  auto normalized_energy = [&](const std::vector<double>& axis) {
+    std::vector<double> x = axis;
+    double mean = 0.0;
+    for (const double v : x) mean += v;
+    mean /= static_cast<double>(x.size());
+    double norm = 0.0;
+    for (auto& v : x) {
+      v -= mean;
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    for (auto& v : x) v /= norm;
+    return LaplacianQuadraticForm(g, x);
+  };
+
+  Xoshiro256 rng(5);
+  std::vector<double> random_axis(result.layout.x.size());
+  for (auto& v : random_axis) v = rng.NextDouble() * 2.0 - 1.0;
+
+  EXPECT_LT(normalized_energy(result.layout.x),
+            0.25 * normalized_energy(random_axis));
+  EXPECT_LT(normalized_energy(result.layout.y),
+            0.25 * normalized_energy(random_axis));
+}
+
+TEST(ParHde, SubspaceBasisAlsoWorks) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  options.basis = CoordBasis::Subspace;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GT(Variance(result.layout.x), 0.0);
+  EXPECT_GT(Variance(result.layout.y), 0.0);
+}
+
+TEST(ParHde, PlainOrthogonalizationVariant) {
+  // §4.5.1: unweighted metric approximates Laplacian eigenvectors; on a
+  // degree-regular graph (ring) results match the D-weighted ones closely.
+  const CsrGraph g = BuildCsrGraph(128, GenRing(128));
+  HdeOptions dw;
+  dw.subspace_dim = 6;
+  dw.start_vertex = 0;
+  HdeOptions plain = dw;
+  plain.metric = OrthoMetric::Unweighted;
+  const HdeResult a = RunParHde(g, dw);
+  const HdeResult b = RunParHde(g, plain);
+  // Same pivots, same subspace; for a regular graph D = 2I so layouts agree
+  // up to scale/rotation. Compare energies instead of raw coordinates.
+  EXPECT_EQ(a.pivots, b.pivots);
+  EXPECT_NEAR(a.axis_eigenvalue[0] * 2.0, b.axis_eigenvalue[0], 1e-6);
+}
+
+TEST(ParHde, RandomPivotStrategyProducesValidLayout) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.pivots = PivotStrategy::Random;
+  options.seed = 17;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GT(Variance(result.layout.x), 0.0);
+  for (const double v : result.layout.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ParHde, WeightedGraphViaSssp) {
+  EdgeList edges = GenGrid2d(12, 12);
+  AssignRandomWeights(edges, 0.5, 3.0, 7);
+  BuildOptions bopts;
+  bopts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(144, edges, bopts);
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  options.kernel = DistanceKernel::DeltaStepping;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GT(Variance(result.layout.x), 0.0);
+  for (const double v : result.layout.y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ParHde, ProjectedEigenvaluesAreNonNegativeAndSorted) {
+  // Z = S'LS is PSD, and we pick its two smallest eigenvalues ascending.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+  EXPECT_GE(result.axis_eigenvalue[0], -1e-9);
+  EXPECT_LE(result.axis_eigenvalue[0], result.axis_eigenvalue[1] + 1e-12);
+}
+
+class ParHdeThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParHdeThreadSweep, LayoutStableAcrossThreadCounts) {
+  ThreadCountGuard guard(GetParam());
+  // Non-square grid: a square one has a doubly-degenerate second eigenvalue
+  // whose eigenbasis is arbitrary, so axes could legitimately swap.
+  const CsrGraph g = BuildCsrGraph(15 * 22, GenGrid2d(15, 22));
+  HdeOptions options;
+  options.subspace_dim = 5;
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(g, options);
+
+  ThreadCountGuard serial(1);
+  const HdeResult ref = RunParHde(g, options);
+  EXPECT_EQ(result.pivots, ref.pivots);
+  for (std::size_t v = 0; v < ref.layout.x.size(); ++v) {
+    EXPECT_NEAR(result.layout.x[v], ref.layout.x[v], 1e-6);
+    EXPECT_NEAR(result.layout.y[v], ref.layout.y[v], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParHdeThreadSweep,
+                         ::testing::Values(1, 2, 4));
+
+class ParHdeSubspaceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParHdeSubspaceSweep, KeptColumnsNeverExceedS) {
+  const CsrGraph g = BuildCsrGraph(256, GenKronecker(8, 6, 19));
+  const auto lcc = LargestComponent(g).graph;
+  HdeOptions options;
+  options.subspace_dim = GetParam();
+  options.start_vertex = 0;
+  const HdeResult result = RunParHde(lcc, options);
+  EXPECT_LE(result.kept_columns, GetParam());
+  EXPECT_GE(result.kept_columns, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ParHdeSubspaceSweep,
+                         ::testing::Values(2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,141 @@
+#include "hde/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+#include "hde/refine.hpp"
+
+namespace parhde {
+namespace {
+
+Layout GridGeometry(vid_t rows, vid_t cols) {
+  Layout layout;
+  layout.x.resize(static_cast<std::size_t>(rows) * cols);
+  layout.y.resize(static_cast<std::size_t>(rows) * cols);
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      layout.x[static_cast<std::size_t>(r * cols + c)] = c;
+      layout.y[static_cast<std::size_t>(r * cols + c)] = r;
+    }
+  }
+  return layout;
+}
+
+TEST(CoordinateBisection, OnePartIsTrivial) {
+  const Layout layout = GridGeometry(4, 4);
+  const auto labels = CoordinateBisection(layout, 1);
+  for (const int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(CoordinateBisection, BalancedParts) {
+  const Layout layout = GridGeometry(8, 8);
+  for (int parts : {2, 4, 8}) {
+    const auto labels = CoordinateBisection(layout, parts);
+    const auto sizes = PartSizes(labels, parts);
+    vid_t lo = sizes[0], hi = sizes[0];
+    for (const vid_t s : sizes) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    EXPECT_LE(hi - lo, 2) << parts << " parts";
+  }
+}
+
+TEST(CoordinateBisection, SplitsAlongWiderAxis) {
+  // 2 x 16 layout: first split must separate left from right halves.
+  const Layout layout = GridGeometry(2, 16);
+  const auto labels = CoordinateBisection(layout, 2);
+  for (vid_t r = 0; r < 2; ++r) {
+    for (vid_t c = 0; c < 16; ++c) {
+      const int expected = c < 8 ? labels[0] : labels[15];
+      EXPECT_EQ(labels[static_cast<std::size_t>(r * 16 + c)], expected);
+    }
+  }
+  EXPECT_NE(labels[0], labels[15]);
+}
+
+TEST(EdgeCut, GridWithGeometricCoordinates) {
+  // Perfect geometric bisection of an 8x8 grid cuts exactly 8 edges.
+  const CsrGraph g = BuildCsrGraph(64, GenGrid2d(8, 8));
+  const Layout layout = GridGeometry(8, 8);
+  const auto labels = CoordinateBisection(layout, 2);
+  EXPECT_EQ(EdgeCut(g, labels), 8);
+}
+
+TEST(EdgeCut, AllSameLabelIsZero) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const std::vector<int> labels(100, 0);
+  EXPECT_EQ(EdgeCut(g, labels), 0);
+}
+
+TEST(EdgeCut, HdeLayoutBeatsRandomPartition) {
+  // §4.5.4: geometric partitioning on spectral coordinates gives a lower
+  // cut than random assignment.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult hde = RunParHde(g, options);
+  const auto spectral_labels = CoordinateBisection(hde.layout, 4);
+
+  // Random balanced labels via a shuffled layout.
+  const Layout random_coords = RandomLayout(400, 23);
+  const auto random_labels = CoordinateBisection(random_coords, 4);
+
+  EXPECT_LT(EdgeCut(g, spectral_labels), EdgeCut(g, random_labels) / 2);
+}
+
+TEST(SpectralBisection, BalancedAndCutsGridCleanly) {
+  // 16x8 grid: the Fiedler vector varies along the long axis, so the
+  // median split is the optimal 8-edge cut.
+  const CsrGraph g = BuildCsrGraph(128, GenGrid2d(8, 16));
+  const auto labels = SpectralBisection(g);
+  const auto sizes = PartSizes(labels, 2);
+  EXPECT_EQ(sizes[0], 64);
+  EXPECT_EQ(sizes[1], 64);
+  EXPECT_EQ(EdgeCut(g, labels), 8);
+}
+
+TEST(SpectralBisection, CoordinateBisectionComesClose) {
+  // §4.5.4 quantified: the fast HDE-coordinate bisection should be within
+  // a small factor of the exact spectral cut.
+  const CsrGraph g = BuildCsrGraph(600, GenGrid2d(20, 30));
+  const auto spectral = SpectralBisection(g);
+
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult hde = RunParHde(g, options);
+  const auto geometric = CoordinateBisection(hde.layout, 2);
+
+  EXPECT_LE(EdgeCut(g, geometric), 3 * EdgeCut(g, spectral));
+}
+
+TEST(PartSizes, CountsLabels) {
+  const std::vector<int> labels{0, 1, 1, 3, 3, 3};
+  const auto sizes = PartSizes(labels, 4);
+  EXPECT_EQ(sizes, (std::vector<vid_t>{1, 2, 0, 3}));
+}
+
+class BisectionPartsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BisectionPartsSweep, EveryVertexLabeledInRange) {
+  const int parts = GetParam();
+  const Layout layout = GridGeometry(16, 16);
+  const auto labels = CoordinateBisection(layout, parts);
+  for (const int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, parts);
+  }
+  // Every part non-empty for these sizes.
+  const auto sizes = PartSizes(labels, parts);
+  for (const vid_t s : sizes) EXPECT_GT(s, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, BisectionPartsSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,104 @@
+#include "hde/phde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+double Variance(const std::vector<double>& v) {
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - mean) * (x - mean);
+  return var / static_cast<double>(v.size());
+}
+
+TEST(Phde, ProducesFiniteNonDegenerateLayout) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunPhde(g, options);
+  EXPECT_GT(Variance(result.layout.x), 1e-9);
+  EXPECT_GT(Variance(result.layout.y), 1e-9);
+  for (const double v : result.layout.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Phde, CoordinatesAreZeroMean) {
+  // PHDE's axes are linear combinations of column-centered vectors, so both
+  // coordinates must have zero mean — the "maximize scatter" normalization.
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  const HdeResult result = RunPhde(g, options);
+  double mx = 0.0, my = 0.0;
+  for (std::size_t v = 0; v < result.layout.x.size(); ++v) {
+    mx += result.layout.x[v];
+    my += result.layout.y[v];
+  }
+  EXPECT_NEAR(mx / static_cast<double>(result.layout.x.size()), 0.0, 1e-8);
+  EXPECT_NEAR(my / static_cast<double>(result.layout.y.size()), 0.0, 1e-8);
+}
+
+TEST(Phde, RecordsItsPhases) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 5;
+  options.start_vertex = 0;
+  const HdeResult result = RunPhde(g, options);
+  EXPECT_GT(result.timings.Get(phase::kBfs), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kColCenter), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kMatMul), 0.0);
+  EXPECT_DOUBLE_EQ(result.timings.Get(phase::kDOrtho), 0.0);  // no DOrtho
+}
+
+TEST(Phde, AxisEigenvaluesDescendingNonNegative) {
+  // C'C is a Gram matrix: eigenvalues >= 0; PCA picks the two largest.
+  const CsrGraph g = BuildCsrGraph(256, GenKronecker(8, 6, 3));
+  const auto lcc = LargestComponent(g).graph;
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  const HdeResult result = RunPhde(lcc, options);
+  EXPECT_GE(result.axis_eigenvalue[0], result.axis_eigenvalue[1] - 1e-9);
+  EXPECT_GE(result.axis_eigenvalue[1], -1e-9);
+}
+
+TEST(Phde, FirstAxisCapturesChainExtent) {
+  // PCA's first axis on a chain orders the vertices end to end.
+  const CsrGraph g = BuildCsrGraph(64, GenChain(64));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  const HdeResult result = RunPhde(g, options);
+  int increasing = 0, decreasing = 0;
+  for (std::size_t v = 0; v + 1 < 64; ++v) {
+    if (result.layout.x[v + 1] > result.layout.x[v]) ++increasing;
+    if (result.layout.x[v + 1] < result.layout.x[v]) ++decreasing;
+  }
+  EXPECT_TRUE(increasing >= 58 || decreasing >= 58);
+}
+
+TEST(Phde, DeterministicForSeed) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 5;
+  options.seed = 23;
+  const HdeResult a = RunPhde(g, options);
+  const HdeResult b = RunPhde(g, options);
+  EXPECT_EQ(a.pivots, b.pivots);
+  for (std::size_t v = 0; v < a.layout.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.layout.x[v], b.layout.x[v]);
+  }
+}
+
+}  // namespace
+}  // namespace parhde

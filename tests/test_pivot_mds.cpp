@@ -1,0 +1,95 @@
+#include "hde/pivot_mds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+double Variance(const std::vector<double>& v) {
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - mean) * (x - mean);
+  return var / static_cast<double>(v.size());
+}
+
+TEST(PivotMds, ProducesFiniteNonDegenerateLayout) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunPivotMds(g, options);
+  EXPECT_GT(Variance(result.layout.x), 1e-9);
+  EXPECT_GT(Variance(result.layout.y), 1e-9);
+  for (const double v : result.layout.y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(PivotMds, RecordsDblCenterPhase) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 5;
+  options.start_vertex = 0;
+  const HdeResult result = RunPivotMds(g, options);
+  EXPECT_GT(result.timings.Get(phase::kDblCenter), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kMatMul), 0.0);
+  EXPECT_DOUBLE_EQ(result.timings.Get(phase::kColCenter), 0.0);
+}
+
+TEST(PivotMds, ChainRecoversLinearGeometry) {
+  // Classical MDS on a path recovers collinear points in order; PivotMDS
+  // approximates this.
+  const CsrGraph g = BuildCsrGraph(80, GenChain(80));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const HdeResult result = RunPivotMds(g, options);
+  int increasing = 0, decreasing = 0;
+  for (std::size_t v = 0; v + 1 < 80; ++v) {
+    if (result.layout.x[v + 1] > result.layout.x[v]) ++increasing;
+    if (result.layout.x[v + 1] < result.layout.x[v]) ++decreasing;
+  }
+  EXPECT_TRUE(increasing >= 75 || decreasing >= 75);
+}
+
+TEST(PivotMds, GridDistancesRoughlyPreserved) {
+  // MDS objective: layout distance should correlate with graph distance.
+  // Spot-check: corner pairs farther apart than adjacent pairs.
+  const vid_t rows = 12, cols = 12;
+  const CsrGraph g = BuildCsrGraph(rows * cols, GenGrid2d(rows, cols));
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.start_vertex = 0;
+  const HdeResult result = RunPivotMds(g, options);
+  auto dist2 = [&](vid_t a, vid_t b) {
+    const double dx = result.layout.x[static_cast<std::size_t>(a)] -
+                      result.layout.x[static_cast<std::size_t>(b)];
+    const double dy = result.layout.y[static_cast<std::size_t>(a)] -
+                      result.layout.y[static_cast<std::size_t>(b)];
+    return dx * dx + dy * dy;
+  };
+  const vid_t corner_a = 0;
+  const vid_t corner_b = rows * cols - 1;
+  EXPECT_GT(dist2(corner_a, corner_b), 10.0 * dist2(0, 1));
+}
+
+TEST(PivotMds, DeterministicForSeed) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 5;
+  options.seed = 29;
+  const HdeResult a = RunPivotMds(g, options);
+  const HdeResult b = RunPivotMds(g, options);
+  for (std::size_t v = 0; v < a.layout.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.layout.x[v], b.layout.x[v]);
+    EXPECT_DOUBLE_EQ(a.layout.y[v], b.layout.y[v]);
+  }
+}
+
+}  // namespace
+}  // namespace parhde

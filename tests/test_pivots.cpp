@@ -1,0 +1,150 @@
+#include "hde/pivots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(RandomPivots, DistinctAndInRange) {
+  const auto pivots = RandomPivots(100, 30, 5);
+  EXPECT_EQ(pivots.size(), 30u);
+  std::set<vid_t> unique(pivots.begin(), pivots.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const vid_t p : pivots) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 100);
+  }
+}
+
+TEST(RandomPivots, FullSampleIsPermutation) {
+  const auto pivots = RandomPivots(20, 20, 7);
+  std::set<vid_t> unique(pivots.begin(), pivots.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(RandomPivots, DeterministicForSeed) {
+  EXPECT_EQ(RandomPivots(1000, 50, 9), RandomPivots(1000, 50, 9));
+}
+
+TEST(KCentersPivots, ChainPicksExtremes) {
+  // On a chain starting from vertex 0, the farthest vertex is n-1, then the
+  // next pivot maximizes min-distance: the middle.
+  const CsrGraph g = BuildCsrGraph(101, GenChain(101));
+  const auto pivots = KCentersPivots(g, 3, 0);
+  ASSERT_EQ(pivots.size(), 3u);
+  EXPECT_EQ(pivots[0], 0);
+  EXPECT_EQ(pivots[1], 100);
+  EXPECT_EQ(pivots[2], 50);
+}
+
+TEST(KCentersPivots, PivotsAreDistinctOnNonTrivialGraphs) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const auto pivots = KCentersPivots(g, 10, 0);
+  std::set<vid_t> unique(pivots.begin(), pivots.end());
+  EXPECT_EQ(unique.size(), pivots.size());
+}
+
+TEST(KCentersPivots, TwoApproximationProperty) {
+  // Gonzalez's guarantee: the farthest-first radius is at most 2x optimal.
+  // We verify the weaker but checkable invariant that each new pivot was at
+  // maximal distance from the previous set at selection time.
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  const auto pivots = KCentersPivots(g, 5, 0);
+
+  std::vector<dist_t> to_set(static_cast<std::size_t>(g.NumVertices()),
+                             kInfDist);
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    if (i > 0) {
+      // pivots[i] must achieve the max of to_set.
+      dist_t maxd = 0;
+      for (const dist_t d : to_set) {
+        if (d != kInfDist) maxd = std::max(maxd, d);
+      }
+      EXPECT_EQ(to_set[static_cast<std::size_t>(pivots[i])], maxd);
+    }
+    const auto dist = SerialBfs(g, pivots[i]);
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+      to_set[v] = std::min(to_set[v], dist[v]);
+    }
+  }
+}
+
+TEST(DistancePhase, KCentersFillsColumnsWithBfsDistances) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  HdeOptions options;
+  options.subspace_dim = 4;
+  options.start_vertex = 0;
+  const DistancePhase phase = RunDistancePhase(g, options);
+  ASSERT_EQ(phase.pivots.size(), 4u);
+  ASSERT_EQ(phase.B.Cols(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto expected = SerialBfs(g, phase.pivots[i]);
+    for (vid_t v = 0; v < 100; ++v) {
+      EXPECT_DOUBLE_EQ(phase.B.At(static_cast<std::size_t>(v), i),
+                       static_cast<double>(expected[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(DistancePhase, RandomStrategyAlsoFillsBfsDistances) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.pivots = PivotStrategy::Random;
+  options.seed = 3;
+  const DistancePhase phase = RunDistancePhase(g, options);
+  ASSERT_EQ(phase.pivots.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto expected = SerialBfs(g, phase.pivots[i]);
+    for (vid_t v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_DOUBLE_EQ(phase.B.At(static_cast<std::size_t>(v), i),
+                       static_cast<double>(expected[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(DistancePhase, SerialKernelMatchesParallelKernel) {
+  const CsrGraph g = BuildCsrGraph(256, GenKronecker(8, 5, 4));
+  HdeOptions par;
+  par.subspace_dim = 3;
+  par.start_vertex = 0;
+  HdeOptions ser = par;
+  ser.kernel = DistanceKernel::SerialBfs;
+  const DistancePhase a = RunDistancePhase(g, par);
+  const DistancePhase b = RunDistancePhase(g, ser);
+  EXPECT_EQ(a.pivots, b.pivots);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(g.NumVertices()); ++r) {
+      EXPECT_DOUBLE_EQ(a.B.At(r, c), b.B.At(r, c));
+    }
+  }
+}
+
+TEST(DistancePhase, SsspKernelOnUnitWeightsMatchesBfs) {
+  BuildOptions bopts;
+  bopts.keep_weights = true;
+  EdgeList edges = GenGrid2d(12, 12);  // unit weights by default
+  const CsrGraph g = BuildCsrGraph(144, edges, bopts);
+  HdeOptions options;
+  options.subspace_dim = 3;
+  options.start_vertex = 0;
+  options.kernel = DistanceKernel::DeltaStepping;
+  const DistancePhase phase = RunDistancePhase(g, options);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto expected = SerialBfs(g, phase.pivots[i]);
+    for (vid_t v = 0; v < 144; ++v) {
+      EXPECT_DOUBLE_EQ(phase.B.At(static_cast<std::size_t>(v), i),
+                       static_cast<double>(expected[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhde

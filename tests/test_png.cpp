@@ -1,0 +1,172 @@
+#include "draw/png_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace parhde {
+namespace {
+
+std::uint32_t ReadU32(const std::vector<std::uint8_t>& bytes, std::size_t at) {
+  return (static_cast<std::uint32_t>(bytes[at]) << 24) |
+         (static_cast<std::uint32_t>(bytes[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[at + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[at + 3]);
+}
+
+TEST(Crc32, KnownVectors) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(data), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Adler32, KnownVectors) {
+  // Adler-32 of "Wikipedia" is 0x11E60398.
+  const char* data = "Wikipedia";
+  EXPECT_EQ(Adler32(reinterpret_cast<const std::uint8_t*>(data), 9),
+            0x11E60398u);
+  EXPECT_EQ(Adler32(nullptr, 0), 1u);
+}
+
+TEST(Png, SignatureAndChunkLayout) {
+  Canvas canvas(16, 8, color::kWhite);
+  const auto png = EncodePng(canvas);
+
+  // 8-byte signature.
+  const std::uint8_t signature[8] = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'};
+  ASSERT_GE(png.size(), 8u);
+  EXPECT_EQ(std::memcmp(png.data(), signature, 8), 0);
+
+  // IHDR chunk: length 13, correct dims.
+  EXPECT_EQ(ReadU32(png, 8), 13u);
+  EXPECT_EQ(std::memcmp(png.data() + 12, "IHDR", 4), 0);
+  EXPECT_EQ(ReadU32(png, 16), 16u);  // width
+  EXPECT_EQ(ReadU32(png, 20), 8u);   // height
+  EXPECT_EQ(png[24], 8);             // bit depth
+  EXPECT_EQ(png[25], 2);             // truecolor
+
+  // File ends with IEND.
+  ASSERT_GE(png.size(), 12u);
+  EXPECT_EQ(std::memcmp(png.data() + png.size() - 8, "IEND", 4), 0);
+}
+
+TEST(Png, ChunkCrcsAreValid) {
+  Canvas canvas(5, 5);
+  canvas.DrawLine(0, 0, 4, 4, color::kRed);
+  const auto png = EncodePng(canvas);
+
+  std::size_t at = 8;
+  int chunks = 0;
+  while (at + 12 <= png.size()) {
+    const std::uint32_t length = ReadU32(png, at);
+    const std::size_t body = at + 4;
+    const std::uint32_t declared = ReadU32(png, body + 4 + length);
+    const std::uint32_t actual = Crc32(png.data() + body, 4 + length);
+    EXPECT_EQ(declared, actual) << "chunk " << chunks;
+    at = body + 4 + length + 4;
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, 3);  // IHDR, IDAT, IEND
+  EXPECT_EQ(at, png.size());
+}
+
+TEST(Png, IdatZlibStreamIsWellFormed) {
+  Canvas canvas(64, 64);
+  const auto png = EncodePng(canvas);
+
+  // Locate IDAT.
+  std::size_t at = 8;
+  while (std::memcmp(png.data() + at + 4, "IDAT", 4) != 0) {
+    at += 12 + ReadU32(png, at);
+  }
+  const std::uint32_t length = ReadU32(png, at);
+  const std::uint8_t* z = png.data() + at + 8;
+
+  // zlib header: CMF/FLG must be a multiple of 31.
+  EXPECT_EQ((static_cast<int>(z[0]) * 256 + z[1]) % 31, 0);
+  EXPECT_EQ(z[0] & 0x0f, 8);  // deflate
+
+  // Walk the stored blocks and reassemble the raw stream length.
+  std::size_t pos = 2;
+  std::size_t raw = 0;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = (z[pos] & 1) != 0;
+    EXPECT_EQ(z[pos] >> 1, 0) << "stored block type";
+    const std::size_t len = z[pos + 1] | (static_cast<std::size_t>(z[pos + 2]) << 8);
+    const std::size_t nlen =
+        z[pos + 3] | (static_cast<std::size_t>(z[pos + 4]) << 8);
+    EXPECT_EQ(len ^ nlen, 0xffffu);
+    raw += len;
+    pos += 5 + len;
+  }
+  // Raw scanlines: height * (1 + 3 * width).
+  EXPECT_EQ(raw, 64u * (1 + 3 * 64));
+  // Trailing Adler-32 consumes the remaining 4 bytes.
+  EXPECT_EQ(pos + 4, length);
+}
+
+TEST(Png, DecodableRoundTripOfPixels) {
+  // Reconstruct pixels from the stored blocks and compare with the canvas.
+  Canvas canvas(7, 3);
+  canvas.SetPixel(2, 1, Rgb{10, 20, 30});
+  canvas.SetPixel(6, 2, Rgb{200, 100, 50});
+  const auto png = EncodePng(canvas);
+
+  std::size_t at = 8;
+  while (std::memcmp(png.data() + at + 4, "IDAT", 4) != 0) {
+    at += 12 + ReadU32(png, at);
+  }
+  const std::uint8_t* z = png.data() + at + 8;
+
+  std::vector<std::uint8_t> raw;
+  std::size_t pos = 2;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = (z[pos] & 1) != 0;
+    const std::size_t len = z[pos + 1] | (static_cast<std::size_t>(z[pos + 2]) << 8);
+    raw.insert(raw.end(), z + pos + 5, z + pos + 5 + len);
+    pos += 5 + len;
+  }
+
+  EXPECT_EQ(Adler32(raw.data(), raw.size()),
+            ReadU32({z, z + pos + 4}, pos));
+
+  const std::size_t row_bytes = 1 + 3 * 7;
+  for (int y = 0; y < 3; ++y) {
+    EXPECT_EQ(raw[static_cast<std::size_t>(y) * row_bytes], 0);  // filter None
+    for (int x = 0; x < 7; ++x) {
+      const std::size_t px =
+          static_cast<std::size_t>(y) * row_bytes + 1 + 3 * static_cast<std::size_t>(x);
+      const Rgb expected = canvas.GetPixel(x, y);
+      EXPECT_EQ(raw[px], expected.r);
+      EXPECT_EQ(raw[px + 1], expected.g);
+      EXPECT_EQ(raw[px + 2], expected.b);
+    }
+  }
+}
+
+TEST(Png, LargeCanvasProducesMultipleStoredBlocks) {
+  // 200x200 RGB is > 65535 bytes of raw data: must split into blocks.
+  Canvas canvas(200, 200);
+  const auto png = EncodePng(canvas);
+  std::size_t at = 8;
+  while (std::memcmp(png.data() + at + 4, "IDAT", 4) != 0) {
+    at += 12 + ReadU32(png, at);
+  }
+  const std::uint8_t* z = png.data() + at + 8;
+  std::size_t pos = 2;
+  int blocks = 0;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = (z[pos] & 1) != 0;
+    const std::size_t len = z[pos + 1] | (static_cast<std::size_t>(z[pos + 2]) << 8);
+    pos += 5 + len;
+    ++blocks;
+  }
+  EXPECT_GT(blocks, 1);
+}
+
+}  // namespace
+}  // namespace parhde

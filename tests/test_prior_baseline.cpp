@@ -1,0 +1,73 @@
+#include "hde/prior_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(PriorBaseline, ProducesFiniteLayout) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  const HdeResult result = RunPriorHde(g, options);
+  ASSERT_EQ(result.layout.x.size(), 225u);
+  for (std::size_t v = 0; v < 225; ++v) {
+    EXPECT_TRUE(std::isfinite(result.layout.x[v]));
+    EXPECT_TRUE(std::isfinite(result.layout.y[v]));
+  }
+}
+
+TEST(PriorBaseline, SamePivotsAsParHde) {
+  // Same k-centers selection with the same start vertex: identical pivots.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 3;
+  const HdeResult prior = RunPriorHde(g, options);
+  const HdeResult modern = RunParHde(g, options);
+  EXPECT_EQ(prior.pivots, modern.pivots);
+}
+
+TEST(PriorBaseline, SameLayoutAsParHdeUpToTolerance) {
+  // Both implement the same algorithm; the layouts must agree numerically
+  // (same pivots -> same subspace -> same projected eigenproblem).
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.start_vertex = 0;
+  const HdeResult prior = RunPriorHde(g, options);
+  const HdeResult modern = RunParHde(g, options);
+  ASSERT_EQ(prior.kept_columns, modern.kept_columns);
+  // Eigenvectors are sign-ambiguous; compare per-axis up to sign.
+  for (int axis = 0; axis < 2; ++axis) {
+    const auto& pa = axis == 0 ? prior.layout.x : prior.layout.y;
+    const auto& ma = axis == 0 ? modern.layout.x : modern.layout.y;
+    double dot = 0.0;
+    for (std::size_t v = 0; v < pa.size(); ++v) dot += pa[v] * ma[v];
+    const double sign = dot >= 0 ? 1.0 : -1.0;
+    for (std::size_t v = 0; v < pa.size(); ++v) {
+      EXPECT_NEAR(pa[v], sign * ma[v], 1e-6) << "axis " << axis << " v " << v;
+    }
+  }
+}
+
+TEST(PriorBaseline, RecordsSamePhaseNames) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  HdeOptions options;
+  options.subspace_dim = 4;
+  options.start_vertex = 0;
+  const HdeResult result = RunPriorHde(g, options);
+  EXPECT_GT(result.timings.Get(phase::kBfs), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kDOrtho), 0.0);
+  EXPECT_GT(result.timings.Get(phase::kTripleProdLs), 0.0);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,120 @@
+#include "hde/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "linalg/laplacian_ops.hpp"
+
+namespace parhde {
+namespace {
+
+double NormalizedEnergy(const CsrGraph& g, const std::vector<double>& axis) {
+  std::vector<double> x = axis;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double norm = 0.0;
+  for (auto& v : x) {
+    v -= mean;
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm <= 0.0) return 0.0;
+  for (auto& v : x) v /= norm;
+  return LaplacianQuadraticForm(g, x);
+}
+
+TEST(RandomLayout, DeterministicAndBounded) {
+  const Layout a = RandomLayout(100, 3);
+  const Layout b = RandomLayout(100, 3);
+  for (std::size_t v = 0; v < 100; ++v) {
+    EXPECT_DOUBLE_EQ(a.x[v], b.x[v]);
+    EXPECT_GE(a.x[v], -1.0);
+    EXPECT_LE(a.x[v], 1.0);
+  }
+}
+
+TEST(CentroidRefine, ReducesLayoutEnergy) {
+  // Each averaging sweep is a smoothing step: energy must drop sharply
+  // from a random start.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  Layout layout = RandomLayout(400, 7);
+  const double before = NormalizedEnergy(g, layout.x);
+  WeightedCentroidRefine(g, layout, 10);
+  const double after = NormalizedEnergy(g, layout.x);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(CentroidRefine, KeepsAxesDOrthogonalToUnit) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  Layout layout = RandomLayout(225, 9);
+  WeightedCentroidRefine(g, layout, 5);
+  // x' D 1 == 0 after the internal reorthogonalization.
+  double xd1 = 0.0, yd1 = 0.0;
+  for (vid_t v = 0; v < 225; ++v) {
+    xd1 += layout.x[static_cast<std::size_t>(v)] * g.WeightedDegree(v);
+    yd1 += layout.y[static_cast<std::size_t>(v)] * g.WeightedDegree(v);
+  }
+  EXPECT_NEAR(xd1, 0.0, 1e-8);
+  EXPECT_NEAR(yd1, 0.0, 1e-8);
+}
+
+TEST(PowerIteration, ConvergesOnSmallGraph) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  PowerIterationOptions options;
+  options.tolerance = 1e-8;
+  const PowerIterationResult result =
+      PowerIteration(g, RandomLayout(100, 11), options);
+  EXPECT_TRUE(result.converged);
+  // Walk-matrix eigenvalues lie in [-1, 1]; the top non-trivial is < 1.
+  EXPECT_LT(result.eigenvalue[0], 1.0);
+  EXPECT_GT(result.eigenvalue[0], 0.5);  // grid mixes slowly
+}
+
+TEST(PowerIteration, RingEigenvalueMatchesTheory) {
+  // Ring walk matrix eigenvalues are cos(2*pi*k/n); the top non-trivial is
+  // cos(2*pi/n).
+  const vid_t n = 64;
+  const CsrGraph g = BuildCsrGraph(n, GenRing(n));
+  PowerIterationOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 50000;
+  const PowerIterationResult result =
+      PowerIteration(g, RandomLayout(n, 13), options);
+  ASSERT_TRUE(result.converged);
+  const double expected = std::cos(2.0 * M_PI / static_cast<double>(n));
+  EXPECT_NEAR(result.eigenvalue[0], expected, 1e-4);
+  // The 2nd axis converges to the degenerate partner (same eigenvalue).
+  EXPECT_NEAR(result.eigenvalue[1], expected, 1e-3);
+}
+
+TEST(PowerIteration, WarmStartConvergesFasterThanRandom) {
+  // The §4.5.3 claim, in iteration counts: HDE-initialized power iteration
+  // needs far fewer iterations than a cold random start.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+
+  PowerIterationOptions options;
+  options.tolerance = 1e-9;
+  options.max_iterations = 100000;
+
+  const PowerIterationResult cold =
+      PowerIteration(g, RandomLayout(400, 17), options);
+
+  HdeOptions hde_options;
+  hde_options.subspace_dim = 10;
+  hde_options.start_vertex = 0;
+  const HdeResult hde = RunParHde(g, hde_options);
+  Layout warm = hde.layout;
+  WeightedCentroidRefine(g, warm, 3);
+  const PowerIterationResult warm_result = PowerIteration(g, warm, options);
+
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm_result.converged);
+  EXPECT_LT(warm_result.iterations, cold.iterations);
+}
+
+}  // namespace
+}  // namespace parhde

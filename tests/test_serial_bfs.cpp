@@ -1,0 +1,83 @@
+#include "bfs/serial_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(SerialBfs, ChainDistances) {
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  const auto dist = SerialBfs(g, 0);
+  for (vid_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(SerialBfs, SourceIsZero) {
+  const CsrGraph g = BuildCsrGraph(25, GenGrid2d(5, 5));
+  const auto dist = SerialBfs(g, 12);
+  EXPECT_EQ(dist[12], 0);
+}
+
+TEST(SerialBfs, UnreachableIsInfinite) {
+  const CsrGraph g = BuildCsrGraph(4, {{0, 1}, {2, 3}});
+  const auto dist = SerialBfs(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kInfDist);
+  EXPECT_EQ(dist[3], kInfDist);
+}
+
+TEST(SerialBfs, GridManhattanDistance) {
+  // In a 4-point-stencil grid, hop distance == Manhattan distance.
+  const vid_t rows = 7, cols = 9;
+  const CsrGraph g = BuildCsrGraph(rows * cols, GenGrid2d(rows, cols));
+  const auto dist = SerialBfs(g, 0);
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(r * cols + c)], r + c);
+    }
+  }
+}
+
+TEST(SerialBfsWithParents, ParentsFormValidTree) {
+  const CsrGraph g = BuildCsrGraph(64, GenKronecker(6, 4, 7));
+  const auto tree = SerialBfsWithParents(g, 0);
+  for (vid_t v = 0; v < 64; ++v) {
+    const vid_t p = tree.parent[static_cast<std::size_t>(v)];
+    if (v == 0 || tree.dist[static_cast<std::size_t>(v)] == kInfDist) {
+      EXPECT_EQ(p, kInvalidVid);
+    } else {
+      ASSERT_NE(p, kInvalidVid);
+      EXPECT_TRUE(g.HasEdge(p, v));
+      EXPECT_EQ(tree.dist[static_cast<std::size_t>(v)],
+                tree.dist[static_cast<std::size_t>(p)] + 1);
+    }
+  }
+}
+
+TEST(Eccentricity, ChainEnds) {
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  EXPECT_EQ(Eccentricity(g, 0), 9);
+  EXPECT_EQ(Eccentricity(g, 5), 5);
+}
+
+TEST(PseudoDiameter, ExactOnChain) {
+  const CsrGraph g = BuildCsrGraph(50, GenChain(50));
+  EXPECT_EQ(PseudoDiameter(g), 49);
+}
+
+TEST(PseudoDiameter, GridLowerBound) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  EXPECT_EQ(PseudoDiameter(g), 18);  // corner to corner
+}
+
+TEST(PseudoDiameter, RingIsHalf) {
+  const CsrGraph g = BuildCsrGraph(20, GenRing(20));
+  EXPECT_EQ(PseudoDiameter(g), 10);
+}
+
+}  // namespace
+}  // namespace parhde

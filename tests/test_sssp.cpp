@@ -1,0 +1,142 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/parallel.hpp"
+
+namespace parhde {
+namespace {
+
+CsrGraph WeightedGraph(vid_t n, EdgeList edges, std::uint64_t seed) {
+  AssignRandomWeights(edges, 0.5, 10.0, seed);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  return BuildCsrGraph(n, std::move(edges), opts);
+}
+
+void ExpectMatchesDijkstra(const CsrGraph& g, vid_t source,
+                           const DeltaSteppingOptions& options = {}) {
+  const auto expected = Dijkstra(g, source);
+  const SsspResult result = DeltaStepping(g, source, options);
+  ASSERT_EQ(result.dist.size(), expected.size());
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.dist[v])) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(result.dist[v], expected[v], 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Dijkstra, WeightedChain) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g =
+      BuildCsrGraph(4, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 1.5}}, opts);
+  const auto dist = Dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 2.0);
+  EXPECT_DOUBLE_EQ(dist[2], 5.0);
+  EXPECT_DOUBLE_EQ(dist[3], 6.5);
+}
+
+TEST(Dijkstra, TakesShorterOfTwoPaths) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  // 0-1-2 costs 2; direct 0-2 costs 5.
+  const CsrGraph g =
+      BuildCsrGraph(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}}, opts);
+  EXPECT_DOUBLE_EQ(Dijkstra(g, 0)[2], 2.0);
+}
+
+TEST(Dijkstra, UnweightedEqualsBfs) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 9, GenKronecker(9, 5, 1))).graph;
+  const auto bfs = SerialBfs(g, 0);
+  const auto dij = Dijkstra(g, 0);
+  for (std::size_t v = 0; v < bfs.size(); ++v) {
+    if (bfs[v] == kInfDist) {
+      EXPECT_TRUE(std::isinf(dij[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(dij[v], static_cast<double>(bfs[v]));
+    }
+  }
+}
+
+TEST(DeltaStepping, WeightedGridMatchesDijkstra) {
+  const CsrGraph g = WeightedGraph(225, GenGrid2d(15, 15), 4);
+  ExpectMatchesDijkstra(g, 0);
+}
+
+TEST(DeltaStepping, WeightedKroneckerMatchesDijkstra) {
+  EdgeList edges = GenKronecker(10, 6, 8);
+  AssignRandomWeights(edges, 0.5, 10.0, 3);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, edges, opts)).graph;
+  ExpectMatchesDijkstra(g, 0);
+  ExpectMatchesDijkstra(g, g.NumVertices() - 1);
+}
+
+TEST(DeltaStepping, UnweightedMatchesBfs) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const auto bfs = SerialBfs(g, 5);
+  const SsspResult result = DeltaStepping(g, 5);
+  for (std::size_t v = 0; v < bfs.size(); ++v) {
+    EXPECT_DOUBLE_EQ(result.dist[v], static_cast<double>(bfs[v]));
+  }
+}
+
+TEST(DeltaStepping, DisconnectedStaysInfinite) {
+  const CsrGraph g = BuildCsrGraph(4, {{0, 1}});
+  const SsspResult result = DeltaStepping(g, 0);
+  EXPECT_TRUE(std::isinf(result.dist[2]));
+  EXPECT_TRUE(std::isinf(result.dist[3]));
+}
+
+TEST(DeltaStepping, ReportsDeltaUsed) {
+  const CsrGraph g = WeightedGraph(100, GenGrid2d(10, 10), 6);
+  DeltaSteppingOptions options;
+  options.delta = 2.5;
+  const SsspResult result = DeltaStepping(g, 0, options);
+  EXPECT_DOUBLE_EQ(result.stats.delta_used, 2.5);
+  EXPECT_GT(result.stats.relaxations, 0);
+}
+
+class DeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaSweep, CorrectForAnyBucketWidth) {
+  // Δ-stepping must be exact regardless of Δ; Δ only changes performance
+  // (the §4.4 observation that road_usa's slowdown depends on Δ).
+  const CsrGraph g = WeightedGraph(400, GenRoad(20, 20, 0.1, 7), 9);
+  DeltaSteppingOptions options;
+  options.delta = GetParam();
+  ExpectMatchesDijkstra(g, 0, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DeltaSweep,
+                         ::testing::Values(0.1, 1.0, 5.0, 50.0));
+
+class SsspThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspThreadSweep, CorrectAcrossThreadCounts) {
+  ThreadCountGuard guard(GetParam());
+  const CsrGraph g = WeightedGraph(900, GenGrid2d(30, 30), 12);
+  ExpectMatchesDijkstra(g, 450);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SsspThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,162 @@
+#include "hde/stress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hde/parhde.hpp"
+#include "hde/refine.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(EdgeStress, ZeroForPerfectLayout) {
+  // A chain laid out with exactly unit spacing has zero 1-stress.
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  Layout layout;
+  for (vid_t v = 0; v < 10; ++v) {
+    layout.x.push_back(static_cast<double>(v));
+    layout.y.push_back(0.0);
+  }
+  EXPECT_NEAR(EdgeStress(g, layout), 0.0, 1e-12);
+}
+
+TEST(EdgeStress, CollapsedLayoutHasEdgeCountStress) {
+  // All vertices at one point: each edge contributes w*d^2 = 1.
+  const CsrGraph g = BuildCsrGraph(20, GenRing(20));
+  Layout layout;
+  layout.x.assign(20, 0.0);
+  layout.y.assign(20, 0.0);
+  EXPECT_DOUBLE_EQ(EdgeStress(g, layout), 20.0);
+}
+
+TEST(Rescale, FixesUniformScale) {
+  // A chain at spacing 3 rescales to spacing 1 (zero stress).
+  const CsrGraph g = BuildCsrGraph(10, GenChain(10));
+  Layout layout;
+  for (vid_t v = 0; v < 10; ++v) {
+    layout.x.push_back(3.0 * v);
+    layout.y.push_back(0.0);
+  }
+  RescaleToStressOptimum(g, layout);
+  EXPECT_NEAR(EdgeStress(g, layout), 0.0, 1e-12);
+  EXPECT_NEAR(layout.x[1] - layout.x[0], 1.0, 1e-12);
+}
+
+TEST(StressMajorize, ReducesStressFromRandomStart) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  const StressResult result =
+      StressMajorize(g, RandomLayout(225, 5), {.max_iterations = 100});
+  EXPECT_LT(result.final_stress, result.initial_stress * 0.5);
+}
+
+TEST(StressMajorize, NearOptimalOnChainFromHdeInit) {
+  const CsrGraph g = BuildCsrGraph(40, GenChain(40));
+  HdeOptions hde;
+  hde.subspace_dim = 8;
+  hde.start_vertex = 0;
+  const HdeResult init = RunParHde(g, hde);
+  const StressResult result =
+      StressMajorize(g, init.layout, {.max_iterations = 500});
+  // A path can reach (near-)zero stress: unit spacing on a line.
+  EXPECT_LT(result.final_stress, 0.05);
+}
+
+TEST(StressMajorize, HdeInitConvergesFasterThanRandom) {
+  // The §4.5.4 claim: HDE layouts are good stress-majorization starts.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  StressOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-7;
+
+  const StressResult cold = StressMajorize(g, RandomLayout(400, 9), options);
+
+  HdeOptions hde;
+  hde.subspace_dim = 10;
+  hde.start_vertex = 0;
+  const StressResult warm =
+      StressMajorize(g, RunParHde(g, hde).layout, options);
+
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_LE(warm.final_stress, cold.final_stress * 1.05);
+  EXPECT_LT(warm.initial_stress, cold.initial_stress);
+}
+
+TEST(StressMajorize, HandlesCoincidentPoints) {
+  // A fully collapsed start must not produce NaNs (zero-length guard).
+  const CsrGraph g = BuildCsrGraph(50, GenRing(50));
+  Layout collapsed;
+  collapsed.x.assign(50, 1.0);
+  collapsed.y.assign(50, 1.0);
+  const StressResult result = StressMajorize(g, collapsed, {.max_iterations = 20});
+  for (std::size_t v = 0; v < 50; ++v) {
+    EXPECT_TRUE(std::isfinite(result.layout.x[v]));
+    EXPECT_TRUE(std::isfinite(result.layout.y[v]));
+  }
+}
+
+TEST(SparseStress, IncludesPivotTerms) {
+  // Sparse stress >= edge stress: the pivot terms are non-negative.
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const Layout layout = RandomLayout(100, 3);
+  EXPECT_GE(SparseStress(g, layout, 8), EdgeStress(g, layout));
+}
+
+TEST(SparseStressMajorize, ReducesSparseStress) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  const StressResult result = SparseStressMajorize(
+      g, RandomLayout(225, 5), 8, {.max_iterations = 100});
+  EXPECT_LT(result.final_stress, result.initial_stress * 0.5);
+}
+
+TEST(SparseStressMajorize, RecoversGlobalStructureFromRandom) {
+  // Plain edge-stress from a random start crumples the global shape; pivot
+  // terms restore it. Compare distance correlation after the same budget.
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  StressOptions options;
+  options.max_iterations = 150;
+  options.tolerance = 0.0;
+  const StressResult plain = StressMajorize(g, RandomLayout(400, 7), options);
+  const StressResult sparse =
+      SparseStressMajorize(g, RandomLayout(400, 7), 12, options);
+  // Both are finite; the sparse variant's full stress must be lower than
+  // the plain layout scored by the same (sparse) objective.
+  EXPECT_LT(SparseStress(g, sparse.layout, 12),
+            SparseStress(g, plain.layout, 12) * 0.8);
+}
+
+TEST(SparseStressMajorize, DeterministicForSeed) {
+  const CsrGraph g = BuildCsrGraph(144, GenGrid2d(12, 12));
+  const Layout init = RandomLayout(144, 9);
+  const StressResult a =
+      SparseStressMajorize(g, init, 6, {.max_iterations = 30}, 5);
+  const StressResult b =
+      SparseStressMajorize(g, init, 6, {.max_iterations = 30}, 5);
+  for (std::size_t v = 0; v < 144; ++v) {
+    EXPECT_DOUBLE_EQ(a.layout.x[v], b.layout.x[v]);
+  }
+}
+
+TEST(StressMajorize, WeightedTargetsRespected) {
+  // Two edges with target lengths 1 and 4 on a path of 3 vertices: the
+  // optimizer should reproduce those lengths.
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(3, {{0, 1, 1.0}, {1, 2, 4.0}}, opts);
+  const StressResult result =
+      StressMajorize(g, RandomLayout(3, 11), {.max_iterations = 500});
+  auto dist = [&](vid_t a, vid_t b) {
+    const double dx = result.layout.x[static_cast<std::size_t>(a)] -
+                      result.layout.x[static_cast<std::size_t>(b)];
+    const double dy = result.layout.y[static_cast<std::size_t>(a)] -
+                      result.layout.y[static_cast<std::size_t>(b)];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  EXPECT_NEAR(dist(0, 1), 1.0, 0.05);
+  EXPECT_NEAR(dist(1, 2), 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parhde {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRule) {
+  TextTable table({"Graph", "Time (s)"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Graph"), std::string::npos);
+  EXPECT_NE(out.find("Time (s)"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.Render();
+  // Every line has the same length (column alignment).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, NumFormatsFixedDigits) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::Num(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, IntGroupsThousands) {
+  EXPECT_EQ(TextTable::Int(0), "0");
+  EXPECT_EQ(TextTable::Int(999), "999");
+  EXPECT_EQ(TextTable::Int(1000), "1 000");
+  EXPECT_EQ(TextTable::Int(2147483376LL), "2 147 483 376");
+  EXPECT_EQ(TextTable::Int(-1234567), "-1 234 567");
+}
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,81 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parhde {
+namespace {
+
+TEST(WallTimer, MeasuresNonNegativeMonotoneTime) {
+  WallTimer timer;
+  const double a = timer.Seconds();
+  const double b = timer.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), b + 1.0);
+}
+
+TEST(PhaseTimings, AccumulatesPerPhase) {
+  PhaseTimings t;
+  t.Add("BFS", 1.0);
+  t.Add("BFS", 0.5);
+  t.Add("DOrtho", 2.0);
+  EXPECT_DOUBLE_EQ(t.Get("BFS"), 1.5);
+  EXPECT_DOUBLE_EQ(t.Get("DOrtho"), 2.0);
+  EXPECT_DOUBLE_EQ(t.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.Total(), 3.5);
+}
+
+TEST(PhaseTimings, PercentSumsToHundred) {
+  PhaseTimings t;
+  t.Add("A", 1.0);
+  t.Add("B", 3.0);
+  EXPECT_DOUBLE_EQ(t.Percent("A"), 25.0);
+  EXPECT_DOUBLE_EQ(t.Percent("B"), 75.0);
+}
+
+TEST(PhaseTimings, PercentOfEmptyIsZero) {
+  PhaseTimings t;
+  EXPECT_DOUBLE_EQ(t.Percent("anything"), 0.0);
+}
+
+TEST(PhaseTimings, NamesKeepFirstRecordedOrder) {
+  PhaseTimings t;
+  t.Add("Z", 1.0);
+  t.Add("A", 1.0);
+  t.Add("Z", 1.0);  // no duplicate entry
+  ASSERT_EQ(t.Names().size(), 2u);
+  EXPECT_EQ(t.Names()[0], "Z");
+  EXPECT_EQ(t.Names()[1], "A");
+}
+
+TEST(PhaseTimings, ClearResets) {
+  PhaseTimings t;
+  t.Add("A", 1.0);
+  t.Clear();
+  EXPECT_DOUBLE_EQ(t.Total(), 0.0);
+  EXPECT_TRUE(t.Names().empty());
+}
+
+TEST(PhaseTimings, MergeSumsPhaseWise) {
+  PhaseTimings a, b;
+  a.Add("X", 1.0);
+  b.Add("X", 2.0);
+  b.Add("Y", 3.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Get("X"), 3.0);
+  EXPECT_DOUBLE_EQ(a.Get("Y"), 3.0);
+}
+
+TEST(ScopedPhase, RecordsOnDestruction) {
+  PhaseTimings t;
+  {
+    ScopedPhase scoped(t, "scope");
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(t.Get("scope"), 0.0);
+}
+
+}  // namespace
+}  // namespace parhde

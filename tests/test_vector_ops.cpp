@@ -1,0 +1,112 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(VectorOps, DotBasics) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(Dot(x, x), 14.0);
+}
+
+TEST(VectorOps, DotEmpty) {
+  EXPECT_DOUBLE_EQ(Dot(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, WeightedDotMatchesManual) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 5, 6};
+  const std::vector<double> d{2, 1, 0.5};
+  EXPECT_DOUBLE_EQ(WeightedDot(x, y, d), 1 * 2 * 4 + 2 * 1 * 5 + 3 * 0.5 * 6);
+}
+
+TEST(VectorOps, WeightedDotAllOnesEqualsDot) {
+  std::vector<double> x(100), y(100), ones(100, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    x[static_cast<std::size_t>(i)] = 0.1 * i;
+    y[static_cast<std::size_t>(i)] = 1.0 - 0.01 * i;
+  }
+  EXPECT_DOUBLE_EQ(WeightedDot(x, y, ones), Dot(x, y));
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 10, 10};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 14, 16}));
+}
+
+TEST(VectorOps, ScaleByZeroClears) {
+  std::vector<double> x{1, -2, 3};
+  Scale(x, 0.0);
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(VectorOps, Norm2Pythagorean) {
+  const std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+}
+
+TEST(VectorOps, WeightedNorm2) {
+  const std::vector<double> x{1, 1};
+  const std::vector<double> d{9, 16};
+  EXPECT_DOUBLE_EQ(WeightedNorm2(x, d), 5.0);
+}
+
+TEST(VectorOps, FillAndCopy) {
+  std::vector<double> x(50);
+  Fill(x, 2.5);
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 2.5);
+  std::vector<double> y(50);
+  Copy(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(VectorOps, MeanAndCenter) {
+  std::vector<double> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(x), 2.5);
+  CenterInPlace(x);
+  EXPECT_NEAR(Mean(x), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(x[0], -1.5);
+  EXPECT_DOUBLE_EQ(x[3], 1.5);
+}
+
+TEST(VectorOps, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, MaxAbs) {
+  const std::vector<double> x{1, -7, 3};
+  EXPECT_DOUBLE_EQ(MaxAbs(x), 7.0);
+  EXPECT_DOUBLE_EQ(MaxAbs(std::vector<double>{}), 0.0);
+}
+
+class VectorOpsThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorOpsThreadSweep, DotStableAcrossThreads) {
+  ThreadCountGuard guard(GetParam());
+  std::vector<double> x(10000), y(10000);
+  for (int i = 0; i < 10000; ++i) {
+    x[static_cast<std::size_t>(i)] = std::sin(0.01 * i);
+    y[static_cast<std::size_t>(i)] = std::cos(0.01 * i);
+  }
+  // Floating-point reassociation across thread counts is bounded; verify to
+  // a tight tolerance rather than bitwise.
+  const double d = Dot(x, y);
+  ThreadCountGuard serial(1);
+  EXPECT_NEAR(d, Dot(x, y), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, VectorOpsThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace parhde

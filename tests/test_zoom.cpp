@@ -1,0 +1,102 @@
+#include "hde/zoom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace parhde {
+namespace {
+
+TEST(Zoom, ZeroHopsIsJustTheCenter) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const Neighborhood nb = ExtractNeighborhood(g, 55, 0);
+  EXPECT_EQ(nb.graph.NumVertices(), 1);
+  EXPECT_EQ(nb.new_to_old, (std::vector<vid_t>{55}));
+  EXPECT_EQ(nb.center_new_id, 0);
+}
+
+TEST(Zoom, OneHopIsClosedNeighborhood) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  const vid_t center = 55;  // interior vertex, degree 4
+  const Neighborhood nb = ExtractNeighborhood(g, center, 1);
+  EXPECT_EQ(nb.graph.NumVertices(), 5);
+  // Each of the 4 neighbors connects to the center; the grid's neighbors of
+  // 55 are not adjacent to each other, so exactly 4 edges.
+  EXPECT_EQ(nb.graph.NumEdges(), 4);
+}
+
+TEST(Zoom, ContainsExactlyVerticesWithinHops) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const vid_t center = 210;
+  const dist_t hops = 5;
+  const Neighborhood nb = ExtractNeighborhood(g, center, hops);
+  const auto dist = SerialBfs(g, center);
+  vid_t expected = 0;
+  for (vid_t v = 0; v < g.NumVertices(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] != kInfDist &&
+        dist[static_cast<std::size_t>(v)] <= hops) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(nb.graph.NumVertices(), expected);
+  for (const vid_t old : nb.new_to_old) {
+    EXPECT_LE(dist[static_cast<std::size_t>(old)], hops);
+  }
+}
+
+TEST(Zoom, SubgraphDistancesRespectHopBound) {
+  // Inside the neighborhood, distance from the center is at most `hops`
+  // (induced-subgraph distances can only grow, never shrink below bound...
+  // they equal the original distances here because all intermediate
+  // vertices of shortest paths are also within the ball).
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  const Neighborhood nb = ExtractNeighborhood(g, 210, 6);
+  const auto sub_dist = SerialBfs(nb.graph, nb.center_new_id);
+  for (const dist_t d : sub_dist) {
+    ASSERT_NE(d, kInfDist);
+    EXPECT_LE(d, 6);
+  }
+}
+
+TEST(Zoom, PreservesWeights) {
+  EdgeList edges = GenGrid2d(8, 8);
+  AssignRandomWeights(edges, 1.0, 4.0, 5);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(64, edges, opts);
+  const Neighborhood nb = ExtractNeighborhood(g, 27, 2);
+  EXPECT_TRUE(nb.graph.HasWeights());
+  EXPECT_TRUE(nb.graph.Validate());
+}
+
+TEST(Zoom, LayoutRunsOnNeighborhood) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(PlateNumVertices(48, 48),
+                                     GenPlateWithHoles(48, 48)))
+          .graph;
+  HdeOptions options;
+  options.subspace_dim = 8;
+  const ZoomResult zoom = ZoomLayout(g, g.NumVertices() / 2, 10, options);
+  EXPECT_GT(zoom.neighborhood.graph.NumVertices(), 10);
+  EXPECT_EQ(zoom.hde.layout.x.size(),
+            static_cast<std::size_t>(zoom.neighborhood.graph.NumVertices()));
+}
+
+class ZoomHopSweep : public ::testing::TestWithParam<dist_t> {};
+
+TEST_P(ZoomHopSweep, MonotoneGrowthWithHops) {
+  const CsrGraph g = BuildCsrGraph(900, GenGrid2d(30, 30));
+  const dist_t hops = GetParam();
+  const Neighborhood smaller = ExtractNeighborhood(g, 435, hops);
+  const Neighborhood larger = ExtractNeighborhood(g, 435, hops + 1);
+  EXPECT_LE(smaller.graph.NumVertices(), larger.graph.NumVertices());
+  EXPECT_TRUE(IsConnected(smaller.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, ZoomHopSweep, ::testing::Values(1, 3, 5, 10));
+
+}  // namespace
+}  // namespace parhde

@@ -1,0 +1,322 @@
+// parhde_cli — the production command-line front end to the library.
+//
+// Subcommands:
+//   generate  --family=<urand|kron|grid|grid3d|road|plate|chain|ring>
+//             [--n/--scale/--rows/--cols/--ef/--seed] --out=<file.mtx>
+//   stats     --in=<file.mtx|file.el>   (sizes, degrees, diameter, gaps)
+//   layout    --in=<...> [--algo=parhde|phde|pivotmds|prior|multilevel]
+//             [--s=10] [--axes=2] [--pivots=kcenters|random] [--gs=mgs|cgs]
+//             [--metric=degree|unit] [--basis=b|s] [--coupled] [--seed=1]
+//             [--coords=out.xy] [--png=out.png] [--svg=out.svg]
+//   partition --in=<...> [--parts=4] [--refine] [--svg=out.svg]
+//   draw      --in=<graph> --coords=<file.xy> [--png=out.png]
+//             [--svg=out.svg] [--canvas=800] [--aa]   (render saved coords)
+//
+// Inputs ending in .mtx parse as MatrixMarket; anything else as an edge
+// list. Graphs are preprocessed exactly like the paper (§4.1): symmetrize,
+// dedup, drop self loops, extract the largest connected component.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "draw/coords_io.hpp"
+#include "draw/layout.hpp"
+#include "draw/png_writer.hpp"
+#include "draw/raster.hpp"
+#include "draw/svg_writer.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/gap_stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "bfs/serial_bfs.hpp"
+#include "hde/parhde.hpp"
+#include "hde/partition.hpp"
+#include "hde/partition_refine.hpp"
+#include "hde/phde.hpp"
+#include "hde/pivot_mds.hpp"
+#include "hde/prior_baseline.hpp"
+#include "multilevel/multilevel_hde.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace parhde;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: parhde_cli <generate|stats|layout|partition> [flags]\n"
+               "see the header comment of tools/parhde_cli.cpp for flags\n");
+  return 2;
+}
+
+CsrGraph LoadGraph(const ArgParser& args) {
+  const std::string path = args.GetString("in", "");
+  if (path.empty()) throw std::runtime_error("--in=<graph file> is required");
+  MatrixMarketData data;
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".mtx") {
+    data = ReadMatrixMarketFile(path);
+  } else {
+    data = ReadEdgeListFile(path);
+  }
+  BuildOptions opts;
+  opts.keep_weights = !data.pattern;
+  CsrGraph raw = BuildCsrGraph(data.n, data.edges, opts);
+  auto extraction = LargestComponent(raw);
+  std::printf("loaded %s: n=%d m=%lld (largest component of %d vertices)\n",
+              path.c_str(), extraction.graph.NumVertices(),
+              static_cast<long long>(extraction.graph.NumEdges()),
+              raw.NumVertices());
+  return std::move(extraction.graph);
+}
+
+int CmdGenerate(const ArgParser& args) {
+  const std::string family = args.GetString("family", "kron");
+  const std::string out = args.GetString("out", "graph.mtx");
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  EdgeList edges;
+  vid_t n = 0;
+  if (family == "urand") {
+    n = static_cast<vid_t>(args.GetInt("n", 1 << 16));
+    edges = GenUniformRandom(n, args.GetInt("m", 8LL * n), seed);
+  } else if (family == "kron") {
+    const int scale = static_cast<int>(args.GetInt("scale", 15));
+    n = vid_t{1} << scale;
+    edges = GenKronecker(scale, static_cast<int>(args.GetInt("ef", 16)), seed);
+  } else if (family == "grid") {
+    const auto rows = static_cast<vid_t>(args.GetInt("rows", 300));
+    const auto cols = static_cast<vid_t>(args.GetInt("cols", 300));
+    n = rows * cols;
+    edges = GenGrid2d(rows, cols);
+  } else if (family == "grid3d") {
+    const auto side = static_cast<vid_t>(args.GetInt("side", 30));
+    n = side * side * side;
+    edges = GenGrid3d(side, side, side);
+  } else if (family == "road") {
+    const auto rows = static_cast<vid_t>(args.GetInt("rows", 300));
+    const auto cols = static_cast<vid_t>(args.GetInt("cols", 300));
+    n = rows * cols;
+    edges = GenRoad(rows, cols, args.GetDouble("diag", 0.05), seed);
+  } else if (family == "plate") {
+    const auto rows = static_cast<vid_t>(args.GetInt("rows", 128));
+    const auto cols = static_cast<vid_t>(args.GetInt("cols", 128));
+    n = PlateNumVertices(rows, cols);
+    edges = GenPlateWithHoles(rows, cols);
+  } else if (family == "chain") {
+    n = static_cast<vid_t>(args.GetInt("n", 1000));
+    edges = GenChain(n);
+  } else if (family == "ring") {
+    n = static_cast<vid_t>(args.GetInt("n", 1000));
+    edges = GenRing(n);
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+
+  const CsrGraph graph = BuildCsrGraph(n, edges);
+  WriteMatrixMarketFile(graph, out);
+  std::printf("wrote %s: n=%d m=%lld\n", out.c_str(), graph.NumVertices(),
+              static_cast<long long>(graph.NumEdges()));
+  return 0;
+}
+
+int CmdStats(const ArgParser& args) {
+  const CsrGraph graph = LoadGraph(args);
+  const GapSummary gaps = ComputeGapSummary(graph);
+
+  TextTable table({"metric", "value"});
+  table.AddRow({"vertices", TextTable::Int(graph.NumVertices())});
+  table.AddRow({"edges", TextTable::Int(graph.NumEdges())});
+  table.AddRow({"max degree", TextTable::Int(graph.MaxDegree())});
+  table.AddRow({"avg degree",
+                TextTable::Num(2.0 * static_cast<double>(graph.NumEdges()) /
+                                   std::max<vid_t>(graph.NumVertices(), 1),
+                               2)});
+  table.AddRow({"pseudo-diameter", TextTable::Int(PseudoDiameter(graph))});
+  table.AddRow({"mean adjacency gap", TextTable::Num(gaps.mean_gap, 1)});
+  table.AddRow({"gaps within cache line",
+                TextTable::Num(100.0 * gaps.cache_line_fraction, 1) + "%"});
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+HdeOptions OptionsFromFlags(const ArgParser& args) {
+  HdeOptions options;
+  options.subspace_dim = static_cast<int>(args.GetInt("s", 10));
+  options.num_axes = static_cast<int>(args.GetInt("axes", 2));
+  options.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  if (args.GetString("pivots", "kcenters") == "random") {
+    options.pivots = PivotStrategy::Random;
+  }
+  if (args.GetString("gs", "mgs") == "cgs") {
+    options.gs_kind = GramSchmidtKind::Classical;
+  }
+  if (args.GetString("metric", "degree") == "unit") {
+    options.metric = OrthoMetric::Unweighted;
+  }
+  if (args.GetString("basis", "b") == "s") {
+    options.basis = CoordBasis::Subspace;
+  }
+  if (args.Has("coupled")) options.coupled_bfs_ortho = true;
+  if (args.Has("sssp")) options.kernel = DistanceKernel::DeltaStepping;
+  return options;
+}
+
+void EmitOutputs(const ArgParser& args, const CsrGraph& graph,
+                 const Layout& layout) {
+  const std::string coords = args.GetString("coords", "");
+  if (!coords.empty()) {
+    WriteCoordinatesFile(layout, coords);
+    std::printf("wrote %s\n", coords.c_str());
+  }
+  const std::string png = args.GetString("png", "");
+  const std::string svg = args.GetString("svg", "");
+  if (!png.empty() || !svg.empty()) {
+    const int size = static_cast<int>(args.GetInt("canvas", 800));
+    const PixelLayout px = NormalizeToCanvas(layout, size, size);
+    if (!png.empty()) {
+      WritePngFile(DrawGraph(graph, px), png);
+      std::printf("wrote %s\n", png.c_str());
+    }
+    if (!svg.empty()) {
+      WriteSvgFile(graph, px, svg);
+      std::printf("wrote %s\n", svg.c_str());
+    }
+  }
+}
+
+int CmdLayout(const ArgParser& args) {
+  const CsrGraph graph = LoadGraph(args);
+  const HdeOptions options = OptionsFromFlags(args);
+  const std::string algo = args.GetString("algo", "parhde");
+
+  Layout layout;
+  PhaseTimings timings;
+  WallTimer timer;
+  if (algo == "parhde") {
+    HdeResult r = RunParHde(graph, options);
+    layout = std::move(r.layout);
+    timings = r.timings;
+  } else if (algo == "phde") {
+    HdeResult r = RunPhde(graph, options);
+    layout = std::move(r.layout);
+    timings = r.timings;
+  } else if (algo == "pivotmds") {
+    HdeResult r = RunPivotMds(graph, options);
+    layout = std::move(r.layout);
+    timings = r.timings;
+  } else if (algo == "prior") {
+    HdeResult r = RunPriorHde(graph, options);
+    layout = std::move(r.layout);
+    timings = r.timings;
+  } else if (algo == "multilevel") {
+    MultilevelOptions ml;
+    ml.hde = options;
+    MultilevelResult r = RunMultilevelHde(graph, ml);
+    layout = std::move(r.layout);
+    timings = r.timings;
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  std::printf("%s finished in %.3f s\n", algo.c_str(), timer.Seconds());
+  for (const auto& name : timings.Names()) {
+    std::printf("  %-16s %8.4f s (%5.1f%%)\n", name.c_str(),
+                timings.Get(name), timings.Percent(name));
+  }
+  std::printf("edge-length energy: %.6g\n",
+              NormalizedEdgeLengthEnergy(graph, layout));
+
+  EmitOutputs(args, graph, layout);
+  return 0;
+}
+
+int CmdPartition(const ArgParser& args) {
+  const CsrGraph graph = LoadGraph(args);
+  const int parts = static_cast<int>(args.GetInt("parts", 4));
+
+  const HdeResult hde = RunParHde(graph, OptionsFromFlags(args));
+  std::vector<int> labels = CoordinateBisection(hde.layout, parts);
+  std::printf("geometric partition: cut=%lld boundary=%d\n",
+              static_cast<long long>(EdgeCut(graph, labels)),
+              BoundarySize(graph, labels));
+
+  if (args.Has("refine")) {
+    const RefinePartitionResult r = RefinePartition(graph, labels, parts);
+    std::printf("after refinement:    cut=%lld (moves=%d, passes=%d)\n",
+                static_cast<long long>(r.final_cut), r.moves, r.passes);
+  }
+
+  const std::string svg = args.GetString("svg", "");
+  if (!svg.empty()) {
+    const int size = static_cast<int>(args.GetInt("canvas", 800));
+    const PixelLayout px = NormalizeToCanvas(hde.layout, size, size);
+    std::vector<Rgb> colors;
+    for (vid_t v = 0; v < graph.NumVertices(); ++v) {
+      for (const vid_t u : graph.Neighbors(v)) {
+        if (u <= v) continue;
+        const int lv = labels[static_cast<std::size_t>(v)];
+        const int lu = labels[static_cast<std::size_t>(u)];
+        colors.push_back(lv == lu ? PartColor(lv) : color::kRed);
+      }
+    }
+    WriteSvgFile(graph, px, svg, {}, colors);
+    std::printf("wrote %s\n", svg.c_str());
+  }
+  return 0;
+}
+
+int CmdDraw(const ArgParser& args) {
+  const CsrGraph graph = LoadGraph(args);
+  const std::string coords = args.GetString("coords", "");
+  if (coords.empty()) {
+    std::fprintf(stderr, "draw requires --coords=<file.xy>\n");
+    return 2;
+  }
+  const Layout layout = ReadCoordinatesFile(coords);
+  if (layout.x.size() != static_cast<std::size_t>(graph.NumVertices())) {
+    std::fprintf(stderr,
+                 "coordinate count (%zu) does not match graph vertices (%d)\n",
+                 layout.x.size(), graph.NumVertices());
+    return 1;
+  }
+  const int size = static_cast<int>(args.GetInt("canvas", 800));
+  const PixelLayout px = NormalizeToCanvas(layout, size, size);
+  const std::string png = args.GetString("png", "");
+  const std::string svg = args.GetString("svg", "");
+  if (png.empty() && svg.empty()) {
+    std::fprintf(stderr, "draw requires --png and/or --svg\n");
+    return 2;
+  }
+  if (!png.empty()) {
+    WritePngFile(
+        DrawGraph(graph, px, nullptr, nullptr, false, args.Has("aa")), png);
+    std::printf("wrote %s\n", png.c_str());
+  }
+  if (!svg.empty()) {
+    WriteSvgFile(graph, px, svg);
+    std::printf("wrote %s\n", svg.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  parhde::ArgParser args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return CmdGenerate(args);
+    if (command == "stats") return CmdStats(args);
+    if (command == "layout") return CmdLayout(args);
+    if (command == "partition") return CmdPartition(args);
+    if (command == "draw") return CmdDraw(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and the example drawings.
+#
+#   tools/run_experiments.sh [build-dir] [output-dir]
+#
+# Produces <output-dir>/bench_output.txt, <output-dir>/test_output.txt, and
+# all example PNGs/SVGs in <output-dir>/figures.
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-experiments}"
+mkdir -p "$OUT/figures"
+
+echo "== building =="
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee "$OUT/test_output.txt" | tail -3
+
+echo "== benchmarks =="
+{
+  for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "##### $(basename "$b")"
+    "$b"
+  done
+} 2>&1 | tee "$OUT/bench_output.txt" | grep '#####'
+
+echo "== figures =="
+(
+  cd "$OUT/figures"
+  for ex in quickstart draw_gallery zoom_neighborhood partition_viz \
+            spectral_refine multilevel_layout weighted_layout layout3d; do
+    echo "--- $ex"
+    "../../$BUILD/examples/$ex"
+  done
+)
+
+echo "done: $OUT/{test_output.txt,bench_output.txt,figures/}"

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_gaps.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig2_gaps.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig2_gaps.dir/bench_fig2_gaps.cpp.o"
+  "CMakeFiles/bench_fig2_gaps.dir/bench_fig2_gaps.cpp.o.d"
+  "bench_fig2_gaps"
+  "bench_fig2_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

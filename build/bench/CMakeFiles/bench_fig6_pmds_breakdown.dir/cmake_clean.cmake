@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pmds_breakdown.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig6_pmds_breakdown.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig6_pmds_breakdown.dir/bench_fig6_pmds_breakdown.cpp.o"
+  "CMakeFiles/bench_fig6_pmds_breakdown.dir/bench_fig6_pmds_breakdown.cpp.o.d"
+  "bench_fig6_pmds_breakdown"
+  "bench_fig6_pmds_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pmds_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_force_directed.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_force_directed.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_force_directed.dir/bench_force_directed.cpp.o"
+  "CMakeFiles/bench_force_directed.dir/bench_force_directed.cpp.o.d"
+  "bench_force_directed"
+  "bench_force_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_force_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

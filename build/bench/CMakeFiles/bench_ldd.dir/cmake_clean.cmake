@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ldd.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ldd.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_ldd.dir/bench_ldd.cpp.o"
+  "CMakeFiles/bench_ldd.dir/bench_ldd.cpp.o.d"
+  "bench_ldd"
+  "bench_ldd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ldd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lobpcg.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_lobpcg.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_lobpcg.dir/bench_lobpcg.cpp.o"
+  "CMakeFiles/bench_lobpcg.dir/bench_lobpcg.cpp.o.d"
+  "bench_lobpcg"
+  "bench_lobpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lobpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

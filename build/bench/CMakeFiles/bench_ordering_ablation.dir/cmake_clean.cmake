@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ordering_ablation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ordering_ablation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_ordering_ablation.dir/bench_ordering_ablation.cpp.o"
+  "CMakeFiles/bench_ordering_ablation.dir/bench_ordering_ablation.cpp.o.d"
+  "bench_ordering_ablation"
+  "bench_ordering_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ordering_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refine_precond.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_refine_precond.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_refine_precond.dir/bench_refine_precond.cpp.o"
+  "CMakeFiles/bench_refine_precond.dir/bench_refine_precond.cpp.o.d"
+  "bench_refine_precond"
+  "bench_refine_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refine_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_refine_precond.
+# This may be replaced when dependencies are built.

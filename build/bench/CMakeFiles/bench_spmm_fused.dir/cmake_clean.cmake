@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmm_fused.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_spmm_fused.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_spmm_fused.dir/bench_spmm_fused.cpp.o"
+  "CMakeFiles/bench_spmm_fused.dir/bench_spmm_fused.cpp.o.d"
+  "bench_spmm_fused"
+  "bench_spmm_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmm_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sssp_delta.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_sssp_delta.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_sssp_delta.dir/bench_sssp_delta.cpp.o"
+  "CMakeFiles/bench_sssp_delta.dir/bench_sssp_delta.cpp.o.d"
+  "bench_sssp_delta"
+  "bench_sssp_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sssp_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

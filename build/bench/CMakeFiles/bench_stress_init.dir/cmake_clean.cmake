@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stress_init.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_stress_init.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_stress_init.dir/bench_stress_init.cpp.o"
+  "CMakeFiles/bench_stress_init.dir/bench_stress_init.cpp.o.d"
+  "bench_stress_init"
+  "bench_stress_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stress_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

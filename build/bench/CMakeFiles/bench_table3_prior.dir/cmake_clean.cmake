@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_prior.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table3_prior.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table3_prior.dir/bench_table3_prior.cpp.o"
+  "CMakeFiles/bench_table3_prior.dir/bench_table3_prior.cpp.o.d"
+  "bench_table3_prior"
+  "bench_table3_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_parhde.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table4_parhde.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table4_parhde.dir/bench_table4_parhde.cpp.o"
+  "CMakeFiles/bench_table4_parhde.dir/bench_table4_parhde.cpp.o.d"
+  "bench_table4_parhde"
+  "bench_table4_parhde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_parhde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

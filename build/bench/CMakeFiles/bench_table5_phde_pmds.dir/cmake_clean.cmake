@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_phde_pmds.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table5_phde_pmds.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table5_phde_pmds.dir/bench_table5_phde_pmds.cpp.o"
+  "CMakeFiles/bench_table5_phde_pmds.dir/bench_table5_phde_pmds.cpp.o.d"
+  "bench_table5_phde_pmds"
+  "bench_table5_phde_pmds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_phde_pmds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_pivots.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table6_pivots.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table6_pivots.dir/bench_table6_pivots.cpp.o"
+  "CMakeFiles/bench_table6_pivots.dir/bench_table6_pivots.cpp.o.d"
+  "bench_table6_pivots"
+  "bench_table6_pivots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

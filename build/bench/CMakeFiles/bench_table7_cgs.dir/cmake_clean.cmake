@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_cgs.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table7_cgs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table7_cgs.dir/bench_table7_cgs.cpp.o"
+  "CMakeFiles/bench_table7_cgs.dir/bench_table7_cgs.cpp.o.d"
+  "bench_table7_cgs"
+  "bench_table7_cgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_cgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

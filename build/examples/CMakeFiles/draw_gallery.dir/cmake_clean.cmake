@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draw_gallery.dir/draw_gallery.cpp.o"
+  "CMakeFiles/draw_gallery.dir/draw_gallery.cpp.o.d"
+  "draw_gallery"
+  "draw_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draw_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

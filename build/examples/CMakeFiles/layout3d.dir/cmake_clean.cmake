@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout3d.dir/layout3d.cpp.o"
+  "CMakeFiles/layout3d.dir/layout3d.cpp.o.d"
+  "layout3d"
+  "layout3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

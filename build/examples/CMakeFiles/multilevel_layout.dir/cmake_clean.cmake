@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_layout.dir/multilevel_layout.cpp.o"
+  "CMakeFiles/multilevel_layout.dir/multilevel_layout.cpp.o.d"
+  "multilevel_layout"
+  "multilevel_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_viz.dir/partition_viz.cpp.o"
+  "CMakeFiles/partition_viz.dir/partition_viz.cpp.o.d"
+  "partition_viz"
+  "partition_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_refine.dir/spectral_refine.cpp.o"
+  "CMakeFiles/spectral_refine.dir/spectral_refine.cpp.o.d"
+  "spectral_refine"
+  "spectral_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_layout.dir/weighted_layout.cpp.o"
+  "CMakeFiles/weighted_layout.dir/weighted_layout.cpp.o.d"
+  "weighted_layout"
+  "weighted_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_neighborhood.dir/zoom_neighborhood.cpp.o"
+  "CMakeFiles/zoom_neighborhood.dir/zoom_neighborhood.cpp.o.d"
+  "zoom_neighborhood"
+  "zoom_neighborhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

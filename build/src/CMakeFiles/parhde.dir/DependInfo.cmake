@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfs/frontier.cpp" "src/CMakeFiles/parhde.dir/bfs/frontier.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/bfs/frontier.cpp.o.d"
+  "/root/repo/src/bfs/ldd.cpp" "src/CMakeFiles/parhde.dir/bfs/ldd.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/bfs/ldd.cpp.o.d"
+  "/root/repo/src/bfs/parallel_bfs.cpp" "src/CMakeFiles/parhde.dir/bfs/parallel_bfs.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/bfs/parallel_bfs.cpp.o.d"
+  "/root/repo/src/bfs/serial_bfs.cpp" "src/CMakeFiles/parhde.dir/bfs/serial_bfs.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/bfs/serial_bfs.cpp.o.d"
+  "/root/repo/src/draw/coords_io.cpp" "src/CMakeFiles/parhde.dir/draw/coords_io.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/draw/coords_io.cpp.o.d"
+  "/root/repo/src/draw/layout.cpp" "src/CMakeFiles/parhde.dir/draw/layout.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/draw/layout.cpp.o.d"
+  "/root/repo/src/draw/metrics.cpp" "src/CMakeFiles/parhde.dir/draw/metrics.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/draw/metrics.cpp.o.d"
+  "/root/repo/src/draw/png_writer.cpp" "src/CMakeFiles/parhde.dir/draw/png_writer.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/draw/png_writer.cpp.o.d"
+  "/root/repo/src/draw/raster.cpp" "src/CMakeFiles/parhde.dir/draw/raster.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/draw/raster.cpp.o.d"
+  "/root/repo/src/draw/svg_writer.cpp" "src/CMakeFiles/parhde.dir/draw/svg_writer.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/draw/svg_writer.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/parhde.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/parhde.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/parhde.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/gap_stats.cpp" "src/CMakeFiles/parhde.dir/graph/gap_stats.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/gap_stats.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/parhde.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/parhde.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/ordering.cpp" "src/CMakeFiles/parhde.dir/graph/ordering.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/graph/ordering.cpp.o.d"
+  "/root/repo/src/hde/force_directed.cpp" "src/CMakeFiles/parhde.dir/hde/force_directed.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/force_directed.cpp.o.d"
+  "/root/repo/src/hde/parhde.cpp" "src/CMakeFiles/parhde.dir/hde/parhde.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/parhde.cpp.o.d"
+  "/root/repo/src/hde/partition.cpp" "src/CMakeFiles/parhde.dir/hde/partition.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/partition.cpp.o.d"
+  "/root/repo/src/hde/partition_refine.cpp" "src/CMakeFiles/parhde.dir/hde/partition_refine.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/partition_refine.cpp.o.d"
+  "/root/repo/src/hde/phde.cpp" "src/CMakeFiles/parhde.dir/hde/phde.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/phde.cpp.o.d"
+  "/root/repo/src/hde/pivot_mds.cpp" "src/CMakeFiles/parhde.dir/hde/pivot_mds.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/pivot_mds.cpp.o.d"
+  "/root/repo/src/hde/pivots.cpp" "src/CMakeFiles/parhde.dir/hde/pivots.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/pivots.cpp.o.d"
+  "/root/repo/src/hde/prior_baseline.cpp" "src/CMakeFiles/parhde.dir/hde/prior_baseline.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/prior_baseline.cpp.o.d"
+  "/root/repo/src/hde/refine.cpp" "src/CMakeFiles/parhde.dir/hde/refine.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/refine.cpp.o.d"
+  "/root/repo/src/hde/stress.cpp" "src/CMakeFiles/parhde.dir/hde/stress.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/stress.cpp.o.d"
+  "/root/repo/src/hde/zoom.cpp" "src/CMakeFiles/parhde.dir/hde/zoom.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/hde/zoom.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/CMakeFiles/parhde.dir/linalg/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/gemm.cpp" "src/CMakeFiles/parhde.dir/linalg/gemm.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/gemm.cpp.o.d"
+  "/root/repo/src/linalg/gram_schmidt.cpp" "src/CMakeFiles/parhde.dir/linalg/gram_schmidt.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/gram_schmidt.cpp.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cpp" "src/CMakeFiles/parhde.dir/linalg/jacobi_eigen.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/jacobi_eigen.cpp.o.d"
+  "/root/repo/src/linalg/laplacian_ops.cpp" "src/CMakeFiles/parhde.dir/linalg/laplacian_ops.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/laplacian_ops.cpp.o.d"
+  "/root/repo/src/linalg/lobpcg.cpp" "src/CMakeFiles/parhde.dir/linalg/lobpcg.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/lobpcg.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/parhde.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/multilevel/coarsen.cpp" "src/CMakeFiles/parhde.dir/multilevel/coarsen.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/multilevel/coarsen.cpp.o.d"
+  "/root/repo/src/multilevel/matching.cpp" "src/CMakeFiles/parhde.dir/multilevel/matching.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/multilevel/matching.cpp.o.d"
+  "/root/repo/src/multilevel/multilevel_hde.cpp" "src/CMakeFiles/parhde.dir/multilevel/multilevel_hde.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/multilevel/multilevel_hde.cpp.o.d"
+  "/root/repo/src/sssp/delta_stepping.cpp" "src/CMakeFiles/parhde.dir/sssp/delta_stepping.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/sssp/delta_stepping.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra.cpp" "src/CMakeFiles/parhde.dir/sssp/dijkstra.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/sssp/dijkstra.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/parhde.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/fibonacci.cpp" "src/CMakeFiles/parhde.dir/util/fibonacci.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/fibonacci.cpp.o.d"
+  "/root/repo/src/util/memory.cpp" "src/CMakeFiles/parhde.dir/util/memory.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/memory.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/parhde.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/parhde.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/parhde.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/parhde.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/parhde.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

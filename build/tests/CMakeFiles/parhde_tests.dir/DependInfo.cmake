@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bfs_heuristics.cpp" "tests/CMakeFiles/parhde_tests.dir/test_bfs_heuristics.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_bfs_heuristics.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/parhde_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/parhde_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cli_tool.cpp" "tests/CMakeFiles/parhde_tests.dir/test_cli_tool.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_cli_tool.cpp.o.d"
+  "/root/repo/tests/test_coarsen.cpp" "tests/CMakeFiles/parhde_tests.dir/test_coarsen.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_coarsen.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/parhde_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_csr_graph.cpp" "tests/CMakeFiles/parhde_tests.dir/test_csr_graph.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_csr_graph.cpp.o.d"
+  "/root/repo/tests/test_dense_matrix.cpp" "tests/CMakeFiles/parhde_tests.dir/test_dense_matrix.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_dense_matrix.cpp.o.d"
+  "/root/repo/tests/test_draw.cpp" "tests/CMakeFiles/parhde_tests.dir/test_draw.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_draw.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/parhde_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fibonacci.cpp" "tests/CMakeFiles/parhde_tests.dir/test_fibonacci.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_fibonacci.cpp.o.d"
+  "/root/repo/tests/test_force_directed.cpp" "tests/CMakeFiles/parhde_tests.dir/test_force_directed.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_force_directed.cpp.o.d"
+  "/root/repo/tests/test_frontier.cpp" "tests/CMakeFiles/parhde_tests.dir/test_frontier.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_frontier.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/parhde_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gap_stats.cpp" "tests/CMakeFiles/parhde_tests.dir/test_gap_stats.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_gap_stats.cpp.o.d"
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/parhde_tests.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_gemm.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/parhde_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_gram_schmidt.cpp" "tests/CMakeFiles/parhde_tests.dir/test_gram_schmidt.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_gram_schmidt.cpp.o.d"
+  "/root/repo/tests/test_hde_variants.cpp" "tests/CMakeFiles/parhde_tests.dir/test_hde_variants.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_hde_variants.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/parhde_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/parhde_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_io_files.cpp" "tests/CMakeFiles/parhde_tests.dir/test_io_files.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_io_files.cpp.o.d"
+  "/root/repo/tests/test_jacobi_eigen.cpp" "tests/CMakeFiles/parhde_tests.dir/test_jacobi_eigen.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_jacobi_eigen.cpp.o.d"
+  "/root/repo/tests/test_laplacian_ops.cpp" "tests/CMakeFiles/parhde_tests.dir/test_laplacian_ops.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_laplacian_ops.cpp.o.d"
+  "/root/repo/tests/test_ldd.cpp" "tests/CMakeFiles/parhde_tests.dir/test_ldd.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_ldd.cpp.o.d"
+  "/root/repo/tests/test_lobpcg.cpp" "tests/CMakeFiles/parhde_tests.dir/test_lobpcg.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_lobpcg.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/parhde_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/parhde_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_multilevel.cpp" "tests/CMakeFiles/parhde_tests.dir/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_multilevel.cpp.o.d"
+  "/root/repo/tests/test_ordering.cpp" "tests/CMakeFiles/parhde_tests.dir/test_ordering.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_ordering.cpp.o.d"
+  "/root/repo/tests/test_parallel_bfs.cpp" "tests/CMakeFiles/parhde_tests.dir/test_parallel_bfs.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_parallel_bfs.cpp.o.d"
+  "/root/repo/tests/test_parallel_util.cpp" "tests/CMakeFiles/parhde_tests.dir/test_parallel_util.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_parallel_util.cpp.o.d"
+  "/root/repo/tests/test_parhde.cpp" "tests/CMakeFiles/parhde_tests.dir/test_parhde.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_parhde.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/parhde_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_partition_refine.cpp" "tests/CMakeFiles/parhde_tests.dir/test_partition_refine.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_partition_refine.cpp.o.d"
+  "/root/repo/tests/test_phde.cpp" "tests/CMakeFiles/parhde_tests.dir/test_phde.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_phde.cpp.o.d"
+  "/root/repo/tests/test_pivot_mds.cpp" "tests/CMakeFiles/parhde_tests.dir/test_pivot_mds.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_pivot_mds.cpp.o.d"
+  "/root/repo/tests/test_pivots.cpp" "tests/CMakeFiles/parhde_tests.dir/test_pivots.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_pivots.cpp.o.d"
+  "/root/repo/tests/test_png.cpp" "tests/CMakeFiles/parhde_tests.dir/test_png.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_png.cpp.o.d"
+  "/root/repo/tests/test_prior_baseline.cpp" "tests/CMakeFiles/parhde_tests.dir/test_prior_baseline.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_prior_baseline.cpp.o.d"
+  "/root/repo/tests/test_prng.cpp" "tests/CMakeFiles/parhde_tests.dir/test_prng.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_prng.cpp.o.d"
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/parhde_tests.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/test_serial_bfs.cpp" "tests/CMakeFiles/parhde_tests.dir/test_serial_bfs.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_serial_bfs.cpp.o.d"
+  "/root/repo/tests/test_sssp.cpp" "tests/CMakeFiles/parhde_tests.dir/test_sssp.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_sssp.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/parhde_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/parhde_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_timer.cpp" "tests/CMakeFiles/parhde_tests.dir/test_timer.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_timer.cpp.o.d"
+  "/root/repo/tests/test_vector_ops.cpp" "tests/CMakeFiles/parhde_tests.dir/test_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_vector_ops.cpp.o.d"
+  "/root/repo/tests/test_zoom.cpp" "tests/CMakeFiles/parhde_tests.dir/test_zoom.cpp.o" "gcc" "tests/CMakeFiles/parhde_tests.dir/test_zoom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parhde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

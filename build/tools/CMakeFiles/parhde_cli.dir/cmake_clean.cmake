@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parhde_cli.dir/parhde_cli.cpp.o"
+  "CMakeFiles/parhde_cli.dir/parhde_cli.cpp.o.d"
+  "parhde_cli"
+  "parhde_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parhde_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+// Batched multi-source BFS vs the per-thread independent-BFS baseline that
+// RunRandomPhase used before (one serial traversal per source, dynamic
+// schedule). The MS-BFS engine amortizes each CSR adjacency read across up
+// to 64 lanes, so s sweeps over the graph become ceil(s/64); the ratio of
+// the two timings is the realized amortization on each graph family.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bfs/ms_bfs.hpp"
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "hde/pivots.hpp"
+
+namespace parhde {
+namespace {
+
+/// The RMAT bench graph: skewed degrees, low diameter (kron15 analogue).
+const CsrGraph& RmatGraph() {
+  static const CsrGraph graph =
+      LargestComponent(BuildCsrGraph(1 << 15, GenKronecker(15, 16, 1))).graph;
+  return graph;
+}
+
+/// High-diameter counterpart: the road analogue (grid + sparse diagonals).
+const CsrGraph& RoadGraph() {
+  static const CsrGraph graph =
+      LargestComponent(BuildCsrGraph(90000, GenRoad(300, 300, 0.05, 1))).graph;
+  return graph;
+}
+
+void RunPerThreadSerial(const CsrGraph& g, const std::vector<vid_t>& sources) {
+  const int s = static_cast<int>(sources.size());
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int i = 0; i < s; ++i) {
+    const auto dist = SerialBfs(g, sources[static_cast<std::size_t>(i)]);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+
+void BenchSources(benchmark::State& state, const CsrGraph& g, bool batched) {
+  const int s = static_cast<int>(state.range(0));
+  const auto sources = RandomPivots(g.NumVertices(), s, 1);
+  for (auto _ : state) {
+    if (batched) {
+      auto dist = MultiSourceBfsDistances(g, sources);
+      benchmark::DoNotOptimize(dist.data());
+    } else {
+      RunPerThreadSerial(g, sources);
+    }
+  }
+  state.counters["sources"] = s;
+  state.counters["src/s"] = benchmark::Counter(
+      static_cast<double>(s) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Rmat_PerThreadSerialBfs(benchmark::State& state) {
+  BenchSources(state, RmatGraph(), /*batched=*/false);
+}
+
+void BM_Rmat_MultiSourceBfs(benchmark::State& state) {
+  BenchSources(state, RmatGraph(), /*batched=*/true);
+}
+
+void BM_Road_PerThreadSerialBfs(benchmark::State& state) {
+  BenchSources(state, RoadGraph(), /*batched=*/false);
+}
+
+void BM_Road_MultiSourceBfs(benchmark::State& state) {
+  BenchSources(state, RoadGraph(), /*batched=*/true);
+}
+
+BENCHMARK(BM_Rmat_PerThreadSerialBfs)->Arg(16)->Arg(64)->Arg(128)->UseRealTime();
+BENCHMARK(BM_Rmat_MultiSourceBfs)->Arg(16)->Arg(64)->Arg(128)->UseRealTime();
+BENCHMARK(BM_Road_PerThreadSerialBfs)->Arg(16)->Arg(64)->Arg(128)->UseRealTime();
+BENCHMARK(BM_Road_MultiSourceBfs)->Arg(16)->Arg(64)->Arg(128)->UseRealTime();
+
+}  // namespace
+}  // namespace parhde
+
+BENCHMARK_MAIN();

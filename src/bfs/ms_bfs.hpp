@@ -1,0 +1,74 @@
+// Batched multi-source BFS (MS-BFS-style, cf. the frontier/visited bitmap
+// techniques of Buluç & Madduri and the edgeMap traversal engines of
+// Dhulipala, Blelloch & Shun).
+//
+// Up to 64 concurrent traversals share one pass over the CSR adjacency:
+// each vertex carries a `uint64_t` lane word per role (`seen`, `visit`,
+// `visit_next`), bit l belonging to source l of the batch. One adjacency
+// read then advances every lane whose bit is set, turning the random-pivot
+// distance phase from s full graph sweeps into ceil(s/64) sweeps.
+//
+// Distance writes are atomic-free in the same sense as parallel_bfs.cpp:
+// a lane's distance at a vertex is written only by the thread that first
+// sets that lane's `seen` bit (arbitrated by fetch_or in the sparse step;
+// by single-writer ownership of the destination vertex in the dense step).
+//
+// The sweep is direction-aware: when the aggregate frontier is small, a
+// sparse vertex-queue step pushes lane words along out-edges; when it is
+// large, a dense word-iteration step walks every unfinished vertex and
+// pulls lane words from its neighbors (early-exiting once all remaining
+// lanes are found).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace parhde {
+
+/// Lane width of one batch: one bit per source in a uint64_t word.
+inline constexpr int kMsBfsLanes = 64;
+
+/// Direction heuristics for the batched sweep. Thresholds are fractions of
+/// n applied to the aggregate frontier vertex count (vertices with at least
+/// one active lane bit), with hysteresis like GAP's alpha/beta pair.
+struct MsBfsOptions {
+  /// Switch sparse -> dense when the frontier exceeds n * dense_threshold.
+  double dense_threshold = 0.03;
+  /// Switch dense -> sparse when the frontier drops below
+  /// n * sparse_threshold.
+  double sparse_threshold = 0.01;
+  /// Force a single step kind (for ablation and tests); Auto switches.
+  enum class Mode { Auto, SparseOnly, DenseOnly } mode = Mode::Auto;
+};
+
+/// Counters for the traversal analysis, aggregated over all batches.
+struct MsBfsStats {
+  std::int64_t batches = 0;       // ceil(sources / 64)
+  std::int64_t levels = 0;        // level iterations summed over batches
+  std::int64_t sparse_steps = 0;  // vertex-queue push steps
+  std::int64_t dense_steps = 0;   // word-iteration pull steps
+  std::int64_t edges_examined = 0;  // arcs touched across all steps
+};
+
+/// Hop distances from every source (any count; batched 64 at a time).
+/// Result i is the distance vector from sources[i]; unreachable vertices
+/// get kInfDist. Duplicate sources are allowed and yield identical rows.
+std::vector<std::vector<dist_t>> MultiSourceBfsDistances(
+    const CsrGraph& graph, std::span<const vid_t> sources,
+    const MsBfsOptions& options = {}, MsBfsStats* stats = nullptr);
+
+/// Same traversal, but lane l writes double distances straight into column
+/// `col_offset + l` of B (the distance phase's layout): unreachable
+/// vertices get the finite sentinel n, matching RunSingleSearch. B must
+/// have NumVertices() rows and at least col_offset + sources.size() columns.
+void MultiSourceBfsToColumns(const CsrGraph& graph,
+                             std::span<const vid_t> sources, DenseMatrix& B,
+                             std::size_t col_offset,
+                             const MsBfsOptions& options = {},
+                             MsBfsStats* stats = nullptr);
+
+}  // namespace parhde

@@ -130,9 +130,13 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
 
   while (frontier_size > 0) {
     const dist_t next_level = level + 1;
+    // Frontier out-edges (the m_f term) are needed by both the Auto-mode
+    // direction heuristic and the edges_remaining bookkeeping of a
+    // top-down step; scan the frontier once per level and share the value.
+    std::int64_t frontier_edges = -1;
     if (!bottom_up && options.mode == BfsOptions::Mode::Auto) {
-      const std::int64_t mf = FrontierOutEdges(graph, frontier);
-      if (static_cast<double>(mf) >
+      frontier_edges = FrontierOutEdges(graph, frontier);
+      if (static_cast<double>(frontier_edges) >
           static_cast<double>(edges_remaining) / options.alpha) {
         frontier.StoreToBitmap(front_bm);
         bottom_up = true;
@@ -154,8 +158,10 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
         bottom_up = false;
       }
     } else {
-      const std::int64_t out_edges = FrontierOutEdges(graph, frontier);
-      edges_remaining -= out_edges;
+      if (frontier_edges < 0) {  // TopDownOnly mode skips the heuristic
+        frontier_edges = FrontierOutEdges(graph, frontier);
+      }
+      edges_remaining -= frontier_edges;
       result.stats.edges_examined +=
           TopDownStep(graph, frontier, parent, result.dist, next_level);
       ++result.stats.top_down_steps;

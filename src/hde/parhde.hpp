@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "bfs/ms_bfs.hpp"
 #include "bfs/parallel_bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "linalg/dense_matrix.hpp"
@@ -48,10 +49,31 @@ enum class CoordBasis {
 
 /// Which traversal produces the distance columns.
 enum class DistanceKernel {
-  ParallelBfs,    // direction-optimizing BFS (unweighted graphs)
-  SerialBfs,      // reference/baseline traversal
-  DeltaStepping,  // Δ-stepping SSSP (weighted graphs, §3.3)
+  ParallelBfs,     // direction-optimizing BFS (unweighted graphs)
+  SerialBfs,       // reference/baseline traversal
+  DeltaStepping,   // Δ-stepping SSSP (weighted graphs, §3.3)
+  MultiSourceBfs,  // bit-packed 64-wide batched BFS; random pivots only —
+                   // k-centers interleaves selection with traversal, so it
+                   // falls back to ParallelBfs there
 };
+
+/// Random-pivot phases with at least this many sources upgrade the default
+/// ParallelBfs kernel to MultiSourceBfs automatically: batching amortizes
+/// each adjacency read over up to 64 concurrent traversals, and the win
+/// already shows at a fraction of one full batch.
+inline constexpr int kMsBfsAutoThreshold = 8;
+
+/// Diameter guard for that automatic upgrade. Batching only amortizes when
+/// the lane waves overlap in time; arrival times of different sources at a
+/// vertex spread over roughly the graph diameter, so once the diameter
+/// approaches the 64-lane word width every vertex re-enters the frontier
+/// once per lane and the batch degenerates to independent BFSes paying
+/// word-op overhead. Empirically the crossover sits near eccentricity
+/// 30-40 (small-world graphs win 8-23x, meshes/roads above ~40 lose), so
+/// the auto path probes one pivot's eccentricity and batches only when it
+/// is at most half the lane width. An explicit
+/// DistanceKernel::MultiSourceBfs request skips the probe.
+inline constexpr dist_t kMsBfsDiameterCap = 32;
 
 struct HdeOptions {
   /// Subspace dimension s; the paper uses 10 for timing tables and 50 as
@@ -66,6 +88,7 @@ struct HdeOptions {
   CoordBasis basis = CoordBasis::DistanceMatrix;
   DistanceKernel kernel = DistanceKernel::ParallelBfs;
   BfsOptions bfs;
+  MsBfsOptions ms_bfs;
   DeltaSteppingOptions sssp;
   /// Drop tolerance for near-dependent distance vectors (Alg. 3 line 12).
   double drop_tol = 1e-3;

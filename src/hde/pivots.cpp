@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
 
+#include "bfs/ms_bfs.hpp"
 #include "bfs/serial_bfs.hpp"
 #include "sssp/dijkstra.hpp"
 #include "util/parallel.hpp"
@@ -24,6 +26,11 @@ std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
   std::vector<dist_t> hops;
 
   switch (options.kernel) {
+    case DistanceKernel::MultiSourceBfs:
+      // Single-source call sites (k-centers interleaves selection with
+      // traversal) cannot batch; the direction-optimizing kernel is the
+      // right fallback.
+      [[fallthrough]];
     case DistanceKernel::ParallelBfs: {
       BfsResult result = ParallelBfs(graph, source, options.bfs);
       if (stats) {
@@ -123,18 +130,50 @@ DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
   phase.pivots = RandomPivots(n, s, options.seed);
 
   WallTimer traversal;
-  // Concurrent independent searches: one serial BFS per thread, the paper's
-  // alternative that wins when s exceeds the thread count or the graph has
-  // high diameter (Table 6).
+  // The batched engine runs when explicitly requested, or — under the
+  // default kernel with enough sources to amortize — when a one-sweep
+  // diameter probe says the lane waves will overlap (kMsBfsDiameterCap).
+  // The probe sweep is recycled as column 0 on the fallback path.
+  bool use_msbfs = options.kernel == DistanceKernel::MultiSourceBfs;
+  std::vector<dist_t> probe;
+  if (!use_msbfs && options.kernel == DistanceKernel::ParallelBfs &&
+      s >= kMsBfsAutoThreshold) {
+    probe = SerialBfs(graph, phase.pivots.front());
+    dist_t ecc = 0;
+    for (const dist_t d : probe) {
+      if (d != kInfDist) ecc = std::max(ecc, d);
+    }
+    use_msbfs = ecc <= kMsBfsDiameterCap;
+  }
+  if (use_msbfs) {
+    // Batched multi-source BFS: 64 sources share each pass over the CSR
+    // arrays, turning s sweeps into ceil(s/64). Distances land straight in
+    // the B columns. Sparse steps map onto the top-down counter, dense
+    // word-iteration steps onto bottom-up, keeping the Fig. 5 breakdown
+    // meaningful.
+    MsBfsStats ms;
+    MultiSourceBfsToColumns(graph, phase.pivots, phase.B, 0, options.ms_bfs,
+                            &ms);
+    phase.stats.levels += ms.levels;
+    phase.stats.top_down_steps += ms.sparse_steps;
+    phase.stats.bottom_up_steps += ms.dense_steps;
+    phase.stats.edges_examined += ms.edges_examined;
+  } else {
+    // Concurrent independent searches: one serial BFS per thread, the
+    // paper's alternative that wins when s exceeds the thread count or the
+    // graph has high diameter (Table 6).
 #pragma omp parallel for schedule(dynamic, 1)
-  for (int i = 0; i < s; ++i) {
-    const std::vector<dist_t> hops =
-        SerialBfs(graph, phase.pivots[static_cast<std::size_t>(i)]);
-    auto column = phase.B.Col(static_cast<std::size_t>(i));
-    for (vid_t v = 0; v < n; ++v) {
-      const dist_t d = hops[static_cast<std::size_t>(v)];
-      column[static_cast<std::size_t>(v)] =
-          d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+    for (int i = 0; i < s; ++i) {
+      const std::vector<dist_t> hops =
+          i == 0 && !probe.empty()
+              ? probe
+              : SerialBfs(graph, phase.pivots[static_cast<std::size_t>(i)]);
+      auto column = phase.B.Col(static_cast<std::size_t>(i));
+      for (vid_t v = 0; v < n; ++v) {
+        const dist_t d = hops[static_cast<std::size_t>(v)];
+        column[static_cast<std::size_t>(v)] =
+            d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+      }
     }
   }
   phase.traversal_seconds = traversal.Seconds();
@@ -146,16 +185,22 @@ DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
 std::vector<vid_t> RandomPivots(vid_t n, int count, std::uint64_t seed) {
   assert(count >= 0 && static_cast<vid_t>(count) <= n);
   // Floyd's algorithm for a uniform sample without replacement, then a
-  // shuffle so pivot order is also uniform.
+  // shuffle so pivot order is also uniform. The hash set keeps the
+  // membership test O(1) per draw (the sample stays O(s) instead of O(s²)),
+  // with `picked` preserving insertion order for the shuffle.
   Xoshiro256 rng(seed);
   std::vector<vid_t> picked;
   picked.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<vid_t> taken;
+  taken.reserve(static_cast<std::size_t>(count) * 2);
   for (vid_t j = n - static_cast<vid_t>(count); j < n; ++j) {
     const auto t = static_cast<vid_t>(
         rng.NextBounded(static_cast<std::uint64_t>(j) + 1));
-    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+    if (taken.insert(t).second) {
       picked.push_back(t);
     } else {
+      // Floyd guarantees j itself is not yet in the sample.
+      taken.insert(j);
       picked.push_back(j);
     }
   }

@@ -4,8 +4,10 @@
 // search, d(j) = min(d(j), b_i(j)) is updated in parallel and the farthest
 // vertex becomes the next source (Alg. 1 lines 13-15; counted as the
 // "BFS: Other" time in Table 1 and Fig. 5 middle). The random strategy
-// draws all pivots up front and runs the searches concurrently, one serial
-// BFS per thread (§4.4, Table 6).
+// draws all pivots up front and runs the searches concurrently: the batched
+// multi-source BFS engine (bfs/ms_bfs.hpp) when s >= kMsBfsAutoThreshold or
+// DistanceKernel::MultiSourceBfs is requested, otherwise one serial BFS per
+// thread (§4.4, Table 6).
 #pragma once
 
 #include "hde/parhde.hpp"

@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace parhde {
 
@@ -40,6 +42,23 @@ std::int64_t ArgParser::GetInt(const std::string& name,
   char* end = nullptr;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   return (end && *end == '\0') ? v : def;
+}
+
+std::string ArgParser::GetChoice(const std::string& name,
+                                 const std::vector<std::string>& allowed,
+                                 const std::string& def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  if (std::find(allowed.begin(), allowed.end(), it->second) != allowed.end()) {
+    return it->second;
+  }
+  std::string choices;
+  for (const auto& a : allowed) {
+    if (!choices.empty()) choices += "|";
+    choices += a;
+  }
+  throw std::invalid_argument("--" + name + "=" + it->second +
+                              " is not one of " + choices);
 }
 
 double ArgParser::GetDouble(const std::string& name, double def) const {

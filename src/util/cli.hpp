@@ -29,6 +29,14 @@ class ArgParser {
   /// Double value of --name, or `def` if absent/unparsable.
   [[nodiscard]] double GetDouble(const std::string& name, double def) const;
 
+  /// Value of --name constrained to `allowed`; returns `def` when the flag
+  /// is absent and throws std::invalid_argument (listing the choices) when
+  /// a value outside `allowed` was given — typos should fail loudly rather
+  /// than silently fall back to a default kernel or strategy.
+  [[nodiscard]] std::string GetChoice(const std::string& name,
+                                      const std::vector<std::string>& allowed,
+                                      const std::string& def) const;
+
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& Positional() const {
     return positional_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <stdexcept>
 
 namespace parhde {
 namespace {
@@ -56,6 +57,22 @@ TEST(ArgParser, PositionalArguments) {
 TEST(ArgParser, NegativeNumberAsValue) {
   auto args = Parse({"--offset=-5"});
   EXPECT_EQ(args.GetInt("offset", 0), -5);
+}
+
+TEST(ArgParser, GetChoiceDefaultsWhenAbsent) {
+  auto args = Parse({});
+  EXPECT_EQ(args.GetChoice("kernel", {"parbfs", "msbfs"}, "parbfs"), "parbfs");
+}
+
+TEST(ArgParser, GetChoiceAcceptsAllowedValue) {
+  auto args = Parse({"--kernel=msbfs"});
+  EXPECT_EQ(args.GetChoice("kernel", {"parbfs", "msbfs"}, "parbfs"), "msbfs");
+}
+
+TEST(ArgParser, GetChoiceRejectsUnknownValue) {
+  auto args = Parse({"--kernel=bogus"});
+  EXPECT_THROW(args.GetChoice("kernel", {"parbfs", "msbfs"}, "parbfs"),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+#include "bfs/ms_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bfs/serial_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "hde/pivots.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace parhde {
+namespace {
+
+/// Evenly spread source vertices (deduplicated by construction when
+/// count <= n).
+std::vector<vid_t> SpreadSources(vid_t n, int count) {
+  std::vector<vid_t> sources;
+  sources.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vid_t>(
+        (static_cast<std::int64_t>(i) * n) / count));
+  }
+  return sources;
+}
+
+/// Every lane must reproduce SerialBfs exactly, bit for bit.
+void ExpectAllLanesMatchSerial(const CsrGraph& g,
+                               const std::vector<vid_t>& sources,
+                               const MsBfsOptions& options = {}) {
+  const auto dist = MultiSourceBfsDistances(g, sources, options);
+  ASSERT_EQ(dist.size(), sources.size());
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    const auto expected = SerialBfs(g, sources[l]);
+    ASSERT_EQ(dist[l].size(), expected.size());
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      ASSERT_EQ(dist[l][v], expected[v])
+          << "lane " << l << " (source " << sources[l] << ") vertex " << v;
+    }
+  }
+}
+
+TEST(MsBfs, PathAllLanes) {
+  const CsrGraph g = BuildCsrGraph(200, GenChain(200));
+  ExpectAllLanesMatchSerial(g, SpreadSources(200, 16));
+}
+
+TEST(MsBfs, StarAllLanes) {
+  const CsrGraph g = BuildCsrGraph(128, GenStar(128));
+  ExpectAllLanesMatchSerial(g, SpreadSources(128, 32));
+}
+
+class MsBfsBatchWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsBfsBatchWidth, GridMatchesSerial) {
+  const CsrGraph g = BuildCsrGraph(900, GenGrid2d(30, 30));
+  ExpectAllLanesMatchSerial(g, SpreadSources(900, GetParam()));
+}
+
+// 1 = degenerate single lane, 63/64 = word-boundary edges, 65 = smallest
+// multi-batch split.
+INSTANTIATE_TEST_SUITE_P(BatchWidths, MsBfsBatchWidth,
+                         ::testing::Values(1, 63, 64, 65));
+
+TEST(MsBfs, RmatMultiBatch) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 11, GenKronecker(11, 8, 2))).graph;
+  const int s = 130;  // three batches: 64 + 64 + 2
+  MsBfsStats stats;
+  const auto sources = RandomPivots(g.NumVertices(), s, 7);
+  const auto dist = MultiSourceBfsDistances(g, sources, {}, &stats);
+  EXPECT_EQ(stats.batches, 3);
+  EXPECT_GT(stats.levels, 0);
+  EXPECT_GT(stats.edges_examined, 0);
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    const auto expected = SerialBfs(g, sources[l]);
+    ASSERT_EQ(dist[l], expected) << "lane " << l;
+  }
+}
+
+TEST(MsBfs, DisconnectedMarksUnreachable) {
+  const CsrGraph g = BuildCsrGraph(8, {{0, 1}, {1, 2}, {4, 5}, {5, 6}});
+  const std::vector<vid_t> sources = {0, 4, 3};
+  ExpectAllLanesMatchSerial(g, sources);
+  const auto dist = MultiSourceBfsDistances(g, sources);
+  EXPECT_EQ(dist[0][5], kInfDist);  // other component
+  EXPECT_EQ(dist[1][0], kInfDist);
+  EXPECT_EQ(dist[2][3], 0);  // isolated vertex reaches only itself
+  EXPECT_EQ(dist[2][0], kInfDist);
+}
+
+TEST(MsBfs, DuplicateSourcesYieldIdenticalLanes) {
+  const CsrGraph g = BuildCsrGraph(225, GenGrid2d(15, 15));
+  const std::vector<vid_t> sources = {7, 7, 100, 7};
+  ExpectAllLanesMatchSerial(g, sources);
+}
+
+TEST(MsBfs, ForcedModesMatchSerial) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, GenKronecker(10, 6, 3))).graph;
+  const auto sources = SpreadSources(g.NumVertices(), 20);
+  MsBfsOptions sparse_only;
+  sparse_only.mode = MsBfsOptions::Mode::SparseOnly;
+  ExpectAllLanesMatchSerial(g, sources, sparse_only);
+  MsBfsOptions dense_only;
+  dense_only.mode = MsBfsOptions::Mode::DenseOnly;
+  ExpectAllLanesMatchSerial(g, sources, dense_only);
+}
+
+TEST(MsBfs, AutoUsesDenseStepsOnLowDiameterGraph) {
+  // Skewed low-diameter graph: the aggregate 64-lane frontier blows past
+  // the dense threshold within a level or two.
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 12, GenKronecker(12, 16, 8))).graph;
+  MsBfsStats stats;
+  MultiSourceBfsDistances(g, SpreadSources(g.NumVertices(), 64), {}, &stats);
+  EXPECT_GT(stats.dense_steps, 0);
+}
+
+TEST(MsBfs, ColumnsMatchDistancesWithSentinelAndOffset) {
+  const CsrGraph g = BuildCsrGraph(8, {{0, 1}, {1, 2}, {4, 5}, {5, 6}});
+  const vid_t n = g.NumVertices();
+  const std::vector<vid_t> sources = {0, 4};
+  DenseMatrix B(static_cast<std::size_t>(n), 3);
+  B.At(0, 0) = -7.0;  // column 0 is outside the written range
+  MultiSourceBfsToColumns(g, sources, B, /*col_offset=*/1);
+  EXPECT_DOUBLE_EQ(B.At(0, 0), -7.0);
+  const auto dist = MultiSourceBfsDistances(g, sources);
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    for (vid_t v = 0; v < n; ++v) {
+      const dist_t d = dist[l][static_cast<std::size_t>(v)];
+      const double want =
+          d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+      EXPECT_DOUBLE_EQ(B.At(static_cast<std::size_t>(v), l + 1), want)
+          << "lane " << l << " vertex " << v;
+    }
+  }
+}
+
+TEST(MsBfs, ThreadCountDoesNotChangeDistances) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 11, GenKronecker(11, 6, 6))).graph;
+  const auto sources = SpreadSources(g.NumVertices(), 40);
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadCountGuard guard(threads);
+    ExpectAllLanesMatchSerial(g, sources);
+  }
+}
+
+TEST(MsBfs, FuzzRandomGraphsAndSources) {
+  Xoshiro256 rng(0xC0FFEE);
+  for (int round = 0; round < 8; ++round) {
+    const vid_t n = 50 + static_cast<vid_t>(rng.NextBounded(400));
+    const eid_t m = static_cast<eid_t>(n) +
+                    static_cast<eid_t>(rng.NextBounded(
+                        static_cast<std::uint64_t>(3 * n)));
+    // Deliberately possibly disconnected: no LargestComponent extraction.
+    const CsrGraph g = BuildCsrGraph(n, GenUniformRandom(n, m, rng.Next()));
+    const int s = 1 + static_cast<int>(rng.NextBounded(90));
+    std::vector<vid_t> sources;
+    sources.reserve(static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) {
+      sources.push_back(
+          static_cast<vid_t>(rng.NextBounded(static_cast<std::uint64_t>(n))));
+    }
+    ExpectAllLanesMatchSerial(g, sources);
+  }
+}
+
+TEST(MsBfs, DistancePhaseKernelMatchesSerialKernel) {
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, GenKronecker(10, 6, 5))).graph;
+  HdeOptions ms;
+  ms.subspace_dim = 20;
+  ms.pivots = PivotStrategy::Random;
+  ms.kernel = DistanceKernel::MultiSourceBfs;
+  HdeOptions serial = ms;
+  serial.kernel = DistanceKernel::SerialBfs;
+  const DistancePhase a = RunDistancePhase(g, ms);
+  const DistancePhase b = RunDistancePhase(g, serial);
+  ASSERT_EQ(a.pivots, b.pivots);
+  for (std::size_t c = 0; c < a.B.Cols(); ++c) {
+    for (std::size_t r = 0; r < a.B.Rows(); ++r) {
+      ASSERT_DOUBLE_EQ(a.B.At(r, c), b.B.At(r, c)) << "col " << c;
+    }
+  }
+}
+
+TEST(MsBfs, DistancePhaseAutoSelectsBatchedEngine) {
+  // s >= kMsBfsAutoThreshold with random pivots and the default kernel must
+  // produce the same matrix as the explicit MultiSourceBfs request (and as
+  // the serial reference, transitively via the test above).
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions def;
+  def.subspace_dim = kMsBfsAutoThreshold;
+  def.pivots = PivotStrategy::Random;
+  HdeOptions ms = def;
+  ms.kernel = DistanceKernel::MultiSourceBfs;
+  const DistancePhase a = RunDistancePhase(g, def);
+  const DistancePhase b = RunDistancePhase(g, ms);
+  ASSERT_EQ(a.pivots, b.pivots);
+  for (std::size_t c = 0; c < a.B.Cols(); ++c) {
+    for (std::size_t r = 0; r < a.B.Rows(); ++r) {
+      ASSERT_DOUBLE_EQ(a.B.At(r, c), b.B.At(r, c)) << "col " << c;
+    }
+  }
+}
+
+TEST(MsBfs, DistancePhaseDiameterGuardKeepsSerialPathOnHighDiameter) {
+  // The batched engine leaves traversal counters in the phase stats; the
+  // per-thread serial fallback does not. A chain's diameter is far above
+  // kMsBfsDiameterCap, so the auto path must keep the serial searches; a
+  // low-diameter RMAT graph must batch; an explicit MultiSourceBfs request
+  // overrides the guard.
+  const CsrGraph chain = BuildCsrGraph(500, GenChain(500));
+  HdeOptions options;
+  options.subspace_dim = 10;
+  options.pivots = PivotStrategy::Random;
+  EXPECT_EQ(RunDistancePhase(chain, options).stats.levels, 0);
+
+  const CsrGraph rmat =
+      LargestComponent(BuildCsrGraph(1 << 11, GenKronecker(11, 8, 4))).graph;
+  EXPECT_GT(RunDistancePhase(rmat, options).stats.levels, 0);
+
+  options.kernel = DistanceKernel::MultiSourceBfs;
+  EXPECT_GT(RunDistancePhase(chain, options).stats.levels, 0);
+}
+
+}  // namespace
+}  // namespace parhde

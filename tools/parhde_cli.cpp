@@ -7,6 +7,7 @@
 //   layout    --in=<...> [--algo=parhde|phde|pivotmds|prior|multilevel]
 //             [--s=10] [--axes=2] [--pivots=kcenters|random] [--gs=mgs|cgs]
 //             [--metric=degree|unit] [--basis=b|s] [--coupled] [--seed=1]
+//             [--kernel=parbfs|serialbfs|msbfs|sssp]
 //             [--coords=out.xy] [--png=out.png] [--svg=out.svg]
 //   partition --in=<...> [--parts=4] [--refine] [--svg=out.svg]
 //   draw      --in=<graph> --coords=<file.xy> [--png=out.png]
@@ -160,7 +161,19 @@ HdeOptions OptionsFromFlags(const ArgParser& args) {
     options.basis = CoordBasis::Subspace;
   }
   if (args.Has("coupled")) options.coupled_bfs_ortho = true;
-  if (args.Has("sssp")) options.kernel = DistanceKernel::DeltaStepping;
+  // --kernel selects the distance traversal; `parbfs` keeps the automatic
+  // upgrade to the batched multi-source engine for random pivots with
+  // s >= kMsBfsAutoThreshold, while `msbfs`/`serialbfs` force one engine.
+  // --sssp is the historical spelling of --kernel=sssp.
+  const std::string kernel = args.GetChoice(
+      "kernel", {"parbfs", "serialbfs", "msbfs", "sssp"}, "parbfs");
+  if (kernel == "serialbfs") {
+    options.kernel = DistanceKernel::SerialBfs;
+  } else if (kernel == "msbfs") {
+    options.kernel = DistanceKernel::MultiSourceBfs;
+  } else if (kernel == "sssp" || args.Has("sssp")) {
+    options.kernel = DistanceKernel::DeltaStepping;
+  }
   return options;
 }
 

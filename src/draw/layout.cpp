@@ -52,6 +52,20 @@ PixelLayout NormalizeToCanvas(const Layout& layout, int width, int height,
   return out;
 }
 
+BoundingBox ComputeBoundingBox(const Layout& layout) {
+  BoundingBox box;
+  if (layout.x.empty()) return box;
+  box.min_x = box.max_x = layout.x[0];
+  box.min_y = box.max_y = layout.y[0];
+  for (std::size_t i = 1; i < layout.x.size(); ++i) {
+    box.min_x = std::min(box.min_x, layout.x[i]);
+    box.max_x = std::max(box.max_x, layout.x[i]);
+    box.min_y = std::min(box.min_y, layout.y[i]);
+    box.max_y = std::max(box.max_y, layout.y[i]);
+  }
+  return box;
+}
+
 double NormalizedEdgeLengthEnergy(const CsrGraph& graph,
                                   const Layout& layout) {
   const vid_t n = graph.NumVertices();

@@ -24,6 +24,20 @@ struct PixelLayout {
 PixelLayout NormalizeToCanvas(const Layout& layout, int width, int height,
                               int margin = 8);
 
+/// Axis-aligned extent of a (sub)layout in raw coordinate space.
+struct BoundingBox {
+  double min_x = 0.0;
+  double max_x = 0.0;
+  double min_y = 0.0;
+  double max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+};
+
+/// Bounding box over all vertices (empty layouts yield the zero box).
+BoundingBox ComputeBoundingBox(const Layout& layout);
+
 /// Mean squared Euclidean edge length of the layout after normalizing the
 /// coordinates to unit RMS radius — lower means neighbors sit closer,
 /// the numerator intuition of Eq. 1.

@@ -136,8 +136,43 @@ vid_t CountComponents(const std::vector<vid_t>& labels) {
   return count;
 }
 
-ComponentExtraction LargestComponent(const CsrGraph& graph) {
+ComponentExtraction ExtractComponent(const CsrGraph& graph,
+                                     const std::vector<vid_t>& labels,
+                                     vid_t label) {
   const vid_t n = graph.NumVertices();
+
+  ComponentExtraction result;
+  result.old_to_new.assign(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t next = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (labels[static_cast<std::size_t>(v)] == label) {
+      result.old_to_new[static_cast<std::size_t>(v)] = next++;
+      result.new_to_old.push_back(v);
+    }
+  }
+
+  EdgeList edges;
+  const bool weighted = graph.HasWeights();
+  for (const vid_t v : result.new_to_old) {
+    const vid_t nv = result.old_to_new[static_cast<std::size_t>(v)];
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u <= v) continue;
+      const vid_t nu = result.old_to_new[static_cast<std::size_t>(u)];
+      if (nu == kInvalidVid) continue;  // cross-label edge: caller's labels
+                                        // need not be component-closed
+      edges.push_back({nv, nu, weighted ? graph.NeighborWeights(v)[i] : 1.0});
+    }
+  }
+
+  BuildOptions opts;
+  opts.keep_weights = weighted;
+  result.graph = BuildCsrGraph(next, edges, opts);
+  return result;
+}
+
+ComponentExtraction LargestComponent(const CsrGraph& graph) {
   const std::vector<vid_t> labels = ConnectedComponents(graph);
 
   // Pick the label with the most members; ties go to the smaller label
@@ -153,36 +188,7 @@ ComponentExtraction LargestComponent(const CsrGraph& graph) {
     }
   }
 
-  ComponentExtraction result;
-  result.old_to_new.assign(static_cast<std::size_t>(n), kInvalidVid);
-  result.new_to_old.reserve(static_cast<std::size_t>(best_size));
-  vid_t next = 0;
-  for (vid_t v = 0; v < n; ++v) {
-    if (labels[static_cast<std::size_t>(v)] == best_label) {
-      result.old_to_new[static_cast<std::size_t>(v)] = next++;
-      result.new_to_old.push_back(v);
-    }
-  }
-
-  EdgeList edges;
-  edges.reserve(static_cast<std::size_t>(graph.NumEdges()));
-  const bool weighted = graph.HasWeights();
-  for (vid_t v = 0; v < n; ++v) {
-    const vid_t nv = result.old_to_new[static_cast<std::size_t>(v)];
-    if (nv == kInvalidVid) continue;
-    const auto nbrs = graph.Neighbors(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const vid_t u = nbrs[i];
-      if (u <= v) continue;
-      const vid_t nu = result.old_to_new[static_cast<std::size_t>(u)];
-      edges.push_back({nv, nu, weighted ? graph.NeighborWeights(v)[i] : 1.0});
-    }
-  }
-
-  BuildOptions opts;
-  opts.keep_weights = weighted;
-  result.graph = BuildCsrGraph(next, edges, opts);
-  return result;
+  return ExtractComponent(graph, labels, best_label);
 }
 
 bool IsConnected(const CsrGraph& graph) {

@@ -28,6 +28,14 @@ struct ComponentExtraction {
   std::vector<vid_t> new_to_old;  // size = extracted n
 };
 
+/// Extracts the induced subgraph of the vertices carrying `label` (as
+/// produced by ConnectedComponents / ParallelConnectedComponents). New ids
+/// are assigned in increasing old-id order, preserving relative vertex
+/// order. A label with no members yields an empty graph.
+ComponentExtraction ExtractComponent(const CsrGraph& graph,
+                                     const std::vector<vid_t>& labels,
+                                     vid_t label);
+
 /// Extracts the largest connected component (ties broken toward the
 /// component with the smallest canonical label). New ids are assigned in
 /// increasing old-id order, preserving relative vertex order as the paper

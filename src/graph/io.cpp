@@ -1,17 +1,23 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/status.hpp"
 
 namespace parhde {
 namespace {
 
 constexpr char kBinaryMagic[8] = {'P', 'A', 'R', 'H', 'D', 'E', '0', '1'};
+constexpr const char* kIoPhase = "graph/io";
 
 std::string ToLower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -19,8 +25,14 @@ std::string ToLower(std::string s) {
   return s;
 }
 
-[[noreturn]] void Fail(const std::string& what) {
-  throw std::runtime_error("graph io: " + what);
+[[noreturn]] void Fail(ErrorCode code, const std::string& what) {
+  throw ParhdeError(code, kIoPhase, what);
+}
+
+/// Line-numbered variant for the text parsers: "line 17: <what>".
+[[noreturn]] void FailAt(ErrorCode code, long long line,
+                         const std::string& what) {
+  Fail(code, "line " + std::to_string(line) + ": " + what);
 }
 
 template <typename T>
@@ -32,7 +44,7 @@ template <typename T>
 T ReadRaw(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) Fail("truncated binary stream");
+  if (!in) Fail(ErrorCode::kCorruptBinary, "truncated binary stream");
   return value;
 }
 
@@ -45,34 +57,150 @@ void WriteVector(std::ostream& out, const std::vector<T>& v) {
   }
 }
 
+/// Bytes left between the current read position and the end of a seekable
+/// stream, or nullopt when the stream cannot seek (e.g. a pipe).
+std::optional<std::uint64_t> RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !in || end < pos) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+/// Reads a length-prefixed array. The untrusted uint64 length is validated
+/// against the remaining stream size before any allocation (a truncated or
+/// hostile header must not trigger a multi-GB resize); on non-seekable
+/// streams the allocation grows in bounded chunks instead, so memory use is
+/// capped by the bytes the stream actually delivers.
 template <typename T>
 std::vector<T> ReadVector(std::istream& in) {
   const auto size = ReadRaw<std::uint64_t>(in);
-  std::vector<T> v(size);
-  if (size != 0) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(size * sizeof(T)));
-    if (!in) Fail("truncated binary stream");
+  if (const auto remaining = RemainingBytes(in)) {
+    if (size > *remaining / sizeof(T)) {
+      Fail(ErrorCode::kCorruptBinary,
+           "declared array size " + std::to_string(size) + " (" +
+               std::to_string(size * sizeof(T)) + " bytes) exceeds the " +
+               std::to_string(*remaining) + " bytes left in the stream");
+    }
+  }
+  std::vector<T> v;
+  constexpr std::uint64_t kChunkElems = (std::uint64_t{1} << 20) / sizeof(T);
+  while (v.size() < size) {
+    const std::uint64_t batch = std::min<std::uint64_t>(
+        kChunkElems, size - static_cast<std::uint64_t>(v.size()));
+    const std::size_t old = v.size();
+    v.resize(old + static_cast<std::size_t>(batch));
+    in.read(reinterpret_cast<char*>(v.data() + old),
+            static_cast<std::streamsize>(batch * sizeof(T)));
+    if (!in) Fail(ErrorCode::kCorruptBinary, "truncated binary stream");
   }
   return v;
+}
+
+/// Parses a weight token with strtod, which (unlike istream's num_get)
+/// recognizes "nan" and "inf" spellings — those must reach CheckEdgeWeight
+/// to be rejected as invalid VALUES, not mis-reported as parse errors.
+double ParseWeightToken(const std::string& token, long long line) {
+  char* end = nullptr;
+  const double w = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    FailAt(ErrorCode::kParse, line, "bad numeric value '" + token + "'");
+  }
+  return w;
+}
+
+/// Rejects the weight values that poison downstream phases: NaN/Inf break
+/// every distance and projection, and a negative weight can make the
+/// Δ-stepping SSSP kernel non-terminating.
+void CheckEdgeWeight(double w, long long line) {
+  if (std::isnan(w) || std::isinf(w)) {
+    FailAt(ErrorCode::kInvalidValue, line, "non-finite edge weight");
+  }
+  if (w < 0.0) {
+    FailAt(ErrorCode::kInvalidValue, line,
+           "negative edge weight " + std::to_string(w) +
+               " (negative weights break shortest-path kernels)");
+  }
+}
+
+/// Full CSR-invariant validation of untrusted binary arrays, run BEFORE the
+/// CsrGraph constructor touches them (the constructor indexes by these
+/// values, so handing it garbage is undefined behavior, not an exception).
+void ValidateCsrArrays(std::int64_t n, const std::vector<eid_t>& offsets,
+                       const std::vector<vid_t>& adj,
+                       const std::vector<weight_t>& weights) {
+  if (n < 0) {
+    Fail(ErrorCode::kCorruptBinary,
+         "negative vertex count " + std::to_string(n));
+  }
+  if (static_cast<std::int64_t>(offsets.size()) != n + 1) {
+    Fail(ErrorCode::kCorruptBinary,
+         "offset array has " + std::to_string(offsets.size()) +
+             " entries, expected n+1 = " + std::to_string(n + 1));
+  }
+  if (offsets.front() != 0) {
+    Fail(ErrorCode::kCorruptBinary, "offset array does not start at 0");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      Fail(ErrorCode::kCorruptBinary,
+           "offsets not monotone at vertex " + std::to_string(i - 1));
+    }
+  }
+  if (offsets.back() != static_cast<eid_t>(adj.size())) {
+    Fail(ErrorCode::kCorruptBinary,
+         "final offset " + std::to_string(offsets.back()) +
+             " does not match adjacency length " + std::to_string(adj.size()));
+  }
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    if (adj[i] < 0 || static_cast<std::int64_t>(adj[i]) >= n) {
+      Fail(ErrorCode::kCorruptBinary,
+           "neighbor id " + std::to_string(adj[i]) + " at arc " +
+               std::to_string(i) + " out of range [0, " + std::to_string(n) +
+               ")");
+    }
+  }
+  if (!weights.empty() && weights.size() != adj.size()) {
+    Fail(ErrorCode::kCorruptBinary,
+         "weight array has " + std::to_string(weights.size()) +
+             " entries, expected 0 or " + std::to_string(adj.size()));
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    if (std::isnan(w) || std::isinf(w) || w < 0.0) {
+      Fail(ErrorCode::kInvalidValue,
+           "invalid edge weight " + std::to_string(w) + " at arc " +
+               std::to_string(i));
+    }
+  }
 }
 
 }  // namespace
 
 MatrixMarketData ReadMatrixMarket(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) Fail("empty MatrixMarket stream");
+  long long lineno = 1;
+  if (!std::getline(in, line)) {
+    Fail(ErrorCode::kParse, "empty MatrixMarket stream");
+  }
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  if (banner != "%%MatrixMarket") Fail("missing %%MatrixMarket banner");
+  if (banner != "%%MatrixMarket") {
+    FailAt(ErrorCode::kParse, lineno, "missing %%MatrixMarket banner");
+  }
   if (ToLower(object) != "matrix" || ToLower(format) != "coordinate") {
-    Fail("only coordinate matrices are supported");
+    FailAt(ErrorCode::kParse, lineno,
+           "only coordinate matrices are supported");
   }
   field = ToLower(field);
   symmetry = ToLower(symmetry);
   if (field != "pattern" && field != "real" && field != "integer") {
-    Fail("unsupported field type: " + field);
+    FailAt(ErrorCode::kParse, lineno, "unsupported field type: " + field);
   }
 
   MatrixMarketData data;
@@ -81,36 +209,62 @@ MatrixMarketData ReadMatrixMarket(std::istream& in) {
 
   // Skip comments, read the size line.
   long long rows = 0, cols = 0, nnz = 0;
+  bool have_sizes = false;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream sizes(line);
-    if (!(sizes >> rows >> cols >> nnz)) Fail("bad size line");
+    if (!(sizes >> rows >> cols >> nnz)) {
+      FailAt(ErrorCode::kParse, lineno, "bad size line");
+    }
+    have_sizes = true;
     break;
   }
-  if (rows <= 0 || cols <= 0 || nnz < 0) Fail("bad matrix dimensions");
+  if (!have_sizes) Fail(ErrorCode::kParse, "missing size line");
+  if (rows <= 0 || cols <= 0 || nnz < 0) {
+    FailAt(ErrorCode::kInvalidValue, lineno,
+           "bad matrix dimensions " + std::to_string(rows) + " x " +
+               std::to_string(cols) + ", nnz " + std::to_string(nnz));
+  }
   data.n = static_cast<vid_t>(std::max(rows, cols));
   data.edges.reserve(static_cast<std::size_t>(nnz));
 
   long long read = 0;
   while (read < nnz && std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
     long long r = 0, c = 0;
     double w = 1.0;
-    if (!(entry >> r >> c)) Fail("bad entry line");
-    if (!data.pattern && !(entry >> w)) Fail("missing value in non-pattern file");
-    if (r < 1 || r > rows || c < 1 || c > cols) Fail("entry out of range");
-    data.edges.push_back({static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1),
-                          std::abs(w)});
+    if (!(entry >> r >> c)) FailAt(ErrorCode::kParse, lineno, "bad entry line");
+    if (!data.pattern) {
+      std::string token;
+      if (!(entry >> token)) {
+        FailAt(ErrorCode::kParse, lineno, "missing value in non-pattern file");
+      }
+      w = ParseWeightToken(token, lineno);
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      FailAt(ErrorCode::kInvalidValue, lineno,
+             "entry (" + std::to_string(r) + ", " + std::to_string(c) +
+                 ") outside the declared " + std::to_string(rows) + " x " +
+                 std::to_string(cols) + " matrix");
+    }
+    if (!data.pattern) CheckEdgeWeight(w, lineno);
+    data.edges.push_back(
+        {static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1), w});
     ++read;
   }
-  if (read != nnz) Fail("fewer entries than declared");
+  if (read != nnz) {
+    Fail(ErrorCode::kParse, "fewer entries (" + std::to_string(read) +
+                                ") than the declared " + std::to_string(nnz));
+  }
   return data;
 }
 
 MatrixMarketData ReadMatrixMarketFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) Fail("cannot open " + path);
+  if (!in) Fail(ErrorCode::kIo, "cannot open " + path);
   return ReadMatrixMarket(in);
 }
 
@@ -138,7 +292,7 @@ void WriteMatrixMarket(const CsrGraph& graph, std::ostream& out) {
 
 void WriteMatrixMarketFile(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) Fail("cannot open " + path);
+  if (!out) Fail(ErrorCode::kIo, "cannot open " + path);
   WriteMatrixMarket(graph, out);
 }
 
@@ -147,15 +301,31 @@ MatrixMarketData ReadEdgeList(std::istream& in) {
   data.pattern = true;
   data.symmetric = true;
   std::string line;
+  long long lineno = 0;
   vid_t max_id = -1;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream entry(line);
     long long u = 0, v = 0;
     double w = 1.0;
-    if (!(entry >> u >> v)) Fail("bad edge line: " + line);
-    if (entry >> w) data.pattern = false;
-    if (u < 0 || v < 0) Fail("negative vertex id");
+    if (!(entry >> u >> v)) {
+      FailAt(ErrorCode::kParse, lineno, "bad edge line: " + line);
+    }
+    std::string token;
+    if (entry >> token) {
+      data.pattern = false;
+      w = ParseWeightToken(token, lineno);
+      CheckEdgeWeight(w, lineno);
+    }
+    if (u < 0 || v < 0) {
+      FailAt(ErrorCode::kInvalidValue, lineno, "negative vertex id");
+    }
+    constexpr long long kMaxVid = std::numeric_limits<vid_t>::max() - 1;
+    if (u > kMaxVid || v > kMaxVid) {
+      FailAt(ErrorCode::kInvalidValue, lineno,
+             "vertex id exceeds the 32-bit id space");
+    }
     data.edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v), w});
     max_id = std::max<vid_t>(max_id, static_cast<vid_t>(std::max(u, v)));
   }
@@ -165,7 +335,7 @@ MatrixMarketData ReadEdgeList(std::istream& in) {
 
 MatrixMarketData ReadEdgeListFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) Fail("cannot open " + path);
+  if (!in) Fail(ErrorCode::kIo, "cannot open " + path);
   return ReadEdgeList(in);
 }
 
@@ -181,27 +351,25 @@ CsrGraph ReadBinary(std::istream& in) {
   char magic[sizeof(kBinaryMagic)];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
-    Fail("bad binary magic");
+    Fail(ErrorCode::kCorruptBinary, "bad binary magic");
   }
   const auto n = ReadRaw<std::int64_t>(in);
   auto offsets = ReadVector<eid_t>(in);
   auto adj = ReadVector<vid_t>(in);
   auto weights = ReadVector<weight_t>(in);
-  if (static_cast<std::int64_t>(offsets.size()) != n + 1) {
-    Fail("offset array size mismatch");
-  }
+  ValidateCsrArrays(n, offsets, adj, weights);
   return CsrGraph(std::move(offsets), std::move(adj), std::move(weights));
 }
 
 void WriteBinaryFile(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) Fail("cannot open " + path);
+  if (!out) Fail(ErrorCode::kIo, "cannot open " + path);
   WriteBinary(graph, out);
 }
 
 CsrGraph ReadBinaryFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) Fail("cannot open " + path);
+  if (!in) Fail(ErrorCode::kIo, "cannot open " + path);
   return ReadBinary(in);
 }
 

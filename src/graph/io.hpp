@@ -18,7 +18,10 @@ struct MatrixMarketData {
 };
 
 /// Reads a MatrixMarket coordinate file (general or symmetric; pattern,
-/// real, or integer). Throws std::runtime_error on malformed input.
+/// real, or integer). Malformed input throws ParhdeError (util/status.hpp)
+/// with a line-numbered message: kParse for structural problems, kIo for
+/// unopenable files, kInvalidValue for out-of-range indices and NaN/Inf/
+/// negative weights (negative weights would break the SSSP kernels).
 MatrixMarketData ReadMatrixMarket(std::istream& in);
 MatrixMarketData ReadMatrixMarketFile(const std::string& path);
 
@@ -33,7 +36,12 @@ MatrixMarketData ReadEdgeList(std::istream& in);
 MatrixMarketData ReadEdgeListFile(const std::string& path);
 
 /// Binary CSR snapshot (magic + n + arcs + offsets + adjacency + optional
-/// weights). Round-trips exactly.
+/// weights). Round-trips exactly. The reader treats the stream as
+/// untrusted: array lengths are bounds-checked against the remaining
+/// stream size before allocation, and the full set of CSR invariants
+/// (monotone offsets, in-range neighbor ids, weight-array shape, finite
+/// non-negative weights) is validated before a CsrGraph is constructed.
+/// Violations throw ParhdeError with kCorruptBinary or kInvalidValue.
 void WriteBinary(const CsrGraph& graph, std::ostream& out);
 CsrGraph ReadBinary(std::istream& in);
 void WriteBinaryFile(const CsrGraph& graph, const std::string& path);

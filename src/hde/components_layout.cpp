@@ -1,0 +1,182 @@
+#include "hde/components_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "draw/layout.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace parhde {
+namespace {
+
+ComponentStat StatFor(const CsrGraph& graph, const BoundingBox& box) {
+  ComponentStat stat;
+  stat.vertices = graph.NumVertices();
+  stat.edges = graph.NumEdges();
+  stat.min_x = box.min_x;
+  stat.max_x = box.max_x;
+  stat.min_y = box.min_y;
+  stat.max_y = box.max_y;
+  return stat;
+}
+
+void MergeBfsStats(BfsStats& into, const BfsStats& other) {
+  into.levels += other.levels;
+  into.top_down_steps += other.top_down_steps;
+  into.bottom_up_steps += other.bottom_up_steps;
+  into.edges_examined += other.edges_examined;
+}
+
+}  // namespace
+
+ComponentsLayoutResult RunHdeOnComponents(const CsrGraph& graph,
+                                          const HdeOptions& options,
+                                          const ComponentsLayoutOptions& copts,
+                                          const HdeDriver& driver) {
+  const HdeDriver run = driver ? driver : HdeDriver(&RunParHde);
+  const vid_t n = graph.NumVertices();
+
+  ComponentsLayoutResult result;
+  const std::vector<vid_t> labels = ConnectedComponents(graph);
+  result.num_components = CountComponents(labels);
+
+  if (result.num_components <= 1) {
+    result.hde = run(graph, options);
+    result.hde.components.assign(
+        1, StatFor(graph, ComputeBoundingBox(result.hde.layout)));
+    return result;
+  }
+
+  if (copts.policy == DisconnectedPolicy::Reject) {
+    throw ParhdeError(
+        ErrorCode::kDisconnected, phase::kComponents,
+        "graph has " + std::to_string(result.num_components) +
+            " connected components; rerun with --disconnected=pack or "
+            "--disconnected=largest");
+  }
+
+  // Component census: size per canonical label, processed largest-first
+  // (ties toward the smaller label) so both the Largest policy and the
+  // shelf packing below are deterministic.
+  std::unordered_map<vid_t, vid_t> size_of;
+  for (const vid_t l : labels) ++size_of[l];
+  struct Comp {
+    vid_t label;
+    vid_t size;
+  };
+  std::vector<Comp> comps;
+  comps.reserve(size_of.size());
+  for (const auto& [label, size] : size_of) comps.push_back({label, size});
+  std::sort(comps.begin(), comps.end(), [](const Comp& a, const Comp& b) {
+    return a.size != b.size ? a.size > b.size : a.label < b.label;
+  });
+
+  if (copts.policy == DisconnectedPolicy::Largest) {
+    result.used_subgraph = true;
+    result.subgraph = ExtractComponent(graph, labels, comps.front().label);
+    result.hde = run(result.subgraph.graph, options);
+    result.hde.components.assign(
+        1, StatFor(result.subgraph.graph,
+                   ComputeBoundingBox(result.hde.layout)));
+    return result;
+  }
+
+  // ---- Pack: independent layouts shelf-packed into a grid. Cell sides
+  // scale with sqrt(|V_c|) so drawing area tracks component size; the pad
+  // keeps every pair of bounding boxes strictly disjoint. ----
+  const double pad = std::max(copts.pad, 1e-3);
+  double area = 0.0;
+  double max_side = 0.0;
+  std::vector<double> sides(comps.size());
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    sides[i] = std::max(1.0, std::sqrt(static_cast<double>(comps[i].size)));
+    area += (sides[i] + pad) * (sides[i] + pad);
+    max_side = std::max(max_side, sides[i]);
+  }
+  const double shelf_width = std::max(max_side, 1.1 * std::sqrt(area));
+
+  result.hde.layout.x.assign(static_cast<std::size_t>(n), 0.0);
+  result.hde.layout.y.assign(static_cast<std::size_t>(n), 0.0);
+  result.hde.components.reserve(comps.size());
+
+  double pack_seconds = 0.0;
+  double cur_x = 0.0;
+  double cur_y = 0.0;
+  double row_height = 0.0;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    WallTimer overhead;
+    const double side = sides[i];
+    if (cur_x > 0.0 && cur_x + side > shelf_width) {
+      cur_x = 0.0;
+      cur_y += row_height + pad;
+      row_height = 0.0;
+    }
+    const double cell_x = cur_x;
+    const double cell_y = cur_y;
+    row_height = std::max(row_height, side);
+    cur_x += side + pad;
+
+    const ComponentExtraction part =
+        ExtractComponent(graph, labels, comps[i].label);
+    pack_seconds += overhead.Seconds();
+
+    const HdeResult sub = run(part.graph, options);
+
+    overhead.Reset();
+    // Fit the component's layout into its [cell, cell+side]^2 cell,
+    // preserving aspect and centering the slack. Zero-extent layouts
+    // (singletons, collinear degenerate cases) land at the cell center.
+    const BoundingBox box = ComputeBoundingBox(sub.layout);
+    const double extent = std::max(box.Width(), box.Height());
+    const double scale = extent > 0.0 ? side / extent : 0.0;
+    const double off_x = cell_x + (side - box.Width() * scale) / 2.0;
+    const double off_y = cell_y + (side - box.Height() * scale) / 2.0;
+    for (std::size_t v = 0; v < part.new_to_old.size(); ++v) {
+      const auto old_v = static_cast<std::size_t>(part.new_to_old[v]);
+      result.hde.layout.x[old_v] = off_x + (sub.layout.x[v] - box.min_x) * scale;
+      result.hde.layout.y[old_v] = off_y + (sub.layout.y[v] - box.min_y) * scale;
+    }
+
+    // Bookkeeping: stats in packed coordinates, pivots in input-graph ids,
+    // phase timings summed across components. The eigen data of the
+    // largest component (processed first) represents the run.
+    Layout placed;
+    placed.x.reserve(part.new_to_old.size());
+    placed.y.reserve(part.new_to_old.size());
+    for (const vid_t old_v : part.new_to_old) {
+      placed.x.push_back(result.hde.layout.x[static_cast<std::size_t>(old_v)]);
+      placed.y.push_back(result.hde.layout.y[static_cast<std::size_t>(old_v)]);
+    }
+    result.hde.components.push_back(
+        StatFor(part.graph, ComputeBoundingBox(placed)));
+    for (const vid_t p : sub.pivots) {
+      result.hde.pivots.push_back(part.new_to_old[static_cast<std::size_t>(p)]);
+    }
+    result.hde.timings.Merge(sub.timings);
+    MergeBfsStats(result.hde.bfs_stats, sub.bfs_stats);
+    if (i == 0) {
+      result.hde.kept_columns = sub.kept_columns;
+      result.hde.axis_eigenvalue[0] = sub.axis_eigenvalue[0];
+      result.hde.axis_eigenvalue[1] = sub.axis_eigenvalue[1];
+      result.hde.eigenvalues = sub.eigenvalues;
+    }
+    pack_seconds += overhead.Seconds();
+  }
+  result.hde.timings.Add(phase::kComponents, pack_seconds);
+
+  // Mirror the packed coordinates into the axes matrix so downstream
+  // consumers that read axes instead of layout see the same picture.
+  result.hde.axes = DenseMatrix(static_cast<std::size_t>(n), 2);
+  for (vid_t v = 0; v < n; ++v) {
+    result.hde.axes.At(static_cast<std::size_t>(v), 0) =
+        result.hde.layout.x[static_cast<std::size_t>(v)];
+    result.hde.axes.At(static_cast<std::size_t>(v), 1) =
+        result.hde.layout.y[static_cast<std::size_t>(v)];
+  }
+  return result;
+}
+
+}  // namespace parhde

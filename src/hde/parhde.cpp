@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "hde/pivots.hpp"
 #include "linalg/gemm.hpp"
@@ -10,6 +11,7 @@
 #include "linalg/laplacian_ops.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/parallel.hpp"
+#include "util/status.hpp"
 
 namespace parhde {
 namespace {
@@ -27,9 +29,54 @@ std::vector<double> MetricVector(const CsrGraph& graph,
 
 }  // namespace
 
+HdeResult TrivialSmallLayout(const CsrGraph& graph,
+                             const HdeOptions& options) {
+  const vid_t n = graph.NumVertices();
+  const auto axes = static_cast<std::size_t>(std::max(1, options.num_axes));
+  HdeResult result;
+  result.layout.x.assign(static_cast<std::size_t>(n), 0.0);
+  result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 2) {
+    result.layout.x[0] = -0.5;
+    result.layout.x[1] = 0.5;
+  }
+  result.axes = DenseMatrix(static_cast<std::size_t>(n), axes);
+  for (vid_t v = 0; v < n; ++v) {
+    result.axes.At(static_cast<std::size_t>(v), 0) =
+        result.layout.x[static_cast<std::size_t>(v)];
+  }
+  result.eigenvalues.assign(axes, 0.0);
+  return result;
+}
+
+void CheckMatrixFinite(const DenseMatrix& M, const char* phase,
+                       const char* what) {
+  for (std::size_t c = 0; c < M.Cols(); ++c) {
+    const auto col = M.Col(c);
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      if (!std::isfinite(col[i])) {
+        throw ParhdeError(ErrorCode::kNumerical, phase,
+                          std::string(what) + " contains a non-finite value "
+                          "at row " + std::to_string(i) + ", column " +
+                          std::to_string(c));
+      }
+    }
+  }
+}
+
+void CheckLayoutFinite(const Layout& layout, const char* phase) {
+  for (std::size_t v = 0; v < layout.x.size(); ++v) {
+    if (!std::isfinite(layout.x[v]) || !std::isfinite(layout.y[v])) {
+      throw ParhdeError(ErrorCode::kNumerical, phase,
+                        "non-finite coordinate for vertex " +
+                            std::to_string(v));
+    }
+  }
+}
+
 HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
   const vid_t n = graph.NumVertices();
-  assert(n >= 3);
+  if (n < 3) return TrivialSmallLayout(graph, options_in);
 
   HdeOptions options = options_in;
   options.subspace_dim =
@@ -107,6 +154,11 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
     gs = DOrthogonalize(S, metric, gs_opts);
   }
 
+  // A drop-tolerance failure (rank collapse) can only leak NaN/Inf through
+  // a division by a vanishing norm; surface it here with the phase named
+  // rather than as corrupt coordinates three phases later.
+  CheckMatrixFinite(S, phase::kDOrtho, "orthogonalized subspace");
+
   // Drop the degenerate 0th column (Alg. 3 line 16). It always survives
   // orthogonalization (it is the first column), so it is compacted to the
   // front.
@@ -142,7 +194,16 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Y;
   {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
-    const EigenDecomposition eig = SymmetricEigen(Z);
+    EigenDecomposition eig = SymmetricEigen(Z);
+    // Jacobi converges in a handful of sweeps for every sane Z; if it ran
+    // out of budget, retry with the shift-and-deflate power iteration
+    // before giving up with a typed error.
+    if (!eig.converged) eig = PowerIterationEigen(Z);
+    if (!eig.converged) {
+      throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
+                        "projected eigensolve failed to converge (Jacobi "
+                        "and power-iteration fallback)");
+    }
     // With S D-orthonormal, minimizing the Hall energy in the subspace means
     // taking the *smallest* eigenvalues of Z (the paper's "top two" refers
     // to the reversed ordering of the transition matrix, §2.1).
@@ -180,6 +241,7 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
       result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
     }
   }
+  CheckLayoutFinite(result.layout, phase::kEigensolve);
   return result;
 }
 

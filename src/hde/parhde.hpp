@@ -110,6 +110,18 @@ struct Layout {
   std::vector<double> y;
 };
 
+/// Per-connected-component bookkeeping reported by the disconnected-graph
+/// driver (hde/components_layout.hpp). Boxes are in the final (packed)
+/// coordinate space, so callers can verify components do not overlap.
+struct ComponentStat {
+  vid_t vertices = 0;
+  eid_t edges = 0;
+  double min_x = 0.0;
+  double max_x = 0.0;
+  double min_y = 0.0;
+  double max_y = 0.0;
+};
+
 /// Everything a benchmark or application needs from one HDE run.
 struct HdeResult {
   Layout layout;
@@ -128,6 +140,9 @@ struct HdeResult {
   std::vector<double> eigenvalues;
   /// Aggregate traversal statistics over all s searches.
   BfsStats bfs_stats;
+  /// Per-component stats when the layout came from the disconnected-graph
+  /// driver; a single entry (or empty, for plain RunParHde calls) otherwise.
+  std::vector<ComponentStat> components;
 };
 
 /// Standard phase-name constants shared by the drivers and benches.
@@ -142,10 +157,34 @@ inline constexpr const char* kOther = "Other";
 inline constexpr const char* kColCenter = "ColCenter";
 inline constexpr const char* kDblCenter = "DblCntr";
 inline constexpr const char* kMatMul = "MatMul";
+inline constexpr const char* kComponents = "Components";
 }  // namespace phase
 
-/// Runs ParHDE on a connected undirected graph. Requires n >= 3. The
-/// subspace dimension is clamped to n - 1.
+/// Runs ParHDE on a connected undirected graph. The subspace dimension is
+/// clamped to n - 1. Graphs with n < 3 have no usable distance subspace and
+/// get the trivial finite layout from TrivialSmallLayout — defined behavior
+/// in every build, where the seed version asserted. Disconnected graphs
+/// should go through RunHdeOnComponents (hde/components_layout.hpp); fed
+/// directly, unreachable distances are clamped to n, which distorts the
+/// embedding silently. Throws ParhdeError (kNumerical / kNoConvergence)
+/// when a numerical escape or eigensolver failure survives the built-in
+/// power-iteration fallback.
 HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options = {});
+
+/// Deterministic finite layout for graphs too small for a distance
+/// subspace (n < 3): the origin for n = 1, a unit horizontal segment for
+/// n = 2, empty for n = 0. Used as the graceful-degradation path by every
+/// HDE driver and by the per-component layout packer.
+HdeResult TrivialSmallLayout(const CsrGraph& graph, const HdeOptions& options);
+
+/// Throws ParhdeError(kNumerical, phase, ...) if any entry of M is NaN or
+/// infinite. The drivers run this after each numeric phase (O(n*s) once) so
+/// Gram-Schmidt rank collapse or an eigensolver escape surfaces as a typed
+/// error naming the offending phase instead of silently corrupt coordinates.
+void CheckMatrixFinite(const DenseMatrix& M, const char* phase,
+                       const char* what);
+
+/// Same sweep for a finished layout.
+void CheckLayoutFinite(const Layout& layout, const char* phase);
 
 }  // namespace parhde

@@ -1,18 +1,18 @@
 #include "hde/phde.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "hde/pivots.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/status.hpp"
 
 namespace parhde {
 
 HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   const vid_t n = graph.NumVertices();
-  assert(n >= 3);
+  if (n < 3) return TrivialSmallLayout(graph, options_in);
 
   HdeOptions options = options_in;
   options.subspace_dim =
@@ -33,6 +33,7 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
     ScopedPhase scoped(result.timings, phase::kColCenter);
     for (std::size_t c = 0; c < C.Cols(); ++c) CenterInPlace(C.Col(c));
   }
+  CheckMatrixFinite(C, phase::kColCenter, "centered distance matrix");
   result.kept_columns = static_cast<int>(C.Cols());
 
   // ---- MatMul: the small Gram matrix CᵀC. ----
@@ -46,7 +47,13 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Y;
   {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
-    const EigenDecomposition eig = SymmetricEigen(Z);
+    EigenDecomposition eig = SymmetricEigen(Z);
+    if (!eig.converged) eig = PowerIterationEigen(Z);
+    if (!eig.converged) {
+      throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
+                        "Gram-matrix eigensolve failed to converge (Jacobi "
+                        "and power-iteration fallback)");
+    }
     const std::size_t axes = std::min<std::size_t>(2, eig.values.size());
     Y = LargestEigenvectors(eig, axes);
     for (std::size_t a = 0; a < axes; ++a) {
@@ -65,6 +72,7 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
       result.layout.y.assign(static_cast<std::size_t>(n), 0.0);
     }
   }
+  CheckLayoutFinite(result.layout, phase::kEigensolve);
   return result;
 }
 

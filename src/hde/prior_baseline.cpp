@@ -44,7 +44,7 @@ std::vector<double> AllocatingSub(const std::vector<double>& x,
 
 HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options_in) {
   const vid_t n = graph.NumVertices();
-  assert(n >= 3);
+  if (n < 3) return TrivialSmallLayout(graph, options_in);
 
   HdeOptions options = options_in;
   options.subspace_dim =

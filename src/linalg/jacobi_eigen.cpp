@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 namespace parhde {
@@ -47,7 +48,8 @@ EigenDecomposition SymmetricEigen(const DenseMatrix& A_in, double tol,
 
   EigenDecomposition result;
   int sweeps = 0;
-  while (sweeps < max_sweeps && OffDiagonalNorm(A) > threshold) {
+  bool converged = false;
+  while (sweeps < max_sweeps && !(converged = OffDiagonalNorm(A) <= threshold)) {
     ++sweeps;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
@@ -86,6 +88,7 @@ EigenDecomposition SymmetricEigen(const DenseMatrix& A_in, double tol,
     }
   }
   result.sweeps = sweeps;
+  result.converged = converged || OffDiagonalNorm(A) <= threshold;
 
   // Sort ascending by eigenvalue, permuting eigenvector columns to match.
   std::vector<std::size_t> order(n);
@@ -103,6 +106,134 @@ EigenDecomposition SymmetricEigen(const DenseMatrix& A_in, double tol,
     }
   }
   return result;
+}
+
+EigenDecomposition PowerIterationEigen(const DenseMatrix& A_in, int max_iters,
+                                       double tol) {
+  assert(A_in.Rows() == A_in.Cols());
+  const std::size_t n = A_in.Rows();
+
+  // Symmetrize from the lower triangle, as SymmetricEigen does.
+  DenseMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      A.At(i, j) = A_in.At(i, j);
+      A.At(j, i) = A_in.At(i, j);
+    }
+  }
+
+  EigenDecomposition result;
+  result.values.resize(n);
+  result.vectors = DenseMatrix(n, n);
+  if (n == 0) return result;
+
+  // Gershgorin upper bound: every eigenvalue of A is <= sigma, so
+  // B = sigma*I - A is PSD and its *largest* eigenpairs are A's *smallest* —
+  // exactly the order deflation surfaces them in.
+  double sigma = A.At(0, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double radius = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) radius += std::abs(A.At(i, j));
+    }
+    sigma = std::max(sigma, A.At(i, i) + radius);
+  }
+  // Padding keeps B strictly positive definite so the dominant eigenvalue
+  // of B is simple enough for power iteration to find reliably.
+  sigma += 1.0;
+
+  auto multiply_b = [&](const std::vector<double>& x, std::vector<double>& y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = sigma * x[i];
+      for (std::size_t j = 0; j < n; ++j) acc -= A.At(i, j) * x[j];
+      y[i] = acc;
+    }
+  };
+
+  std::vector<double> v(n), w(n);
+  bool all_converged = true;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;  // deterministic start vectors
+  auto next_pseudo = [&state]() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) / 9007199254740992.0 - 0.5;
+  };
+
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = next_pseudo();
+
+    auto deflate = [&](std::vector<double>& x) {
+      for (std::size_t p = 0; p < k; ++p) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += x[i] * result.vectors.At(i, p);
+        for (std::size_t i = 0; i < n; ++i) x[i] -= dot * result.vectors.At(i, p);
+      }
+    };
+    auto normalize = [&](std::vector<double>& x) {
+      double norm = 0.0;
+      for (const double xi : x) norm += xi * xi;
+      norm = std::sqrt(norm);
+      if (norm < 1e-300) {
+        // Degenerate start (fully inside the deflated span): restart from a
+        // coordinate vector, which cannot be in the span of < n vectors all
+        // orthogonal to it for every coordinate.
+        x.assign(n, 0.0);
+        x[k % n] = 1.0;
+        deflate(x);
+        norm = 0.0;
+        for (const double xi : x) norm += xi * xi;
+        norm = std::sqrt(std::max(norm, 1e-300));
+      }
+      for (double& xi : x) xi /= norm;
+    };
+
+    deflate(v);
+    normalize(v);
+    double rayleigh = 0.0;
+    bool pair_converged = false;
+    for (int it = 0; it < max_iters; ++it) {
+      multiply_b(v, w);
+      deflate(w);
+      double next_rayleigh = 0.0;
+      for (std::size_t i = 0; i < n; ++i) next_rayleigh += v[i] * w[i];
+      normalize(w);
+      v.swap(w);
+      if (it > 0 && std::abs(next_rayleigh - rayleigh) <=
+                        tol * std::max(1.0, std::abs(next_rayleigh))) {
+        rayleigh = next_rayleigh;
+        pair_converged = true;
+        break;
+      }
+      rayleigh = next_rayleigh;
+    }
+    all_converged = all_converged && pair_converged;
+
+    result.values[k] = sigma - rayleigh;  // undo the shift
+    for (std::size_t i = 0; i < n; ++i) result.vectors.At(i, k) = v[i];
+  }
+  result.converged = all_converged;
+
+  // Deflation surfaces A's eigenvalues ascending already; sort defensively
+  // in case near-degenerate pairs came out swapped.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.values[a] < result.values[b];
+  });
+  EigenDecomposition sorted;
+  sorted.converged = result.converged;
+  sorted.values.resize(n);
+  sorted.vectors = DenseMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sorted.values[k] = result.values[order[k]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted.vectors.At(i, k) = result.vectors.At(i, order[k]);
+    }
+  }
+  return sorted;
 }
 
 DenseMatrix SmallestEigenvectors(const EigenDecomposition& eig, std::size_t k) {

@@ -18,6 +18,10 @@ struct EigenDecomposition {
   DenseMatrix vectors;
   /// Jacobi sweeps performed before the off-diagonal norm converged.
   int sweeps = 0;
+  /// False when the sweep budget ran out with the off-diagonal norm still
+  /// above threshold — callers should fall back to PowerIterationEigen or
+  /// raise a typed kNoConvergence error rather than trust the result.
+  bool converged = true;
 };
 
 /// Full eigendecomposition of a symmetric matrix (only the lower triangle
@@ -34,5 +38,16 @@ DenseMatrix SmallestEigenvectors(const EigenDecomposition& eig, std::size_t k);
 /// The k eigenvectors with largest eigenvalues (descending) — PHDE's and
 /// PivotMDS's principal axes.
 DenseMatrix LargestEigenvectors(const EigenDecomposition& eig, std::size_t k);
+
+/// Robust fallback eigensolver: deflated power iteration on the Gershgorin
+/// shift sigma*I - A, which surfaces A's eigenvalues in ascending order.
+/// Slower than Jacobi (O(n^2) per iteration per eigenpair) but free of the
+/// rotation-angle arithmetic that can stall Jacobi on pathological inputs;
+/// used by the HDE drivers when SymmetricEigen reports non-convergence.
+/// Deterministic (fixed splitmix-style start vectors). `converged` is false
+/// if any Rayleigh quotient failed to stabilize within max_iters.
+EigenDecomposition PowerIterationEigen(const DenseMatrix& A,
+                                       int max_iters = 2000,
+                                       double tol = 1e-12);
 
 }  // namespace parhde

@@ -1,7 +1,5 @@
 #include "multilevel/multilevel_hde.hpp"
 
-#include <cassert>
-
 #include "hde/refine.hpp"
 #include "multilevel/matching.hpp"
 
@@ -9,7 +7,15 @@ namespace parhde {
 
 MultilevelResult RunMultilevelHde(const CsrGraph& graph,
                                   const MultilevelOptions& options) {
-  assert(graph.NumVertices() >= 3);
+  if (graph.NumVertices() < 3) {
+    // Too small for a distance subspace: skip the hierarchy and return the
+    // coarse solver's trivial finite layout directly.
+    MultilevelResult tiny;
+    tiny.coarsest_vertices = graph.NumVertices();
+    tiny.coarse_hde = RunParHde(graph, options.hde);
+    tiny.layout = tiny.coarse_hde.layout;
+    return tiny;
+  }
   MultilevelResult result;
 
   // ---- Coarsening: build the hierarchy. ----

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <stdexcept>
+
+#include "util/status.hpp"
 
 namespace parhde {
 
@@ -41,7 +42,12 @@ std::int64_t ArgParser::GetInt(const std::string& name,
   if (it == flags_.end() || it->second.empty()) return def;
   char* end = nullptr;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  return (end && *end == '\0') ? v : def;
+  if (!end || *end != '\0') {
+    throw ParhdeError(ErrorCode::kUsage, "cli",
+                      "--" + name + "=" + it->second +
+                          " is not an integer");
+  }
+  return v;
 }
 
 std::string ArgParser::GetChoice(const std::string& name,
@@ -57,8 +63,9 @@ std::string ArgParser::GetChoice(const std::string& name,
     if (!choices.empty()) choices += "|";
     choices += a;
   }
-  throw std::invalid_argument("--" + name + "=" + it->second +
-                              " is not one of " + choices);
+  throw ParhdeError(ErrorCode::kUsage, "cli",
+                    "--" + name + "=" + it->second + " is not one of " +
+                        choices);
 }
 
 double ArgParser::GetDouble(const std::string& name, double def) const {
@@ -66,7 +73,11 @@ double ArgParser::GetDouble(const std::string& name, double def) const {
   if (it == flags_.end() || it->second.empty()) return def;
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
-  return (end && *end == '\0') ? v : def;
+  if (!end || *end != '\0') {
+    throw ParhdeError(ErrorCode::kUsage, "cli",
+                      "--" + name + "=" + it->second + " is not a number");
+  }
+  return v;
 }
 
 }  // namespace parhde

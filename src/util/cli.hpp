@@ -22,15 +22,18 @@ class ArgParser {
   [[nodiscard]] std::string GetString(const std::string& name,
                                       const std::string& def) const;
 
-  /// Integer value of --name, or `def` if absent/unparsable.
+  /// Integer value of --name, or `def` if absent or empty. A non-empty
+  /// unparsable value throws ParhdeError(kUsage) — a typo'd number should
+  /// fail loudly, not silently fall back to a default.
   [[nodiscard]] std::int64_t GetInt(const std::string& name,
                                     std::int64_t def) const;
 
-  /// Double value of --name, or `def` if absent/unparsable.
+  /// Double value of --name, or `def` if absent or empty; throws
+  /// ParhdeError(kUsage) on a non-empty unparsable value.
   [[nodiscard]] double GetDouble(const std::string& name, double def) const;
 
   /// Value of --name constrained to `allowed`; returns `def` when the flag
-  /// is absent and throws std::invalid_argument (listing the choices) when
+  /// is absent and throws ParhdeError(kUsage) (listing the choices) when
   /// a value outside `allowed` was given — typos should fail loudly rather
   /// than silently fall back to a default kernel or strategy.
   [[nodiscard]] std::string GetChoice(const std::string& name,

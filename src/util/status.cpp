@@ -1,0 +1,44 @@
+#include "util/status.hpp"
+
+namespace parhde {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kCorruptBinary: return "corrupt-binary";
+    case ErrorCode::kInvalidValue: return "invalid-value";
+    case ErrorCode::kTooSmall: return "too-small";
+    case ErrorCode::kDisconnected: return "disconnected";
+    case ErrorCode::kNumerical: return "numerical";
+    case ErrorCode::kNoConvergence: return "no-convergence";
+  }
+  return "unknown";
+}
+
+int ExitCodeFor(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kUsage: return 2;
+    case ErrorCode::kIo: return 3;
+    case ErrorCode::kParse: return 4;
+    case ErrorCode::kCorruptBinary: return 5;
+    case ErrorCode::kInvalidValue: return 6;
+    case ErrorCode::kTooSmall: return 7;
+    case ErrorCode::kDisconnected: return 8;
+    case ErrorCode::kNumerical: return 9;
+    case ErrorCode::kNoConvergence: return 10;
+  }
+  return 1;
+}
+
+ParhdeError::ParhdeError(ErrorCode code, std::string phase,
+                         const std::string& message)
+    : std::runtime_error(phase + ": " + message + " [" + ErrorCodeName(code) +
+                         "]"),
+      code_(code),
+      phase_(std::move(phase)) {}
+
+}  // namespace parhde

@@ -1,0 +1,57 @@
+// Structured error taxonomy for the whole pipeline.
+//
+// Every recoverable failure — malformed input, degenerate topology the
+// caller asked us to reject, a numerical escape — is reported as a
+// ParhdeError carrying a machine-readable ErrorCode, the phase (module or
+// algorithm stage) that detected it, and a human-readable message. The CLI
+// maps each code to a distinct documented exit code (see README), so shell
+// pipelines and service supervisors can distinguish "the file is garbage"
+// from "the solver blew up" without parsing stderr.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parhde {
+
+/// Failure classes, ordered roughly by pipeline stage. Values are stable:
+/// the CLI exit code for each is ExitCodeFor(code) and is part of the
+/// documented interface.
+enum class ErrorCode {
+  kOk = 0,
+  kUsage,          // bad command line: unknown flag value, missing argument
+  kIo,             // cannot open / read / write a file
+  kParse,          // malformed text input (MatrixMarket, edge list, coords)
+  kCorruptBinary,  // binary snapshot fails magic, size, or CSR validation
+  kInvalidValue,   // NaN/Inf/negative weight or out-of-range numeric field
+  kTooSmall,       // graph below the minimum size for the requested op
+  kDisconnected,   // disconnected input under DisconnectedPolicy::Reject
+  kNumerical,      // NaN/Inf escaped a compute phase
+  kNoConvergence,  // iterative solver exhausted its budget
+};
+
+/// Stable lowercase identifier for a code ("parse", "corrupt-binary", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+/// The CLI process exit code for a failure class. Distinct per code and
+/// nonzero for everything but kOk; documented in the README.
+int ExitCodeFor(ErrorCode code);
+
+/// The typed exception every module throws. what() renders as
+/// "<phase>: <message> [<code-name>]" so untyped catch sites still print
+/// a complete diagnostic.
+class ParhdeError : public std::runtime_error {
+ public:
+  ParhdeError(ErrorCode code, std::string phase, const std::string& message);
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  /// The module or algorithm stage that detected the failure, e.g.
+  /// "graph/io", "DOrtho", "Eigensolve".
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
+ private:
+  ErrorCode code_;
+  std::string phase_;
+};
+
+}  // namespace parhde

@@ -5,6 +5,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "util/status.hpp"
+
 namespace parhde {
 namespace {
 
@@ -42,8 +44,19 @@ TEST(ArgParser, DefaultsWhenAbsent) {
   EXPECT_DOUBLE_EQ(args.GetDouble("x", 1.5), 1.5);
 }
 
-TEST(ArgParser, UnparsableNumberFallsBack) {
+TEST(ArgParser, UnparsableNumberIsAUsageError) {
   auto args = Parse({"--s=abc"});
+  try {
+    static_cast<void>(args.GetInt("s", 42));
+    FAIL() << "expected ParhdeError";
+  } catch (const ParhdeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUsage);
+  }
+  EXPECT_THROW(static_cast<void>(args.GetDouble("s", 1.5)), ParhdeError);
+}
+
+TEST(ArgParser, EmptyNumberValueStillFallsBack) {
+  auto args = Parse({"--s"});
   EXPECT_EQ(args.GetInt("s", 42), 42);
 }
 
@@ -71,8 +84,13 @@ TEST(ArgParser, GetChoiceAcceptsAllowedValue) {
 
 TEST(ArgParser, GetChoiceRejectsUnknownValue) {
   auto args = Parse({"--kernel=bogus"});
-  EXPECT_THROW(args.GetChoice("kernel", {"parbfs", "msbfs"}, "parbfs"),
-               std::invalid_argument);
+  try {
+    static_cast<void>(args.GetChoice("kernel", {"parbfs", "msbfs"}, "parbfs"));
+    FAIL() << "expected ParhdeError";
+  } catch (const ParhdeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUsage);
+    EXPECT_NE(std::string(e.what()).find("parbfs|msbfs"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -9,6 +9,14 @@
 #include <sstream>
 #include <string>
 
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
 #ifndef PARHDE_CLI_PATH
 #define PARHDE_CLI_PATH ""
 #endif
@@ -28,10 +36,18 @@ class CliToolTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  /// Runs the CLI and returns its actual exit code (not the raw wait
+  /// status), so tests can assert on the documented per-error codes.
   int Run(const std::string& args) {
     const std::string cmd = std::string(PARHDE_CLI_PATH) + " " + args +
                             " > " + (dir_ / "log.txt").string() + " 2>&1";
-    return std::system(cmd.c_str());
+    const int status = std::system(cmd.c_str());
+#ifdef __unix__
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    return -1;  // killed by a signal: never a clean typed failure
+#else
+    return status;
+#endif
   }
 
   std::string Log() {
@@ -122,6 +138,109 @@ TEST_F(CliToolTest, BadInputsFailCleanly) {
   EXPECT_NE(Run("layout --in=" + Path("missing.mtx")), 0);
   EXPECT_NE(Run("layout --in=" + Path("g.mtx") + " --algo=bogus"), 0);
   EXPECT_NE(Run("frobnicate"), 0);
+}
+
+// ---- Documented per-error exit codes (src/util/status.hpp): each failure
+// class maps to its own nonzero code, never to a crash. ----
+
+TEST_F(CliToolTest, DistinctExitCodesForDistinctFailures) {
+  // 3 = kIo: unopenable input.
+  EXPECT_EQ(Run("layout --in=" + Path("missing.mtx")), 3) << Log();
+
+  // 2 = kUsage: unknown enum value / missing --in / bad number.
+  {
+    std::ofstream ok(Path("ok.el"));
+    ok << "0 1\n1 2\n2 0\n";
+  }
+  EXPECT_EQ(Run("layout --in=" + Path("ok.el") + " --algo=bogus"), 2)
+      << Log();
+  EXPECT_EQ(Run("layout"), 2) << Log();
+  EXPECT_EQ(Run("layout --in=" + Path("ok.el") + " --s=abc"), 2) << Log();
+
+  // 4 = kParse: structurally broken MatrixMarket.
+  {
+    std::ofstream bad(Path("bad.mtx"));
+    bad << "this is not a matrix\n";
+  }
+  EXPECT_EQ(Run("layout --in=" + Path("bad.mtx")), 4) << Log();
+
+  // 5 = kCorruptBinary: garbage where a CSR snapshot should be.
+  {
+    std::ofstream bad(Path("bad.bin"), std::ios::binary);
+    bad << "NOTPARHDE-anything";
+  }
+  EXPECT_EQ(Run("layout --in=" + Path("bad.bin")), 5) << Log();
+
+  // 6 = kInvalidValue: NaN edge weight.
+  {
+    std::ofstream bad(Path("nan.mtx"));
+    bad << "%%MatrixMarket matrix coordinate real symmetric\n"
+        << "3 3 1\n"
+        << "2 1 nan\n";
+  }
+  EXPECT_EQ(Run("layout --in=" + Path("nan.mtx")), 6) << Log();
+
+  // 7 = kTooSmall: an empty edge list yields a zero-vertex graph.
+  {
+    std::ofstream empty(Path("empty.el"));
+    empty << "# no edges\n";
+  }
+  EXPECT_EQ(Run("layout --in=" + Path("empty.el")), 7) << Log();
+}
+
+TEST_F(CliToolTest, DisconnectedPoliciesEndToEnd) {
+  // Two rings that never touch.
+  {
+    std::ofstream el(Path("two.el"));
+    for (int v = 0; v < 12; ++v) el << v << ' ' << (v + 1) % 12 << '\n';
+    for (int v = 0; v < 6; ++v)
+      el << 12 + v << ' ' << 12 + (v + 1) % 6 << '\n';
+  }
+
+  // 8 = kDisconnected under --disconnected=reject.
+  EXPECT_EQ(
+      Run("layout --in=" + Path("two.el") + " --disconnected=reject"), 8)
+      << Log();
+
+  // Default (largest) lays out only the 12-ring.
+  ASSERT_EQ(Run("layout --in=" + Path("two.el") + " --s=4 --coords=" +
+                Path("lcc.xy")),
+            0)
+      << Log();
+  EXPECT_NE(Log().find("2 components"), std::string::npos) << Log();
+  std::ifstream lcc(Path("lcc.xy"));
+  std::string line;
+  int lines = 0;
+  while (std::getline(lcc, line)) ++lines;
+  EXPECT_EQ(lines, 12);
+
+  // Pack lays out all 18 vertices and reports both component boxes.
+  ASSERT_EQ(Run("layout --in=" + Path("two.el") +
+                " --s=4 --disconnected=pack --coords=" + Path("pack.xy") +
+                " --svg=" + Path("pack.svg")),
+            0)
+      << Log();
+  EXPECT_NE(Log().find("component 0"), std::string::npos) << Log();
+  EXPECT_NE(Log().find("component 1"), std::string::npos) << Log();
+  std::ifstream pack(Path("pack.xy"));
+  lines = 0;
+  while (std::getline(pack, line)) ++lines;
+  EXPECT_EQ(lines, 18);
+  EXPECT_TRUE(std::filesystem::exists(Path("pack.svg")));
+}
+
+TEST_F(CliToolTest, BinarySnapshotInputWorks) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  WriteBinaryFile(g, Path("grid.bin"));
+  EXPECT_EQ(Run("layout --in=" + Path("grid.bin") + " --s=6 --coords=" +
+                Path("grid.xy")),
+            0)
+      << Log();
+  std::ifstream coords(Path("grid.xy"));
+  std::string line;
+  int lines = 0;
+  while (std::getline(coords, line)) ++lines;
+  EXPECT_EQ(lines, 400);
 }
 
 }  // namespace

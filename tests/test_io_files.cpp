@@ -2,7 +2,9 @@
 // scratch directory under the build tree.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -13,9 +15,26 @@
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "util/status.hpp"
 
 namespace parhde {
 namespace {
+
+/// Runs `fn` and returns the ErrorCode of the ParhdeError it throws;
+/// fails the test if it does not throw one.
+template <typename Fn>
+ErrorCode CodeOf(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ParhdeError& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw non-ParhdeError: " << e.what();
+    return ErrorCode::kOk;
+  }
+  ADD_FAILURE() << "did not throw";
+  return ErrorCode::kOk;
+}
 
 class FileIoTest : public ::testing::Test {
  protected:
@@ -102,6 +121,138 @@ TEST_F(FileIoTest, SvgFileWellFormed) {
 
 TEST_F(FileIoTest, BinaryMissingFileThrows) {
   EXPECT_THROW(ReadBinaryFile(Path("missing.bin")), std::runtime_error);
+}
+
+// ---- Corrupted-input corpus: every malformed file must surface as a typed
+// ParhdeError (never a crash, hang, or multi-GB allocation). ----
+
+class CorruptInputTest : public FileIoTest {
+ protected:
+  /// A valid binary snapshot to corrupt, returned as raw bytes.
+  std::string ValidBinary() {
+    const CsrGraph g = BuildCsrGraph(10, GenRing(10));
+    const std::string path = Path("valid.bin");
+    WriteBinaryFile(g, path);
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  std::string WriteBytes(const std::string& name, const std::string& bytes) {
+    const std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  std::string WriteText(const std::string& name, const std::string& text) {
+    const std::string path = Path(name);
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+};
+
+TEST_F(CorruptInputTest, TruncatedBinaryIsCorruptNotCrash) {
+  const std::string bytes = ValidBinary();
+  for (const std::size_t keep :
+       {bytes.size() / 2, bytes.size() - 1, std::size_t{20}, std::size_t{4}}) {
+    const std::string path = WriteBytes("trunc.bin", bytes.substr(0, keep));
+    EXPECT_EQ(CodeOf([&] { ReadBinaryFile(path); }),
+              ErrorCode::kCorruptBinary)
+        << "keep=" << keep;
+  }
+}
+
+TEST_F(CorruptInputTest, OversizedArrayHeaderRejectedBeforeAllocation) {
+  // Magic + n, then an offsets length claiming ~1e18 elements. The reader
+  // must bounds-check against the file size instead of resizing a vector
+  // to exabytes.
+  std::string bytes("PARHDE01", 8);
+  const std::int64_t n = 4;
+  bytes.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  bytes.append(64, '\0');  // far fewer payload bytes than declared
+  const std::string path = WriteBytes("bomb.bin", bytes);
+  EXPECT_EQ(CodeOf([&] { ReadBinaryFile(path); }), ErrorCode::kCorruptBinary);
+}
+
+TEST_F(CorruptInputTest, BadMagicIsCorrupt) {
+  const std::string path = WriteBytes("magic.bin", "NOTPARHDE-AT-ALL");
+  EXPECT_EQ(CodeOf([&] { ReadBinaryFile(path); }), ErrorCode::kCorruptBinary);
+}
+
+TEST_F(CorruptInputTest, OutOfRangeNeighborIdIsCorrupt) {
+  // Patch one adjacency entry of a valid ring snapshot to vertex 9999.
+  // Layout: magic(8) + n(8) + [len(8) + offsets n+1 x 8B] + [len(8) + adj].
+  std::string bytes = ValidBinary();
+  const std::size_t adj_start = 8 + 8 + 8 + 11 * 8 + 8;
+  ASSERT_GT(bytes.size(), adj_start + sizeof(vid_t));
+  const vid_t evil = 9999;
+  std::memcpy(bytes.data() + adj_start, &evil, sizeof(evil));
+  const std::string path = WriteBytes("badid.bin", bytes);
+  EXPECT_EQ(CodeOf([&] { ReadBinaryFile(path); }), ErrorCode::kCorruptBinary);
+}
+
+TEST_F(CorruptInputTest, MatrixMarketOutOfRangeIndexNamesTheLine) {
+  const std::string path = WriteText(
+      "oob.mtx",
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "1 2\n"
+      "5 1\n");
+  try {
+    ReadMatrixMarketFile(path);
+    FAIL() << "expected ParhdeError";
+  } catch (const ParhdeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidValue);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CorruptInputTest, MatrixMarketNanWeightRejected) {
+  const std::string path = WriteText(
+      "nan.mtx",
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.0\n"
+      "3 1 nan\n");
+  EXPECT_EQ(CodeOf([&] { ReadMatrixMarketFile(path); }),
+            ErrorCode::kInvalidValue);
+}
+
+TEST_F(CorruptInputTest, NegativeWeightRejectedEverywhere) {
+  const std::string mtx = WriteText(
+      "neg.mtx",
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 1\n"
+      "2 1 -4.0\n");
+  EXPECT_EQ(CodeOf([&] { ReadMatrixMarketFile(mtx); }),
+            ErrorCode::kInvalidValue);
+  const std::string el = WriteText("neg.el", "0 1 -1.5\n");
+  EXPECT_EQ(CodeOf([&] { ReadEdgeListFile(el); }), ErrorCode::kInvalidValue);
+}
+
+TEST_F(CorruptInputTest, EmptyMatrixMarketFileIsParseError) {
+  const std::string path = WriteText("empty.mtx", "");
+  EXPECT_EQ(CodeOf([&] { ReadMatrixMarketFile(path); }), ErrorCode::kParse);
+}
+
+TEST_F(CorruptInputTest, TruncatedEntryListIsParseError) {
+  const std::string path = WriteText(
+      "short.mtx",
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "4 4 3\n"
+      "2 1\n");
+  EXPECT_EQ(CodeOf([&] { ReadMatrixMarketFile(path); }), ErrorCode::kParse);
+}
+
+TEST_F(CorruptInputTest, EdgeListHugeVertexIdRejected) {
+  const std::string path = WriteText("huge.el", "0 99999999999\n");
+  EXPECT_EQ(CodeOf([&] { ReadEdgeListFile(path); }),
+            ErrorCode::kInvalidValue);
 }
 
 }  // namespace

@@ -156,5 +156,49 @@ TEST_P(JacobiSizeSweep, ConvergesForAllSizes) {
 INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSizeSweep,
                          ::testing::Values(2u, 5u, 10u, 25u, 50u, 100u));
 
+TEST(JacobiEigen, ReportsConvergence) {
+  const DenseMatrix A = RandomSymmetric(12, 7);
+  const EigenDecomposition eig = SymmetricEigen(A);
+  EXPECT_TRUE(eig.converged);
+}
+
+TEST(PowerIterationEigen, MatchesJacobiOnRandomSymmetric) {
+  // The fallback must reproduce the full ascending spectrum, since ParHDE
+  // reads the smallest eigenpairs and PHDE/PivotMDS the largest.
+  for (const std::size_t n : {2u, 5u, 10u}) {
+    const DenseMatrix A = RandomSymmetric(n, 300 + n);
+    const EigenDecomposition ref = SymmetricEigen(A);
+    const EigenDecomposition pow = PowerIterationEigen(A);
+    EXPECT_TRUE(pow.converged);
+    ASSERT_EQ(pow.values.size(), n);
+    EXPECT_TRUE(std::is_sorted(pow.values.begin(), pow.values.end()));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(pow.values[i], ref.values[i], 1e-6) << "n=" << n
+                                                      << " i=" << i;
+    }
+    // Eigenvectors agree up to sign.
+    for (std::size_t c = 0; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        dot += pow.vectors.At(r, c) * ref.vectors.At(r, c);
+      }
+      EXPECT_NEAR(std::abs(dot), 1.0, 1e-5) << "n=" << n << " col=" << c;
+    }
+  }
+}
+
+TEST(PowerIterationEigen, DegenerateSpectrumStillFiniteAndSorted) {
+  // Repeated eigenvalues (identity block) are the hard case for deflation:
+  // vectors within the eigenspace are arbitrary, but values must be right.
+  DenseMatrix A(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) A.At(i, i) = i < 3 ? 2.0 : 5.0;
+  const EigenDecomposition eig = PowerIterationEigen(A);
+  EXPECT_TRUE(eig.converged);
+  ASSERT_EQ(eig.values.size(), 4u);
+  EXPECT_NEAR(eig.values[0], 2.0, 1e-8);
+  EXPECT_NEAR(eig.values[2], 2.0, 1e-8);
+  EXPECT_NEAR(eig.values[3], 5.0, 1e-8);
+}
+
 }  // namespace
 }  // namespace parhde

@@ -7,9 +7,14 @@
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "hde/components_layout.hpp"
+#include "hde/phde.hpp"
+#include "hde/pivot_mds.hpp"
+#include "hde/prior_baseline.hpp"
 #include "linalg/laplacian_ops.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
+#include "util/status.hpp"
 
 namespace parhde {
 namespace {
@@ -247,6 +252,163 @@ TEST_P(ParHdeSubspaceSweep, KeptColumnsNeverExceedS) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, ParHdeSubspaceSweep,
                          ::testing::Values(2, 5, 10, 25, 50));
+
+// ---- Degenerate-topology degradation: tiny graphs yield trivial finite
+// layouts instead of tripping an assert (which NDEBUG builds compiled out,
+// leaving undefined behavior). ----
+
+TEST(TinyGraphs, EveryDriverHandlesN0N1N2) {
+  using Driver = HdeResult (*)(const CsrGraph&, const HdeOptions&);
+  const Driver drivers[] = {&RunParHde, &RunPhde, &RunPivotMds, &RunPriorHde};
+  for (const Driver driver : drivers) {
+    for (const vid_t n : {0, 1, 2}) {
+      EdgeList edges;
+      if (n == 2) edges.push_back({0, 1, 1.0});
+      const CsrGraph g = BuildCsrGraph(n, edges);
+      const HdeResult r = driver(g, HdeOptions{});
+      ASSERT_EQ(r.layout.x.size(), static_cast<std::size_t>(n));
+      ASSERT_EQ(r.layout.y.size(), static_cast<std::size_t>(n));
+      for (std::size_t v = 0; v < r.layout.x.size(); ++v) {
+        EXPECT_TRUE(std::isfinite(r.layout.x[v]));
+        EXPECT_TRUE(std::isfinite(r.layout.y[v]));
+      }
+      if (n == 2) EXPECT_NE(r.layout.x[0], r.layout.x[1]);
+    }
+  }
+}
+
+// ---- Disconnected-graph driver. ----
+
+bool BoxesOverlap(const ComponentStat& a, const ComponentStat& b) {
+  return a.min_x < b.max_x && b.min_x < a.max_x && a.min_y < b.max_y &&
+         b.min_y < a.max_y;
+}
+
+void ExpectFinitePackedLayout(const ComponentsLayoutResult& res,
+                              std::size_t n) {
+  ASSERT_EQ(res.hde.layout.x.size(), n);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_TRUE(std::isfinite(res.hde.layout.x[v]));
+    EXPECT_TRUE(std::isfinite(res.hde.layout.y[v]));
+  }
+  for (std::size_t a = 0; a < res.hde.components.size(); ++a) {
+    for (std::size_t b = a + 1; b < res.hde.components.size(); ++b) {
+      EXPECT_FALSE(BoxesOverlap(res.hde.components[a], res.hde.components[b]))
+          << "components " << a << " and " << b << " overlap";
+    }
+  }
+}
+
+TEST(ComponentsLayout, TwoComponentsPackWithoutOverlap) {
+  // Two disjoint grids: 20x20 at ids [0,400) and 10x10 at ids [400,500).
+  EdgeList edges = GenGrid2d(20, 20);
+  for (const Edge& e : GenGrid2d(10, 10)) {
+    edges.push_back({e.u + 400, e.v + 400, 1.0});
+  }
+  const CsrGraph g = BuildCsrGraph(500, edges);
+  ASSERT_FALSE(IsConnected(g));
+
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  ComponentsLayoutOptions copts;
+  copts.policy = DisconnectedPolicy::Pack;
+  const ComponentsLayoutResult res = RunHdeOnComponents(g, options, copts);
+  EXPECT_EQ(res.num_components, 2);
+  EXPECT_FALSE(res.used_subgraph);
+  ASSERT_EQ(res.hde.components.size(), 2u);
+  EXPECT_EQ(res.hde.components[0].vertices, 400);  // largest first
+  EXPECT_EQ(res.hde.components[1].vertices, 100);
+  ExpectFinitePackedLayout(res, 500u);
+  // The big component gets the bigger box.
+  const double area0 = (res.hde.components[0].max_x -
+                        res.hde.components[0].min_x) *
+                       (res.hde.components[0].max_y -
+                        res.hde.components[0].min_y);
+  const double area1 = (res.hde.components[1].max_x -
+                        res.hde.components[1].min_x) *
+                       (res.hde.components[1].max_y -
+                        res.hde.components[1].min_y);
+  EXPECT_GT(area0, area1);
+}
+
+TEST(ComponentsLayout, HundredSingletonsStayDistinctAndFinite) {
+  const CsrGraph g = BuildCsrGraph(100, EdgeList{});
+  const ComponentsLayoutResult res =
+      RunHdeOnComponents(g, HdeOptions{}, ComponentsLayoutOptions{});
+  EXPECT_EQ(res.num_components, 100);
+  ASSERT_EQ(res.hde.components.size(), 100u);
+  ExpectFinitePackedLayout(res, 100u);
+  // Every singleton sits at its own cell center: all positions distinct.
+  for (std::size_t a = 0; a < 100; ++a) {
+    for (std::size_t b = a + 1; b < 100; ++b) {
+      EXPECT_TRUE(res.hde.layout.x[a] != res.hde.layout.x[b] ||
+                  res.hde.layout.y[a] != res.hde.layout.y[b])
+          << a << " and " << b << " coincide";
+    }
+  }
+}
+
+TEST(ComponentsLayout, StarPlusIsolatedVertexPacks) {
+  EdgeList edges;
+  for (vid_t leaf = 1; leaf <= 30; ++leaf) edges.push_back({0, leaf, 1.0});
+  const CsrGraph g = BuildCsrGraph(32, edges);  // vertex 31 is isolated
+  HdeOptions options;
+  options.start_vertex = 0;
+  const ComponentsLayoutResult res =
+      RunHdeOnComponents(g, options, ComponentsLayoutOptions{});
+  EXPECT_EQ(res.num_components, 2);
+  ASSERT_EQ(res.hde.components.size(), 2u);
+  EXPECT_EQ(res.hde.components[0].vertices, 31);
+  EXPECT_EQ(res.hde.components[1].vertices, 1);
+  ExpectFinitePackedLayout(res, 32u);
+}
+
+TEST(ComponentsLayout, LargestPolicyReportsTheExtraction) {
+  EdgeList edges = GenRing(50);
+  edges.push_back({50, 51, 1.0});
+  const CsrGraph g = BuildCsrGraph(52, edges);
+  ComponentsLayoutOptions copts;
+  copts.policy = DisconnectedPolicy::Largest;
+  HdeOptions options;
+  options.start_vertex = 0;
+  const ComponentsLayoutResult res = RunHdeOnComponents(g, options, copts);
+  EXPECT_EQ(res.num_components, 2);
+  ASSERT_TRUE(res.used_subgraph);
+  EXPECT_EQ(res.subgraph.graph.NumVertices(), 50);
+  EXPECT_EQ(res.hde.layout.x.size(), 50u);
+  EXPECT_EQ(res.subgraph.new_to_old.size(), 50u);
+}
+
+TEST(ComponentsLayout, RejectPolicyThrowsTypedError) {
+  const CsrGraph g = BuildCsrGraph(4, EdgeList{{0, 1, 1.0}, {2, 3, 1.0}});
+  ComponentsLayoutOptions copts;
+  copts.policy = DisconnectedPolicy::Reject;
+  try {
+    RunHdeOnComponents(g, HdeOptions{}, copts);
+    FAIL() << "expected ParhdeError";
+  } catch (const ParhdeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDisconnected);
+    EXPECT_NE(std::string(e.what()).find("2 connected components"),
+              std::string::npos);
+  }
+}
+
+TEST(ComponentsLayout, ConnectedGraphPassesStraightThrough) {
+  const CsrGraph g = BuildCsrGraph(400, GenGrid2d(20, 20));
+  HdeOptions options;
+  options.subspace_dim = 8;
+  options.start_vertex = 0;
+  const ComponentsLayoutResult res =
+      RunHdeOnComponents(g, options, ComponentsLayoutOptions{});
+  const HdeResult direct = RunParHde(g, options);
+  EXPECT_EQ(res.num_components, 1);
+  ASSERT_EQ(res.hde.components.size(), 1u);
+  for (std::size_t v = 0; v < 400; ++v) {
+    EXPECT_DOUBLE_EQ(res.hde.layout.x[v], direct.layout.x[v]);
+    EXPECT_DOUBLE_EQ(res.hde.layout.y[v], direct.layout.y[v]);
+  }
+}
 
 }  // namespace
 }  // namespace parhde

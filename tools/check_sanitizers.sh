@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Builds the ASan+UBSan configuration and runs the robustness-focused test
+# subset under it: the corrupted-input corpus, the disconnected-graph
+# end-to-end cases, and the CLI exit-code checks. A typed error that merely
+# papers over a heap overflow or UB will fail here even though the plain
+# test suite passes.
+#
+# Usage: tools/check_sanitizers.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPARHDE_SANITIZE=address-undefined
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 4)" \
+  --target parhde_tests parhde_cli
+
+# halt_on_error keeps a UBSan report from scrolling past unnoticed;
+# detect_leaks stays on (the corpus must not leak on the throw paths).
+ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  "$build_dir/tests/parhde_tests" \
+  --gtest_filter='CorruptInputTest.*:ComponentsLayout.*:TinyGraphs.*:CliToolTest.DistinctExitCodesForDistinctFailures:CliToolTest.DisconnectedPoliciesEndToEnd:FileIoTest.*'
+
+echo "sanitizer sweep passed"

@@ -8,14 +8,22 @@
 //             [--s=10] [--axes=2] [--pivots=kcenters|random] [--gs=mgs|cgs]
 //             [--metric=degree|unit] [--basis=b|s] [--coupled] [--seed=1]
 //             [--kernel=parbfs|serialbfs|msbfs|sssp]
+//             [--disconnected=pack|largest|reject]  (default: largest)
 //             [--coords=out.xy] [--png=out.png] [--svg=out.svg]
 //   partition --in=<...> [--parts=4] [--refine] [--svg=out.svg]
 //   draw      --in=<graph> --coords=<file.xy> [--png=out.png]
 //             [--svg=out.svg] [--canvas=800] [--aa]   (render saved coords)
 //
-// Inputs ending in .mtx parse as MatrixMarket; anything else as an edge
-// list. Graphs are preprocessed exactly like the paper (§4.1): symmetrize,
-// dedup, drop self loops, extract the largest connected component.
+// Inputs ending in .mtx parse as MatrixMarket, .bin as the binary CSR
+// snapshot, anything else as an edge list. Graphs are preprocessed like the
+// paper (§4.1): symmetrize, dedup, drop self loops. The layout subcommand
+// handles disconnected inputs per --disconnected; the other subcommands
+// extract the largest connected component as before.
+//
+// Exit codes (see src/util/status.hpp): 0 success, 1 internal error,
+// 2 usage, 3 I/O, 4 parse, 5 corrupt binary, 6 invalid value, 7 graph too
+// small, 8 disconnected input rejected, 9 numerical failure,
+// 10 eigensolver did not converge.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -31,6 +39,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "bfs/serial_bfs.hpp"
+#include "hde/components_layout.hpp"
 #include "hde/parhde.hpp"
 #include "hde/partition.hpp"
 #include "hde/partition_refine.hpp"
@@ -39,6 +48,7 @@
 #include "hde/prior_baseline.hpp"
 #include "multilevel/multilevel_hde.hpp"
 #include "util/cli.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -52,21 +62,38 @@ int Usage() {
   return 2;
 }
 
-CsrGraph LoadGraph(const ArgParser& args) {
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads --in without dropping any component. MatrixMarket / edge-list
+/// inputs go through the usual preprocessing (symmetrize, dedup, drop self
+/// loops); .bin snapshots are already CSR.
+CsrGraph LoadRawGraph(const ArgParser& args) {
   const std::string path = args.GetString("in", "");
-  if (path.empty()) throw std::runtime_error("--in=<graph file> is required");
+  if (path.empty()) {
+    throw ParhdeError(ErrorCode::kUsage, "cli",
+                      "--in=<graph file> is required");
+  }
+  if (HasSuffix(path, ".bin")) return ReadBinaryFile(path);
   MatrixMarketData data;
-  if (path.size() > 4 && path.substr(path.size() - 4) == ".mtx") {
+  if (HasSuffix(path, ".mtx")) {
     data = ReadMatrixMarketFile(path);
   } else {
     data = ReadEdgeListFile(path);
   }
   BuildOptions opts;
   opts.keep_weights = !data.pattern;
-  CsrGraph raw = BuildCsrGraph(data.n, data.edges, opts);
+  return BuildCsrGraph(data.n, data.edges, opts);
+}
+
+CsrGraph LoadGraph(const ArgParser& args) {
+  CsrGraph raw = LoadRawGraph(args);
   auto extraction = LargestComponent(raw);
   std::printf("loaded %s: n=%d m=%lld (largest component of %d vertices)\n",
-              path.c_str(), extraction.graph.NumVertices(),
+              args.GetString("in", "").c_str(),
+              extraction.graph.NumVertices(),
               static_cast<long long>(extraction.graph.NumEdges()),
               raw.NumVertices());
   return std::move(extraction.graph);
@@ -201,48 +228,74 @@ void EmitOutputs(const ArgParser& args, const CsrGraph& graph,
 }
 
 int CmdLayout(const ArgParser& args) {
-  const CsrGraph graph = LoadGraph(args);
-  const HdeOptions options = OptionsFromFlags(args);
-  const std::string algo = args.GetString("algo", "parhde");
-
-  Layout layout;
-  PhaseTimings timings;
-  WallTimer timer;
-  if (algo == "parhde") {
-    HdeResult r = RunParHde(graph, options);
-    layout = std::move(r.layout);
-    timings = r.timings;
-  } else if (algo == "phde") {
-    HdeResult r = RunPhde(graph, options);
-    layout = std::move(r.layout);
-    timings = r.timings;
-  } else if (algo == "pivotmds") {
-    HdeResult r = RunPivotMds(graph, options);
-    layout = std::move(r.layout);
-    timings = r.timings;
-  } else if (algo == "prior") {
-    HdeResult r = RunPriorHde(graph, options);
-    layout = std::move(r.layout);
-    timings = r.timings;
-  } else if (algo == "multilevel") {
-    MultilevelOptions ml;
-    ml.hde = options;
-    MultilevelResult r = RunMultilevelHde(graph, ml);
-    layout = std::move(r.layout);
-    timings = r.timings;
-  } else {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
-    return 2;
+  const CsrGraph graph = LoadRawGraph(args);
+  if (graph.NumVertices() == 0) {
+    throw ParhdeError(ErrorCode::kTooSmall, "layout",
+                      "input graph has no vertices");
   }
+  const HdeOptions options = OptionsFromFlags(args);
+  const std::string algo = args.GetChoice(
+      "algo", {"parhde", "phde", "pivotmds", "prior", "multilevel"},
+      "parhde");
+  const std::string policy = args.GetChoice(
+      "disconnected", {"pack", "largest", "reject"}, "largest");
+
+  ComponentsLayoutOptions copts;
+  copts.policy = policy == "pack"     ? DisconnectedPolicy::Pack
+                 : policy == "reject" ? DisconnectedPolicy::Reject
+                                      : DisconnectedPolicy::Largest;
+
+  HdeDriver driver;
+  if (algo == "parhde") {
+    driver = HdeDriver(&RunParHde);
+  } else if (algo == "phde") {
+    driver = HdeDriver(&RunPhde);
+  } else if (algo == "pivotmds") {
+    driver = HdeDriver(&RunPivotMds);
+  } else if (algo == "prior") {
+    driver = HdeDriver(&RunPriorHde);
+  } else {  // multilevel
+    driver = [](const CsrGraph& g, const HdeOptions& o) {
+      MultilevelOptions ml;
+      ml.hde = o;
+      MultilevelResult r = RunMultilevelHde(g, ml);
+      HdeResult out;
+      out.layout = std::move(r.layout);
+      out.timings = r.timings;
+      return out;
+    };
+  }
+
+  WallTimer timer;
+  const ComponentsLayoutResult res =
+      RunHdeOnComponents(graph, options, copts, driver);
+  // The layout indexes the largest component when that policy dropped
+  // vertices; every downstream consumer must use the matching graph.
+  const CsrGraph& laid =
+      res.used_subgraph ? res.subgraph.graph : graph;
+  std::printf("loaded %s: n=%d m=%lld (%d component%s, policy=%s)\n",
+              args.GetString("in", "").c_str(), laid.NumVertices(),
+              static_cast<long long>(laid.NumEdges()),
+              res.num_components, res.num_components == 1 ? "" : "s",
+              policy.c_str());
   std::printf("%s finished in %.3f s\n", algo.c_str(), timer.Seconds());
-  for (const auto& name : timings.Names()) {
+  for (const auto& name : res.hde.timings.Names()) {
     std::printf("  %-16s %8.4f s (%5.1f%%)\n", name.c_str(),
-                timings.Get(name), timings.Percent(name));
+                res.hde.timings.Get(name), res.hde.timings.Percent(name));
+  }
+  if (res.hde.components.size() > 1) {
+    for (std::size_t c = 0; c < res.hde.components.size(); ++c) {
+      const ComponentStat& st = res.hde.components[c];
+      std::printf(
+          "  component %zu: n=%d m=%lld box=[%.3g,%.3g]x[%.3g,%.3g]\n", c,
+          st.vertices, static_cast<long long>(st.edges), st.min_x, st.max_x,
+          st.min_y, st.max_y);
+    }
   }
   std::printf("edge-length energy: %.6g\n",
-              NormalizedEdgeLengthEnergy(graph, layout));
+              NormalizedEdgeLengthEnergy(laid, res.hde.layout));
 
-  EmitOutputs(args, graph, layout);
+  EmitOutputs(args, laid, res.hde.layout);
   return 0;
 }
 
@@ -327,6 +380,9 @@ int main(int argc, char** argv) {
     if (command == "layout") return CmdLayout(args);
     if (command == "partition") return CmdPartition(args);
     if (command == "draw") return CmdDraw(args);
+  } catch (const parhde::ParhdeError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return parhde::ExitCodeFor(e.code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,11 +1,13 @@
 #include "bench_common.hpp"
 
+#include <cctype>
 #include <cstdio>
 
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/ordering.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 namespace parhde::bench {
@@ -114,6 +116,43 @@ void PrintBreakdown(
     table.AddRow(std::move(row));
   }
   std::printf("%s\n", table.Render().c_str());
+
+  for (std::size_t g = 0; g < graph_names.size(); ++g) {
+    WriteBenchReport(title, graph_names[g], timings[g], timings[g].Total());
+  }
+}
+
+std::string BenchSlug(const std::string& text) {
+  std::string slug;
+  bool last_sep = true;  // suppress leading separators
+  for (const char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      last_sep = false;
+    } else if (!last_sep) {
+      slug += '_';
+      last_sep = true;
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+void WriteBenchReport(const std::string& bench, const std::string& graph_name,
+                      const PhaseTimings& timings, double total_seconds,
+                      std::int64_t vertices, std::int64_t edges) {
+  obs::RunReport report;
+  report.tool = "bench";
+  report.graph = graph_name;
+  report.algo = BenchSlug(bench);
+  report.vertices = vertices;
+  report.edges = edges;
+  report.total_seconds = total_seconds;
+  report.timings = timings;
+  report.environment = obs::CaptureEnvironment();
+  const std::string path =
+      "BENCH_" + report.algo + "_" + BenchSlug(graph_name) + ".json";
+  obs::WriteReportFile(report, path);
 }
 
 HdeOptions DefaultOptions(int subspace_dim) {

@@ -53,12 +53,24 @@ double MinTimeSeconds(int trials, const std::function<void()>& fn);
 
 /// Prints a Fig. 3/5/6-style percentage breakdown: one row per graph, one
 /// column per phase (grouped per `phases`; anything else lands in "Other").
+/// Also writes one BENCH_<title>_<graph>.json run-report artifact per row
+/// (machine-readable counterpart of the printed table).
 void PrintBreakdown(const std::string& title,
                     const std::vector<std::string>& graph_names,
                     const std::vector<PhaseTimings>& timings,
                     const std::vector<std::pair<std::string,
                                                 std::vector<std::string>>>&
                         phase_groups);
+
+/// Lowercased [a-z0-9_] slug for benchmark artifact file names.
+std::string BenchSlug(const std::string& text);
+
+/// Writes BENCH_<bench>_<graph>.json: a run report carrying the phase
+/// breakdown and environment for one benchmark measurement. Pass vertices
+/// and edges when the graph is at hand; zeros mean "not recorded".
+void WriteBenchReport(const std::string& bench, const std::string& graph_name,
+                      const PhaseTimings& timings, double total_seconds,
+                      std::int64_t vertices = 0, std::int64_t edges = 0);
 
 /// Default ParHDE options used across benches (paper defaults: s=10,
 /// deterministic seed so runs are comparable).

@@ -6,6 +6,9 @@
 #include <cassert>
 
 #include "bfs/frontier.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 
 namespace parhde {
 namespace {
@@ -35,6 +38,7 @@ std::int64_t SparseStep(const CsrGraph& graph, FrontierQueue& frontier,
 
 #pragma omp parallel reduction(+ : examined)
   {
+    obs::ScopedRegionTimer obs_timer;
     std::vector<vid_t> staged;
     staged.reserve(1024);
 #pragma omp for schedule(dynamic, 64) nowait
@@ -85,24 +89,29 @@ std::int64_t DenseStep(const CsrGraph& graph, std::uint64_t full_mask,
   std::int64_t examined = 0;
   std::int64_t awake = 0;
 
-#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : examined, awake)
-  for (vid_t u = 0; u < n; ++u) {
-    const std::uint64_t todo = full_mask & ~seen[static_cast<std::size_t>(u)];
-    if (todo == 0) continue;
-    std::uint64_t acc = 0;
-    for (const vid_t v : graph.Neighbors(u)) {
-      ++examined;
-      acc |= visit[static_cast<std::size_t>(v)];
-      if ((acc & todo) == todo) break;  // every remaining lane found
+#pragma omp parallel reduction(+ : examined, awake)
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(dynamic, 1024) nowait
+    for (vid_t u = 0; u < n; ++u) {
+      const std::uint64_t todo =
+          full_mask & ~seen[static_cast<std::size_t>(u)];
+      if (todo == 0) continue;
+      std::uint64_t acc = 0;
+      for (const vid_t v : graph.Neighbors(u)) {
+        ++examined;
+        acc |= visit[static_cast<std::size_t>(v)];
+        if ((acc & todo) == todo) break;  // every remaining lane found
+      }
+      const std::uint64_t won = acc & todo;
+      if (won == 0) continue;
+      seen[static_cast<std::size_t>(u)] |= won;
+      visit_next[static_cast<std::size_t>(u)] = won;
+      for (std::uint64_t bits = won; bits != 0; bits &= bits - 1) {
+        write(u, std::countr_zero(bits), next_level);
+      }
+      ++awake;
     }
-    const std::uint64_t won = acc & todo;
-    if (won == 0) continue;
-    seen[static_cast<std::size_t>(u)] |= won;
-    visit_next[static_cast<std::size_t>(u)] = won;
-    for (std::uint64_t bits = won; bits != 0; bits &= bits - 1) {
-      write(u, std::countr_zero(bits), next_level);
-    }
-    ++awake;
   }
   awake_count = awake;
   return examined;
@@ -136,6 +145,7 @@ template <class WriteDist>
 void RunBatch(const CsrGraph& graph, std::span<const vid_t> sources,
               const MsBfsOptions& options, MsBfsStats& stats,
               WriteDist&& write) {
+  PARHDE_TRACE_SPAN("msbfs.batch");
   const vid_t n = graph.NumVertices();
   const int lanes = static_cast<int>(sources.size());
   assert(lanes >= 1 && lanes <= kMsBfsLanes);
@@ -170,7 +180,10 @@ void RunBatch(const CsrGraph& graph, std::span<const vid_t> sources,
   dist_t level = 0;
 
   ++stats.batches;
+  obs::CounterAdd(obs::Counter::kMsBfsBatches, 1);
+  obs::CounterAdd(obs::Counter::kMsBfsLanesActive, lanes);
   while (frontier_count > 0) {
+    obs::SeriesAppend(obs::Series::kMsBfsFrontierSizes, frontier_count);
     const dist_t next_level = level + 1;
     if (options.mode == MsBfsOptions::Mode::Auto) {
       if (!dense && frontier_count > dense_over) {
@@ -181,6 +194,7 @@ void RunBatch(const CsrGraph& graph, std::span<const vid_t> sources,
     }
 
     if (dense) {
+      PARHDE_TRACE_SPAN("msbfs.dense_step");
       std::int64_t awake = 0;
       stats.edges_examined += DenseStep(graph, full_mask, seen, visit,
                                         visit_next, next_level, awake, write);
@@ -191,6 +205,7 @@ void RunBatch(const CsrGraph& graph, std::span<const vid_t> sources,
       std::fill(visit.begin(), visit.end(), 0);
       queue_valid = false;
     } else {
+      PARHDE_TRACE_SPAN("msbfs.sparse_step");
       if (!queue_valid) {
         LoadQueueFromWords(visit, frontier);
         queue_valid = true;
@@ -220,6 +235,11 @@ MsBfsStats RunBatches(const CsrGraph& graph, std::span<const vid_t> sources,
     RunBatch(graph, sources.subspan(offset, count), options, stats,
              make_writer(offset));
   }
+  // Flush aggregate work counters once per run — never per edge.
+  obs::CounterAdd(obs::Counter::kMsBfsLevels, stats.levels);
+  obs::CounterAdd(obs::Counter::kMsBfsSparseSteps, stats.sparse_steps);
+  obs::CounterAdd(obs::Counter::kMsBfsDenseSteps, stats.dense_steps);
+  obs::CounterAdd(obs::Counter::kMsBfsEdgesExamined, stats.edges_examined);
   return stats;
 }
 

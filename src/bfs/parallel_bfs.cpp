@@ -4,6 +4,9 @@
 #include <cassert>
 
 #include "bfs/frontier.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 
 namespace parhde {
 namespace {
@@ -21,6 +24,7 @@ std::int64_t TopDownStep(const CsrGraph& graph, FrontierQueue& frontier,
 
 #pragma omp parallel reduction(+ : examined)
   {
+    obs::ScopedRegionTimer obs_timer;
     std::vector<vid_t> staged;
     staged.reserve(1024);
 #pragma omp for schedule(dynamic, 64) nowait
@@ -58,21 +62,26 @@ std::int64_t BottomUpStep(const CsrGraph& graph, const Bitmap& front,
   std::int64_t examined = 0;
   std::int64_t awake = 0;
 
-#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : examined, awake)
-  for (vid_t u = 0; u < n; ++u) {
-    if (parent[static_cast<std::size_t>(u)].load(std::memory_order_relaxed) !=
-        kInvalidVid) {
-      continue;
-    }
-    if (dist[static_cast<std::size_t>(u)] != kInfDist) continue;  // source
-    for (const vid_t v : graph.Neighbors(u)) {
-      ++examined;
-      if (front.Get(v)) {
-        parent[static_cast<std::size_t>(u)].store(v, std::memory_order_relaxed);
-        dist[static_cast<std::size_t>(u)] = next_level;
-        next.SetUnsynced(u);
-        ++awake;
-        break;  // early exit: one parent suffices
+#pragma omp parallel reduction(+ : examined, awake)
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(dynamic, 1024) nowait
+    for (vid_t u = 0; u < n; ++u) {
+      if (parent[static_cast<std::size_t>(u)].load(
+              std::memory_order_relaxed) != kInvalidVid) {
+        continue;
+      }
+      if (dist[static_cast<std::size_t>(u)] != kInfDist) continue;  // source
+      for (const vid_t v : graph.Neighbors(u)) {
+        ++examined;
+        if (front.Get(v)) {
+          parent[static_cast<std::size_t>(u)].store(v,
+                                                    std::memory_order_relaxed);
+          dist[static_cast<std::size_t>(u)] = next_level;
+          next.SetUnsynced(u);
+          ++awake;
+          break;  // early exit: one parent suffices
+        }
       }
     }
   }
@@ -98,6 +107,7 @@ std::int64_t FrontierOutEdges(const CsrGraph& graph,
 
 BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
                       const BfsOptions& options) {
+  PARHDE_TRACE_SPAN("bfs.search");
   const vid_t n = graph.NumVertices();
   assert(source >= 0 && source < n);
 
@@ -126,9 +136,13 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
   bool bottom_up = options.mode == BfsOptions::Mode::BottomUpOnly;
   if (bottom_up) frontier.StoreToBitmap(front_bm);
   std::int64_t frontier_size = 1;
+  std::int64_t frontier_total = 0;
+  std::int64_t direction_switches = 0;
   dist_t level = 0;
 
   while (frontier_size > 0) {
+    frontier_total += frontier_size;
+    obs::SeriesAppend(obs::Series::kBfsFrontierSizes, frontier_size);
     const dist_t next_level = level + 1;
     // Frontier out-edges (the m_f term) are needed by both the Auto-mode
     // direction heuristic and the edges_remaining bookkeeping of a
@@ -140,10 +154,12 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
           static_cast<double>(edges_remaining) / options.alpha) {
         frontier.StoreToBitmap(front_bm);
         bottom_up = true;
+        ++direction_switches;
       }
     }
 
     if (bottom_up) {
+      PARHDE_TRACE_SPAN("bfs.bottom_up");
       next_bm.Reset();
       std::int64_t awake = 0;
       result.stats.edges_examined += BottomUpStep(
@@ -156,8 +172,10 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
               static_cast<double>(n) / options.beta) {
         frontier.LoadFromBitmap(front_bm);
         bottom_up = false;
+        ++direction_switches;
       }
     } else {
+      PARHDE_TRACE_SPAN("bfs.top_down");
       if (frontier_edges < 0) {  // TopDownOnly mode skips the heuristic
         frontier_edges = FrontierOutEdges(graph, frontier);
       }
@@ -179,6 +197,17 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
         parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
   }
   result.parent[static_cast<std::size_t>(source)] = kInvalidVid;
+
+  // Flush aggregate work counters once per search — never per edge.
+  obs::CounterAdd(obs::Counter::kBfsSearches, 1);
+  obs::CounterAdd(obs::Counter::kBfsLevels, result.stats.levels);
+  obs::CounterAdd(obs::Counter::kBfsTopDownSteps, result.stats.top_down_steps);
+  obs::CounterAdd(obs::Counter::kBfsBottomUpSteps,
+                  result.stats.bottom_up_steps);
+  obs::CounterAdd(obs::Counter::kBfsDirectionSwitches, direction_switches);
+  obs::CounterAdd(obs::Counter::kBfsEdgesExamined,
+                  result.stats.edges_examined);
+  obs::CounterAdd(obs::Counter::kBfsFrontierVertices, frontier_total);
   return result;
 }
 

@@ -10,6 +10,9 @@
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/laplacian_ops.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/status.hpp"
 
@@ -75,6 +78,7 @@ void CheckLayoutFinite(const Layout& layout, const char* phase) {
 }
 
 HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
+  PARHDE_TRACE_SPAN("hde.parhde");
   const vid_t n = graph.NumVertices();
   if (n < 3) return TrivialSmallLayout(graph, options_in);
 
@@ -106,6 +110,7 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
     IncrementalDOrthogonalizer ortho(S, metric, gs_opts);
     {
       ScopedPhase scoped(result.timings, phase::kDOrtho);
+      obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
       Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
       ortho.Push(0);
     }
@@ -115,6 +120,7 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
       result.pivots.push_back(source);
       {
         ScopedPhase scoped(result.timings, phase::kBfs);
+        obs::ThreadPhaseContext obs_phase(phase::kBfs);
         const std::vector<dist_t> hops =
             RunSingleSearch(graph, source, options,
                             B.Col(static_cast<std::size_t>(i)),
@@ -129,6 +135,8 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
       }
       {
         ScopedPhase scoped(result.timings, phase::kDOrtho);
+        obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
+        PARHDE_TRACE_SPAN("dortho.push");
         Copy(B.Col(static_cast<std::size_t>(i)),
              S.Col(static_cast<std::size_t>(i) + 1));
         ortho.Push(static_cast<std::size_t>(i) + 1);
@@ -137,7 +145,11 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
     gs = ortho.Finalize();
   } else {
     // ---- BFS phase: s traversals, interleaved with pivot selection. ----
-    DistancePhase distances = RunDistancePhase(graph, options);
+    DistancePhase distances = [&] {
+      obs::ThreadPhaseContext obs_phase(phase::kBfs);
+      PARHDE_TRACE_SPAN("parhde.bfs_phase");
+      return RunDistancePhase(graph, options);
+    }();
     result.pivots = distances.pivots;
     result.bfs_stats = distances.stats;
     result.timings.Add(phase::kBfs, distances.traversal_seconds);
@@ -146,6 +158,8 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
 
     // ---- DOrtho phase: build S = [s0 | b1 .. bs] and D-orthogonalize. ----
     ScopedPhase scoped(result.timings, phase::kDOrtho);
+    obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
+    PARHDE_TRACE_SPAN("parhde.dortho_phase");
     Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
     for (int i = 0; i < s; ++i) {
       Copy(B.Col(static_cast<std::size_t>(i)),
@@ -182,11 +196,15 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix P(S.Rows(), S.Cols());
   {
     ScopedPhase scoped(result.timings, phase::kTripleProdLs);
+    obs::ThreadPhaseContext obs_phase(phase::kTripleProdLs);
+    PARHDE_TRACE_SPAN("parhde.tripleprod_ls");
     LaplacianTimesMatrixFused(graph, S, P);
   }
   DenseMatrix Z;
   {
     ScopedPhase scoped(result.timings, phase::kTripleProdGemm);
+    obs::ThreadPhaseContext obs_phase(phase::kTripleProdGemm);
+    PARHDE_TRACE_SPAN("parhde.tripleprod_gemm");
     Z = TransposeTimes(S, P);
   }
 
@@ -194,11 +212,16 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Y;
   {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
+    obs::ThreadPhaseContext obs_phase(phase::kEigensolve);
+    PARHDE_TRACE_SPAN("parhde.eigensolve");
     EigenDecomposition eig = SymmetricEigen(Z);
     // Jacobi converges in a handful of sweeps for every sane Z; if it ran
     // out of budget, retry with the shift-and-deflate power iteration
     // before giving up with a typed error.
-    if (!eig.converged) eig = PowerIterationEigen(Z);
+    if (!eig.converged) {
+      obs::CounterAdd(obs::Counter::kEigenPowerFallbacks, 1);
+      eig = PowerIterationEigen(Z);
+    }
     if (!eig.converged) {
       throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
                         "projected eigensolve failed to converge (Jacobi "
@@ -221,6 +244,8 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
   // ---- Coordinates: axes = B·Y (paper literal) or S·Y. ----
   {
     ScopedPhase scoped(result.timings, phase::kOther);
+    obs::ThreadPhaseContext obs_phase(phase::kOther);
+    PARHDE_TRACE_SPAN("parhde.coords");
     if (options.basis == CoordBasis::Subspace) {
       result.axes = TallTimesSmall(S, Y);
     } else {

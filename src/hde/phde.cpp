@@ -6,11 +6,15 @@
 #include "linalg/gemm.hpp"
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 #include "util/status.hpp"
 
 namespace parhde {
 
 HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
+  PARHDE_TRACE_SPAN("hde.phde");
   const vid_t n = graph.NumVertices();
   if (n < 3) return TrivialSmallLayout(graph, options_in);
 
@@ -21,7 +25,11 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   HdeResult result;
 
   // ---- BFS phase (same machinery as ParHDE). ----
-  DistancePhase distances = RunDistancePhase(graph, options);
+  DistancePhase distances = [&] {
+    obs::ThreadPhaseContext obs_phase(phase::kBfs);
+    PARHDE_TRACE_SPAN("phde.bfs_phase");
+    return RunDistancePhase(graph, options);
+  }();
   result.pivots = distances.pivots;
   result.bfs_stats = distances.stats;
   result.timings.Add(phase::kBfs, distances.traversal_seconds);
@@ -31,6 +39,7 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   // ---- Column centering: two-phase (parallel mean, parallel subtract). ----
   {
     ScopedPhase scoped(result.timings, phase::kColCenter);
+    obs::ThreadPhaseContext obs_phase(phase::kColCenter);
     for (std::size_t c = 0; c < C.Cols(); ++c) CenterInPlace(C.Col(c));
   }
   CheckMatrixFinite(C, phase::kColCenter, "centered distance matrix");
@@ -40,6 +49,8 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Z;
   {
     ScopedPhase scoped(result.timings, phase::kMatMul);
+    obs::ThreadPhaseContext obs_phase(phase::kMatMul);
+    PARHDE_TRACE_SPAN("phde.matmul");
     Z = TransposeTimes(C, C);
   }
 
@@ -47,8 +58,13 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Y;
   {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
+    obs::ThreadPhaseContext obs_phase(phase::kEigensolve);
+    PARHDE_TRACE_SPAN("phde.eigensolve");
     EigenDecomposition eig = SymmetricEigen(Z);
-    if (!eig.converged) eig = PowerIterationEigen(Z);
+    if (!eig.converged) {
+      obs::CounterAdd(obs::Counter::kEigenPowerFallbacks, 1);
+      eig = PowerIterationEigen(Z);
+    }
     if (!eig.converged) {
       throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
                         "Gram-matrix eigensolve failed to converge (Jacobi "
@@ -64,6 +80,7 @@ HdeResult RunPhde(const CsrGraph& graph, const HdeOptions& options_in) {
   // ---- Coordinates: [x,y] = C·Y. ----
   {
     ScopedPhase scoped(result.timings, phase::kOther);
+    obs::ThreadPhaseContext obs_phase(phase::kOther);
     const DenseMatrix coords = TallTimesSmall(C, Y);
     result.layout.x.assign(coords.Col(0).begin(), coords.Col(0).end());
     if (coords.Cols() > 1) {

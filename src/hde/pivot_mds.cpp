@@ -6,11 +6,15 @@
 #include "linalg/gemm.hpp"
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 #include "util/status.hpp"
 
 namespace parhde {
 
 HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
+  PARHDE_TRACE_SPAN("hde.pivot_mds");
   const vid_t n = graph.NumVertices();
   if (n < 3) return TrivialSmallLayout(graph, options_in);
 
@@ -21,7 +25,11 @@ HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
   HdeResult result;
 
   // ---- BFS phase. ----
-  DistancePhase distances = RunDistancePhase(graph, options);
+  DistancePhase distances = [&] {
+    obs::ThreadPhaseContext obs_phase(phase::kBfs);
+    PARHDE_TRACE_SPAN("pivot_mds.bfs_phase");
+    return RunDistancePhase(graph, options);
+  }();
   result.pivots = distances.pivots;
   result.bfs_stats = distances.stats;
   result.timings.Add(phase::kBfs, distances.traversal_seconds);
@@ -33,6 +41,7 @@ HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
   // ---- Double centering of the squared distances. ----
   {
     ScopedPhase scoped(result.timings, phase::kDblCenter);
+    obs::ThreadPhaseContext obs_phase(phase::kDblCenter);
     // Square in place, accumulating column means.
     std::vector<double> col_mean(cols, 0.0);
     for (std::size_t c = 0; c < cols; ++c) {
@@ -79,13 +88,20 @@ HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Z;
   {
     ScopedPhase scoped(result.timings, phase::kMatMul);
+    obs::ThreadPhaseContext obs_phase(phase::kMatMul);
+    PARHDE_TRACE_SPAN("pivot_mds.matmul");
     Z = TransposeTimes(C, C);
   }
   DenseMatrix Y;
   {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
+    obs::ThreadPhaseContext obs_phase(phase::kEigensolve);
+    PARHDE_TRACE_SPAN("pivot_mds.eigensolve");
     EigenDecomposition eig = SymmetricEigen(Z);
-    if (!eig.converged) eig = PowerIterationEigen(Z);
+    if (!eig.converged) {
+      obs::CounterAdd(obs::Counter::kEigenPowerFallbacks, 1);
+      eig = PowerIterationEigen(Z);
+    }
     if (!eig.converged) {
       throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
                         "double-centered eigensolve failed to converge "
@@ -99,6 +115,7 @@ HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
   }
   {
     ScopedPhase scoped(result.timings, phase::kOther);
+    obs::ThreadPhaseContext obs_phase(phase::kOther);
     const DenseMatrix coords = TallTimesSmall(C, Y);
     result.layout.x.assign(coords.Col(0).begin(), coords.Col(0).end());
     if (coords.Cols() > 1) {

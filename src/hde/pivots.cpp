@@ -7,6 +7,9 @@
 
 #include "bfs/ms_bfs.hpp"
 #include "bfs/serial_bfs.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 #include "sssp/dijkstra.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
@@ -44,6 +47,7 @@ std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
     }
     case DistanceKernel::SerialBfs: {
       hops = SerialBfs(graph, source);
+      obs::CounterAdd(obs::Counter::kSerialBfsSearches, 1);
       break;
     }
     case DistanceKernel::DeltaStepping: {
@@ -139,6 +143,7 @@ DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
   if (!use_msbfs && options.kernel == DistanceKernel::ParallelBfs &&
       s >= kMsBfsAutoThreshold) {
     probe = SerialBfs(graph, phase.pivots.front());
+    obs::CounterAdd(obs::Counter::kSerialBfsSearches, 1);
     dist_t ecc = 0;
     for (const dist_t d : probe) {
       if (d != kInfDist) ecc = std::max(ecc, d);
@@ -162,17 +167,25 @@ DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
     // Concurrent independent searches: one serial BFS per thread, the
     // paper's alternative that wins when s exceeds the thread count or the
     // graph has high diameter (Table 6).
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int i = 0; i < s; ++i) {
-      const std::vector<dist_t> hops =
-          i == 0 && !probe.empty()
-              ? probe
-              : SerialBfs(graph, phase.pivots[static_cast<std::size_t>(i)]);
-      auto column = phase.B.Col(static_cast<std::size_t>(i));
-      for (vid_t v = 0; v < n; ++v) {
-        const dist_t d = hops[static_cast<std::size_t>(v)];
-        column[static_cast<std::size_t>(v)] =
-            d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+    PARHDE_TRACE_SPAN("bfs.concurrent_serial");
+#pragma omp parallel
+    {
+      obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(dynamic, 1) nowait
+      for (int i = 0; i < s; ++i) {
+        const std::vector<dist_t> hops =
+            i == 0 && !probe.empty()
+                ? probe
+                : SerialBfs(graph, phase.pivots[static_cast<std::size_t>(i)]);
+        if (i != 0 || probe.empty()) {
+          obs::CounterAdd(obs::Counter::kSerialBfsSearches, 1);
+        }
+        auto column = phase.B.Col(static_cast<std::size_t>(i));
+        for (vid_t v = 0; v < n; ++v) {
+          const dist_t d = hops[static_cast<std::size_t>(v)];
+          column[static_cast<std::size_t>(v)] =
+              d == kInfDist ? static_cast<double>(n) : static_cast<double>(d);
+        }
       }
     }
   }

@@ -10,6 +10,9 @@
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/laplacian_ops.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 #include "util/prng.hpp"
 
 namespace parhde {
@@ -43,6 +46,7 @@ std::vector<double> AllocatingSub(const std::vector<double>& x,
 }  // namespace
 
 HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options_in) {
+  PARHDE_TRACE_SPAN("hde.prior");
   const vid_t n = graph.NumVertices();
   if (n < 3) return TrivialSmallLayout(graph, options_in);
 
@@ -67,6 +71,7 @@ HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options_in) {
       result.pivots.push_back(source);
       WallTimer traversal;
       const auto hops = SerialBfs(graph, source);
+      obs::CounterAdd(obs::Counter::kSerialBfsSearches, 1);
       result.timings.Add(phase::kBfs, traversal.Seconds());
 
       WallTimer other;
@@ -97,6 +102,7 @@ HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options_in) {
   std::vector<std::size_t> kept;
   {
     ScopedPhase scoped(result.timings, phase::kDOrtho);
+    obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
     Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
     for (int i = 0; i < s; ++i) {
       Copy(B.Col(static_cast<std::size_t>(i)),
@@ -137,6 +143,7 @@ HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix P(S.Rows(), S.Cols());
   {
     ScopedPhase scoped(result.timings, phase::kTripleProdLs);
+    obs::ThreadPhaseContext obs_phase(phase::kTripleProdLs);
     // The explicit construction is what blew up the prior code's memory
     // footprint (§4.2) — and unlike MKL's untimed allocation (§4.4), it is
     // part of the measured step here, as it was in the prior code.
@@ -146,6 +153,7 @@ HdeResult RunPriorHde(const CsrGraph& graph, const HdeOptions& options_in) {
   DenseMatrix Z;
   {
     ScopedPhase scoped(result.timings, phase::kTripleProdGemm);
+    obs::ThreadPhaseContext obs_phase(phase::kTripleProdGemm);
     Z = TransposeTimes(S, P);
   }
 

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/thread_stats.hpp"
+
 namespace parhde {
 
 DenseMatrix TransposeTimes(const DenseMatrix& A, const DenseMatrix& B) {
@@ -20,6 +22,7 @@ DenseMatrix TransposeTimes(const DenseMatrix& A, const DenseMatrix& B) {
   std::vector<std::vector<double>> partials;
 #pragma omp parallel
   {
+    obs::ScopedRegionTimer obs_timer;
 #pragma omp single
     partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
                     std::vector<double>(ka * kb, 0.0));
@@ -55,15 +58,19 @@ DenseMatrix TallTimesSmall(const DenseMatrix& A, const DenseMatrix& B) {
   const std::size_t p = B.Cols();
   DenseMatrix C(n, p);
 
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    const auto row = static_cast<std::size_t>(i);
-    for (std::size_t c = 0; c < p; ++c) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < k; ++j) {
-        acc += A.Col(j)[row] * B.At(j, c);
+#pragma omp parallel
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const auto row = static_cast<std::size_t>(i);
+      for (std::size_t c = 0; c < p; ++c) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          acc += A.Col(j)[row] * B.At(j, c);
+        }
+        C.Col(c)[row] = acc;
       }
-      C.Col(c)[row] = acc;
     }
   }
   return C;

@@ -8,6 +8,8 @@
 #include <cstdint>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
 
 namespace parhde {
 namespace {
@@ -54,6 +56,7 @@ void ProjectClassical(DenseMatrix& S, std::span<const double> d,
   std::vector<std::vector<double>> partials;
 #pragma omp parallel
   {
+    obs::ScopedRegionTimer obs_timer;
 #pragma omp single
     partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
                     std::vector<double>(k, 0.0));
@@ -83,15 +86,20 @@ void ProjectClassical(DenseMatrix& S, std::span<const double> d,
   }
 
   // Pass 2: t -= sum_j coeffs[j] * s_j, fused over all kept columns.
-#pragma omp parallel for schedule(static)
-  for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
-    const std::int64_t lo = chunk * kChunk;
-    const std::int64_t hi = std::min(n, lo + kChunk);
-    for (std::size_t idx = 0; idx < k; ++idx) {
-      const double c = coeffs[idx];
-      const double* col = cols[idx];
-      for (std::int64_t i = lo; i < hi; ++i) {
-        t[static_cast<std::size_t>(i)] -= c * col[static_cast<std::size_t>(i)];
+#pragma omp parallel
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::int64_t lo = chunk * kChunk;
+      const std::int64_t hi = std::min(n, lo + kChunk);
+      for (std::size_t idx = 0; idx < k; ++idx) {
+        const double c = coeffs[idx];
+        const double* col = cols[idx];
+        for (std::int64_t i = lo; i < hi; ++i) {
+          t[static_cast<std::size_t>(i)] -=
+              c * col[static_cast<std::size_t>(i)];
+        }
       }
     }
   }
@@ -128,6 +136,10 @@ GramSchmidtResult IncrementalDOrthogonalizer::Finalize() {
   result.kept = kept_;
   result.dropped = dropped_;
   S_.KeepColumns(result.kept);
+  obs::CounterAdd(obs::Counter::kDOrthoKeptColumns,
+                  static_cast<std::int64_t>(kept_.size()));
+  obs::CounterAdd(obs::Counter::kDOrthoDroppedColumns,
+                  static_cast<std::int64_t>(dropped_));
   return result;
 }
 

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <numeric>
 
+#include "obs/counters.hpp"
+
 namespace parhde {
 namespace {
 
@@ -89,6 +91,7 @@ EigenDecomposition SymmetricEigen(const DenseMatrix& A_in, double tol,
   }
   result.sweeps = sweeps;
   result.converged = converged || OffDiagonalNorm(A) <= threshold;
+  obs::CounterAdd(obs::Counter::kEigenJacobiSweeps, sweeps);
 
   // Sort ascending by eigenvalue, permuting eigenvector columns to match.
   std::vector<std::size_t> order(n);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/thread_stats.hpp"
+
 namespace parhde {
 
 void LaplacianTimesMatrixFused(const CsrGraph& graph, const DenseMatrix& S,
@@ -16,23 +18,27 @@ void LaplacianTimesMatrixFused(const CsrGraph& graph, const DenseMatrix& S,
   // Parallelize over (column, vertex-chunk) pairs via collapse, matching the
   // paper's "OpenMP code with loop collapse pragmas".
   const std::int64_t nn = n;
-#pragma omp parallel for collapse(2) schedule(dynamic, 1024)
-  for (std::size_t c = 0; c < k; ++c) {
-    for (std::int64_t i = 0; i < nn; ++i) {
-      const auto v = static_cast<vid_t>(i);
-      const double* x = S.Col(c).data();
-      const auto nbrs = graph.Neighbors(v);
-      double acc = degrees[static_cast<std::size_t>(v)] *
-                   x[static_cast<std::size_t>(v)];
-      if (weighted) {
-        const auto wts = graph.NeighborWeights(v);
-        for (std::size_t e = 0; e < nbrs.size(); ++e) {
-          acc -= wts[e] * x[static_cast<std::size_t>(nbrs[e])];
+#pragma omp parallel
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for collapse(2) schedule(dynamic, 1024) nowait
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::int64_t i = 0; i < nn; ++i) {
+        const auto v = static_cast<vid_t>(i);
+        const double* x = S.Col(c).data();
+        const auto nbrs = graph.Neighbors(v);
+        double acc = degrees[static_cast<std::size_t>(v)] *
+                     x[static_cast<std::size_t>(v)];
+        if (weighted) {
+          const auto wts = graph.NeighborWeights(v);
+          for (std::size_t e = 0; e < nbrs.size(); ++e) {
+            acc -= wts[e] * x[static_cast<std::size_t>(nbrs[e])];
+          }
+        } else {
+          for (const vid_t u : nbrs) acc -= x[static_cast<std::size_t>(u)];
         }
-      } else {
-        for (const vid_t u : nbrs) acc -= x[static_cast<std::size_t>(u)];
+        P.Col(c)[static_cast<std::size_t>(v)] = acc;
       }
-      P.Col(c)[static_cast<std::size_t>(v)] = acc;
     }
   }
 }
@@ -114,18 +120,23 @@ void LaplacianTimesMatrixExplicit(const ExplicitLaplacian& L,
   assert(S.Rows() == static_cast<std::size_t>(n));
   assert(P.Rows() == S.Rows() && P.Cols() == k);
 
-#pragma omp parallel for collapse(2) schedule(dynamic, 1024)
-  for (std::size_t c = 0; c < k; ++c) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      const double* x = S.Col(c).data();
-      double acc = 0.0;
-      const auto lo = static_cast<std::size_t>(L.offsets[static_cast<std::size_t>(i)]);
-      const auto hi =
-          static_cast<std::size_t>(L.offsets[static_cast<std::size_t>(i) + 1]);
-      for (std::size_t e = lo; e < hi; ++e) {
-        acc += L.values[e] * x[static_cast<std::size_t>(L.columns[e])];
+#pragma omp parallel
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for collapse(2) schedule(dynamic, 1024) nowait
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const double* x = S.Col(c).data();
+        double acc = 0.0;
+        const auto lo =
+            static_cast<std::size_t>(L.offsets[static_cast<std::size_t>(i)]);
+        const auto hi = static_cast<std::size_t>(
+            L.offsets[static_cast<std::size_t>(i) + 1]);
+        for (std::size_t e = lo; e < hi; ++e) {
+          acc += L.values[e] * x[static_cast<std::size_t>(L.columns[e])];
+        }
+        P.Col(c)[static_cast<std::size_t>(i)] = acc;
       }
-      P.Col(c)[static_cast<std::size_t>(i)] = acc;
     }
   }
 }
@@ -154,6 +165,7 @@ void LaplacianTimesMatrixRowMajor(const CsrGraph& graph, const DenseMatrix& S,
   std::vector<double> out(static_cast<std::size_t>(n) * k);
 #pragma omp parallel
   {
+    obs::ScopedRegionTimer obs_timer;
     std::vector<double> acc(k);
 #pragma omp for schedule(dynamic, 512)
     for (vid_t v = 0; v < n; ++v) {

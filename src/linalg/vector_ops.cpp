@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/thread_stats.hpp"
+
 namespace parhde {
 
 double Dot(std::span<const double> x, std::span<const double> y) {
@@ -23,10 +25,14 @@ double WeightedDot(std::span<const double> x, std::span<const double> y,
   assert(x.size() == y.size() && x.size() == d.size());
   const auto n = static_cast<std::int64_t>(x.size());
   double total = 0.0;
-#pragma omp parallel for reduction(+ : total) schedule(static)
-  for (std::int64_t i = 0; i < n; ++i) {
-    total += x[static_cast<std::size_t>(i)] * d[static_cast<std::size_t>(i)] *
-             y[static_cast<std::size_t>(i)];
+#pragma omp parallel reduction(+ : total)
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += x[static_cast<std::size_t>(i)] *
+               d[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+    }
   }
   return total;
 }
@@ -34,9 +40,13 @@ double WeightedDot(std::span<const double> x, std::span<const double> y,
 void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());
   const auto n = static_cast<std::int64_t>(x.size());
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < n; ++i) {
-    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+#pragma omp parallel
+  {
+    obs::ScopedRegionTimer obs_timer;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+    }
   }
 }
 

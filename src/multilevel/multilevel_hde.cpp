@@ -2,11 +2,14 @@
 
 #include "hde/refine.hpp"
 #include "multilevel/matching.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
 
 namespace parhde {
 
 MultilevelResult RunMultilevelHde(const CsrGraph& graph,
                                   const MultilevelOptions& options) {
+  PARHDE_TRACE_SPAN("hde.multilevel");
   if (graph.NumVertices() < 3) {
     // Too small for a distance subspace: skip the hierarchy and return the
     // coarse solver's trivial finite layout directly.
@@ -22,6 +25,7 @@ MultilevelResult RunMultilevelHde(const CsrGraph& graph,
   std::vector<CoarseLevel> hierarchy;
   {
     ScopedPhase scoped(result.timings, "Coarsen");
+    PARHDE_TRACE_SPAN("multilevel.coarsen");
     const CsrGraph* current = &graph;
     std::vector<double> weights;  // empty = unit masses at the finest level
     while (static_cast<int>(hierarchy.size()) < options.max_levels &&
@@ -46,6 +50,7 @@ MultilevelResult RunMultilevelHde(const CsrGraph& graph,
   // weights, which the D-orthogonalization uses as similarities. ----
   {
     ScopedPhase scoped(result.timings, "CoarseSolve");
+    PARHDE_TRACE_SPAN("multilevel.coarse_solve");
     HdeOptions hde = options.hde;
     hde.subspace_dim =
         std::min<int>(hde.subspace_dim,
@@ -57,6 +62,7 @@ MultilevelResult RunMultilevelHde(const CsrGraph& graph,
   // level with weighted-centroid sweeps. ----
   {
     ScopedPhase scoped(result.timings, "Prolong");
+    PARHDE_TRACE_SPAN("multilevel.prolong");
     Layout coords = result.coarse_hde.layout;
     for (int l = result.levels - 1; l >= 0; --l) {
       const CoarseLevel& level = hierarchy[static_cast<std::size_t>(l)];

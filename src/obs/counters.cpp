@@ -1,0 +1,153 @@
+#include "obs/counters.hpp"
+
+#include <array>
+#include <memory>
+#include <mutex>
+
+namespace parhde::obs {
+namespace {
+
+constexpr int kNumCounters = static_cast<int>(Counter::kCounterCount);
+constexpr int kNumSeries = static_cast<int>(Series::kSeriesCount);
+
+/// One thread's counter block, padded out to whole cache lines so two
+/// threads' shards never share a line.
+struct alignas(64) Shard {
+  std::array<std::int64_t, kNumCounters> values{};
+};
+
+struct CounterRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+CounterRegistry& GetRegistry() {
+  static CounterRegistry* registry = new CounterRegistry();  // leaked
+  return *registry;
+}
+
+Shard& LocalShard() {
+  thread_local Shard* shard = [] {
+    CounterRegistry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.shards.push_back(std::make_unique<Shard>());
+    return registry.shards.back().get();
+  }();
+  return *shard;
+}
+
+struct SeriesStore {
+  std::mutex mutex;
+  std::vector<std::int64_t> values;
+  std::int64_t dropped = 0;
+};
+
+std::array<SeriesStore, kNumSeries>& GetSeries() {
+  static auto* series = new std::array<SeriesStore, kNumSeries>();  // leaked
+  return *series;
+}
+
+}  // namespace
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kBfsSearches: return "bfs.searches";
+    case Counter::kBfsLevels: return "bfs.levels";
+    case Counter::kBfsTopDownSteps: return "bfs.top_down_steps";
+    case Counter::kBfsBottomUpSteps: return "bfs.bottom_up_steps";
+    case Counter::kBfsDirectionSwitches: return "bfs.direction_switches";
+    case Counter::kBfsEdgesExamined: return "bfs.edges_examined";
+    case Counter::kBfsFrontierVertices: return "bfs.frontier_vertices";
+    case Counter::kSerialBfsSearches: return "bfs.serial_searches";
+    case Counter::kMsBfsBatches: return "msbfs.batches";
+    case Counter::kMsBfsLevels: return "msbfs.levels";
+    case Counter::kMsBfsSparseSteps: return "msbfs.sparse_steps";
+    case Counter::kMsBfsDenseSteps: return "msbfs.dense_steps";
+    case Counter::kMsBfsEdgesExamined: return "msbfs.edges_examined";
+    case Counter::kMsBfsLanesActive: return "msbfs.lanes_active";
+    case Counter::kSsspSearches: return "sssp.searches";
+    case Counter::kSsspRelaxations: return "sssp.relaxations";
+    case Counter::kSsspBucketRounds: return "sssp.bucket_rounds";
+    case Counter::kDOrthoKeptColumns: return "dortho.kept_columns";
+    case Counter::kDOrthoDroppedColumns: return "dortho.dropped_columns";
+    case Counter::kEigenJacobiSweeps: return "eigen.jacobi_sweeps";
+    case Counter::kEigenPowerFallbacks: return "eigen.power_fallbacks";
+    case Counter::kCounterCount: break;
+  }
+  return "unknown";
+}
+
+const char* SeriesName(Series s) {
+  switch (s) {
+    case Series::kBfsFrontierSizes: return "bfs.frontier_sizes";
+    case Series::kMsBfsFrontierSizes: return "msbfs.frontier_sizes";
+    case Series::kSeriesCount: break;
+  }
+  return "unknown";
+}
+
+void CounterAdd(Counter c, std::int64_t value) {
+  LocalShard().values[static_cast<std::size_t>(c)] += value;
+}
+
+std::int64_t CounterValue(Counter c) {
+  CounterRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::int64_t total = 0;
+  for (const auto& shard : registry.shards) {
+    total += shard->values[static_cast<std::size_t>(c)];
+  }
+  return total;
+}
+
+void SeriesAppend(Series s, std::int64_t value) {
+  SeriesStore& store = GetSeries()[static_cast<std::size_t>(s)];
+  std::lock_guard<std::mutex> lock(store.mutex);
+  if (store.values.size() < kSeriesCap) {
+    store.values.push_back(value);
+  } else {
+    ++store.dropped;
+  }
+}
+
+std::vector<std::int64_t> SeriesValues(Series s) {
+  SeriesStore& store = GetSeries()[static_cast<std::size_t>(s)];
+  std::lock_guard<std::mutex> lock(store.mutex);
+  return store.values;
+}
+
+std::int64_t SeriesDropped(Series s) {
+  SeriesStore& store = GetSeries()[static_cast<std::size_t>(s)];
+  std::lock_guard<std::mutex> lock(store.mutex);
+  return store.dropped;
+}
+
+void ResetCounters() {
+  CounterRegistry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (auto& shard : registry.shards) shard->values.fill(0);
+  }
+  for (auto& store : GetSeries()) {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.values.clear();
+    store.dropped = 0;
+  }
+}
+
+std::vector<CounterSnapshot> SnapshotCounters() {
+  std::vector<CounterSnapshot> out;
+  out.reserve(kNumCounters);
+  CounterRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (int i = 0; i < kNumCounters; ++i) {
+    std::int64_t total = 0;
+    for (const auto& shard : registry.shards) {
+      total += shard->values[static_cast<std::size_t>(i)];
+    }
+    out.push_back({CounterName(static_cast<Counter>(i)), total});
+  }
+  return out;
+}
+
+}  // namespace parhde::obs

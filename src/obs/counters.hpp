@@ -1,0 +1,100 @@
+// Work-counter registry with per-thread sharded accumulators.
+//
+// The paper attributes every speedup (and every scaling cliff) to traversal
+// work: frontier sizes, direction switches, lane occupancy, relaxations.
+// This registry makes those quantities first-class: kernels add to a fixed
+// enum of counters, the report layer snapshots the merged totals.
+//
+// Concurrency model: Add() goes to a cache-line-padded per-thread shard —
+// no atomics, no locks, no false sharing in the hot path. Shards register
+// once per thread under a mutex and are never freed (OpenMP worker threads
+// live for the process; a handful of 1-KiB shards leak at exit by design).
+// Kernels flush *aggregated* counts once per call or once per step, never
+// per edge, so even the shard write is off the innermost loops.
+//
+// Bounded series (per-iteration frontier sizes) complement the scalar
+// counters: appended once per BFS level under a mutex, capped so a
+// pathological run cannot grow memory without bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parhde::obs {
+
+/// Every scalar counter the subsystem knows. Values are indices into the
+/// shard arrays; append new counters before kCounterCount.
+enum class Counter : int {
+  kBfsSearches = 0,       // direction-optimizing BFS runs
+  kBfsLevels,             // level iterations summed over searches
+  kBfsTopDownSteps,       // push steps taken
+  kBfsBottomUpSteps,      // pull steps taken
+  kBfsDirectionSwitches,  // push<->pull transitions (both directions)
+  kBfsEdgesExamined,      // arcs touched across all steps
+  kBfsFrontierVertices,   // sum of per-level frontier sizes
+  kSerialBfsSearches,     // serial traversals (random-pivot phase, probes)
+  kMsBfsBatches,          // 64-wide MS-BFS batches
+  kMsBfsLevels,
+  kMsBfsSparseSteps,
+  kMsBfsDenseSteps,
+  kMsBfsEdgesExamined,
+  kMsBfsLanesActive,      // lanes summed over batches: occupancy numerator
+  kSsspSearches,          // delta-stepping runs
+  kSsspRelaxations,       // edge relaxations attempted
+  kSsspBucketRounds,      // shared-bucket drain iterations
+  kDOrthoKeptColumns,     // columns surviving D-orthogonalization
+  kDOrthoDroppedColumns,  // columns dropped for near-dependence
+  kEigenJacobiSweeps,     // cyclic Jacobi sweeps until convergence
+  kEigenPowerFallbacks,   // times the power-iteration fallback ran
+  kCounterCount,
+};
+
+/// Stable dotted name for a counter ("bfs.direction_switches", ...). These
+/// names are the JSON keys of the run report — part of the interface.
+const char* CounterName(Counter c);
+
+/// Bounded event series recorded alongside the scalar counters.
+enum class Series : int {
+  kBfsFrontierSizes = 0,    // per-level frontier vertex counts
+  kMsBfsFrontierSizes,      // per-level aggregate frontier counts (MS-BFS)
+  kSeriesCount,
+};
+
+const char* SeriesName(Series s);
+
+/// Maximum entries retained per series; later appends are counted but
+/// discarded (the report records the truncation).
+inline constexpr std::size_t kSeriesCap = 16384;
+
+/// Adds `value` to the calling thread's shard of `c`. Lock-free after the
+/// thread's first call. Call once per kernel invocation or per step with an
+/// aggregated value — never from a per-edge loop.
+void CounterAdd(Counter c, std::int64_t value);
+
+/// Merged total of `c` across all thread shards.
+std::int64_t CounterValue(Counter c);
+
+/// Appends one observation to `s` (mutex-guarded; once-per-level cost).
+void SeriesAppend(Series s, std::int64_t value);
+
+/// Snapshot of a series: retained values (up to kSeriesCap).
+std::vector<std::int64_t> SeriesValues(Series s);
+
+/// Observations discarded after the cap, for truncation reporting.
+std::int64_t SeriesDropped(Series s);
+
+/// Zeroes every counter shard and clears every series. Not thread-safe
+/// against concurrent Add; call between runs.
+void ResetCounters();
+
+struct CounterSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// Merged totals for all counters, in enum order (zeros included, so the
+/// report schema is stable run-to-run).
+std::vector<CounterSnapshot> SnapshotCounters();
+
+}  // namespace parhde::obs

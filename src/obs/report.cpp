@@ -1,0 +1,239 @@
+#include "obs/report.hpp"
+
+#include <omp.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/trace.hpp"
+#include "util/json_writer.hpp"
+#include "util/status.hpp"
+
+namespace parhde::obs {
+
+Environment CaptureEnvironment() {
+  Environment env;
+  env.omp_max_threads = omp_get_max_threads();
+  env.omp_num_procs = omp_get_num_procs();
+#ifdef __VERSION__
+  env.compiler = __VERSION__;
+#endif
+#ifdef NDEBUG
+  env.build_type = "release";
+#else
+  env.build_type = "debug";
+#endif
+#if defined(PARHDE_TRACING) && PARHDE_TRACING
+  env.tracing_compiled = true;
+#endif
+  return env;
+}
+
+void RunReport::CollectObservability() {
+  counters = SnapshotCounters();
+  series.clear();
+  series_dropped.clear();
+  for (int i = 0; i < static_cast<int>(Series::kSeriesCount); ++i) {
+    const auto s = static_cast<Series>(i);
+    auto values = SeriesValues(s);
+    if (values.empty()) continue;
+    series.emplace_back(SeriesName(s), std::move(values));
+    if (const std::int64_t dropped = SeriesDropped(s); dropped > 0) {
+      series_dropped.emplace_back(SeriesName(s), dropped);
+    }
+  }
+  thread_stats = SnapshotThreadStats();
+  environment = CaptureEnvironment();
+}
+
+void ResetObservability() {
+  ResetCounters();
+  ResetThreadStats();
+  Tracer::Clear();
+}
+
+std::string ReportToJson(const RunReport& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("parhde-run-report/1");
+  w.Key("tool");
+  w.String(report.tool);
+  w.Key("algo");
+  w.String(report.algo);
+
+  w.Key("graph");
+  w.BeginObject();
+  w.Key("name");
+  w.String(report.graph);
+  w.Key("vertices");
+  w.Int(report.vertices);
+  w.Key("edges");
+  w.Int(report.edges);
+  w.Key("components");
+  w.Int(report.components);
+  w.EndObject();
+
+  w.Key("config");
+  w.BeginObject();
+  for (const auto& [key, value] : report.config) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+
+  w.Key("total_seconds");
+  w.Double(report.total_seconds);
+
+  w.Key("phases");
+  w.BeginArray();
+  for (const auto& name : report.timings.Names()) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.Key("seconds");
+    w.Double(report.timings.Get(name));
+    w.Key("percent");
+    w.Double(report.timings.Percent(name));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics");
+  w.BeginObject();
+  for (const auto& [key, value] : report.metrics) {
+    w.Key(key);
+    w.Double(value);
+  }
+  w.EndObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& counter : report.counters) {
+    w.Key(counter.name);
+    w.Int(counter.value);
+  }
+  w.EndObject();
+
+  w.Key("series");
+  w.BeginObject();
+  for (const auto& [name, values] : report.series) {
+    w.Key(name);
+    w.BeginArray();
+    for (const std::int64_t v : values) w.Int(v);
+    w.EndArray();
+  }
+  w.EndObject();
+  if (!report.series_dropped.empty()) {
+    w.Key("series_dropped");
+    w.BeginObject();
+    for (const auto& [name, dropped] : report.series_dropped) {
+      w.Key(name);
+      w.Int(dropped);
+    }
+    w.EndObject();
+  }
+
+  w.Key("thread_phases");
+  w.BeginArray();
+  for (const auto& stats : report.thread_stats) {
+    w.BeginObject();
+    w.Key("phase");
+    w.String(stats.phase);
+    w.Key("threads");
+    w.Int(stats.threads);
+    w.Key("regions");
+    w.Int(stats.regions);
+    w.Key("min_seconds");
+    w.Double(stats.min_seconds);
+    w.Key("mean_seconds");
+    w.Double(stats.mean_seconds);
+    w.Key("max_seconds");
+    w.Double(stats.max_seconds);
+    w.Key("imbalance");
+    w.Double(stats.imbalance);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("environment");
+  w.BeginObject();
+  w.Key("omp_max_threads");
+  w.Int(report.environment.omp_max_threads);
+  w.Key("omp_num_procs");
+  w.Int(report.environment.omp_num_procs);
+  w.Key("compiler");
+  w.String(report.environment.compiler);
+  w.Key("build_type");
+  w.String(report.environment.build_type);
+  w.Key("tracing_compiled");
+  w.Bool(report.environment.tracing_compiled);
+  w.EndObject();
+
+  w.EndObject();
+  return w.Str();
+}
+
+std::string ReportToText(const RunReport& report) {
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line), "%s finished in %.3f s\n",
+                report.algo.c_str(), report.total_seconds);
+  out += line;
+  for (const auto& name : report.timings.Names()) {
+    std::snprintf(line, sizeof(line), "  %-16s %8.4f s (%5.1f%%)\n",
+                  name.c_str(), report.timings.Get(name),
+                  report.timings.Percent(name));
+    out += line;
+  }
+  for (const auto& [key, value] : report.metrics) {
+    std::snprintf(line, sizeof(line), "%s: %.6g\n", key.c_str(), value);
+    out += line;
+  }
+
+  // Headline counters: skip zeros so the summary stays one screen tall.
+  bool counter_header = false;
+  for (const auto& counter : report.counters) {
+    if (counter.value == 0) continue;
+    if (!counter_header) {
+      out += "counters:\n";
+      counter_header = true;
+    }
+    std::snprintf(line, sizeof(line), "  %-24s %lld\n", counter.name.c_str(),
+                  static_cast<long long>(counter.value));
+    out += line;
+  }
+
+  if (!report.thread_stats.empty()) {
+    out += "per-thread phase time (min/mean/max s, imbalance=max/mean):\n";
+    for (const auto& stats : report.thread_stats) {
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %2d thr  %8.4f / %8.4f / %8.4f  x%.2f\n",
+                    stats.phase.c_str(), stats.threads, stats.min_seconds,
+                    stats.mean_seconds, stats.max_seconds, stats.imbalance);
+      out += line;
+    }
+  }
+
+  std::snprintf(line, sizeof(line), "threads: %d (of %d procs)\n",
+                report.environment.omp_max_threads,
+                report.environment.omp_num_procs);
+  out += line;
+  return out;
+}
+
+void WriteReportFile(const RunReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParhdeError(ErrorCode::kIo, "report",
+                      "cannot open report output file: " + path);
+  }
+  out << ReportToJson(report) << "\n";
+  if (!out) {
+    throw ParhdeError(ErrorCode::kIo, "report",
+                      "failed writing report output file: " + path);
+  }
+}
+
+}  // namespace parhde::obs

@@ -1,0 +1,147 @@
+#include "obs/thread_stats.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+namespace parhde::obs {
+namespace {
+
+/// The active attribution phase. Written by the serial control thread
+/// (ThreadPhaseContext), read by workers inside parallel regions; the
+/// OpenMP fork/join provides the ordering, the atomic keeps the access
+/// data-race-free for the sanitizers.
+std::atomic<const char*> g_current_phase{nullptr};
+
+struct PhaseRow {
+  const char* name = nullptr;
+  double seconds[kMaxTrackedThreads] = {};
+  std::int64_t regions[kMaxTrackedThreads] = {};
+};
+
+struct Table {
+  std::mutex mutex;                 // guards slot registration only
+  std::atomic<int> num_phases{0};
+  PhaseRow rows[kMaxTrackedPhases];
+};
+
+Table& GetTable() {
+  static Table* table = new Table();  // leaked: outlives all threads
+  return *table;
+}
+
+/// Index of `phase` in the table, registering it on first sight. Lock-free
+/// on the lookup path: rows are append-only and `num_phases` is released
+/// after the row's name is written.
+int SlotFor(const char* phase) {
+  Table& table = GetTable();
+  const int n = table.num_phases.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const char* name = table.rows[i].name;
+    if (name == phase || std::strcmp(name, phase) == 0) return i;
+  }
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const int m = table.num_phases.load(std::memory_order_relaxed);
+  for (int i = n; i < m; ++i) {  // re-check rows added while we waited
+    const char* name = table.rows[i].name;
+    if (name == phase || std::strcmp(name, phase) == 0) return i;
+  }
+  if (m >= kMaxTrackedPhases) return -1;
+  table.rows[m].name = phase;
+  table.num_phases.store(m + 1, std::memory_order_release);
+  return m;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ThreadPhaseContext::ThreadPhaseContext(const char* phase)
+    : saved_(g_current_phase.load(std::memory_order_relaxed)) {
+  g_current_phase.store(phase, std::memory_order_relaxed);
+}
+
+ThreadPhaseContext::~ThreadPhaseContext() {
+  g_current_phase.store(saved_, std::memory_order_relaxed);
+}
+
+const char* CurrentThreadPhase() {
+  return g_current_phase.load(std::memory_order_relaxed);
+}
+
+void AddThreadTime(const char* phase, int tid, double seconds) {
+  if (phase == nullptr || tid < 0 || tid >= kMaxTrackedThreads) return;
+  const int slot = SlotFor(phase);
+  if (slot < 0) return;
+  PhaseRow& row = GetTable().rows[slot];
+  // Cell (slot, tid) is only ever written by OpenMP thread `tid`, and the
+  // regions charging to it never overlap in time.
+  row.seconds[tid] += seconds;
+  row.regions[tid] += 1;
+}
+
+ScopedRegionTimer::ScopedRegionTimer()
+    : phase_(CurrentThreadPhase()) {
+  if (phase_ != nullptr) {
+    tid_ = omp_get_thread_num();
+    start_ns_ = NowNs();
+  }
+}
+
+ScopedRegionTimer::~ScopedRegionTimer() {
+  if (phase_ != nullptr) {
+    AddThreadTime(phase_, tid_,
+                  static_cast<double>(NowNs() - start_ns_) * 1e-9);
+  }
+}
+
+std::vector<ThreadPhaseStats> SnapshotThreadStats() {
+  Table& table = GetTable();
+  std::vector<ThreadPhaseStats> out;
+  const int n = table.num_phases.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const PhaseRow& row = table.rows[i];
+    ThreadPhaseStats stats;
+    stats.phase = row.name;
+    double total = 0.0;
+    for (int t = 0; t < kMaxTrackedThreads; ++t) {
+      if (row.regions[t] == 0) continue;
+      const double sec = row.seconds[t];
+      if (stats.threads == 0 || sec < stats.min_seconds) {
+        stats.min_seconds = sec;
+      }
+      if (stats.threads == 0 || sec > stats.max_seconds) {
+        stats.max_seconds = sec;
+      }
+      total += sec;
+      stats.regions += row.regions[t];
+      ++stats.threads;
+    }
+    if (stats.threads == 0) continue;
+    stats.mean_seconds = total / stats.threads;
+    stats.imbalance =
+        stats.mean_seconds > 0.0 ? stats.max_seconds / stats.mean_seconds : 0.0;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+void ResetThreadStats() {
+  Table& table = GetTable();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const int n = table.num_phases.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    std::memset(table.rows[i].seconds, 0, sizeof(table.rows[i].seconds));
+    std::memset(table.rows[i].regions, 0, sizeof(table.rows[i].regions));
+  }
+}
+
+}  // namespace parhde::obs

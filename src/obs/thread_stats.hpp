@@ -1,0 +1,99 @@
+// Per-thread phase timing — the instrument behind Fig. 4-style scaling
+// analysis. Wall-clock phase totals say *that* a phase stops scaling;
+// per-thread busy times inside the phase's OpenMP regions say *why*
+// (imbalance ratio max/mean >> 1 means stragglers, ~1 means the phase is
+// memory-bound or serial-fraction-bound).
+//
+// Attribution works through a phase context rather than hard-coded names:
+// the driver wraps each phase in a ThreadPhaseContext (e.g. "DOrtho"), and
+// every instrumented OpenMP region (BFS steps, Gram-Schmidt kernels, the
+// fused SpMM, the small GEMM) charges its per-thread elapsed time to the
+// innermost active context. Regions executing with no context (library
+// calls from tests, LOBPCG, ...) record nothing and pay one relaxed atomic
+// load. This keeps shared kernels like TransposeTimes correctly attributed:
+// under ParHDE it books to "TripleProd:GEMM", under PHDE to "MatMul".
+//
+// Storage is a fixed [phase][thread] table of plain doubles: each (phase,
+// tid) cell is written only by OpenMP thread `tid`, and distinct parallel
+// regions never run concurrently in this codebase, so writes need no
+// synchronization. Phase slots are registered append-only under a mutex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parhde::obs {
+
+/// Upper bounds for the static table. 256 threads covers any node the
+/// paper targets; regions on threads beyond the cap are silently ignored.
+inline constexpr int kMaxTrackedThreads = 256;
+inline constexpr int kMaxTrackedPhases = 32;
+
+/// Sets the attribution phase for instrumented regions entered while it is
+/// alive. Nestable (saves and restores the previous context). Construct on
+/// the serial control thread before the parallel region, like ScopedPhase.
+/// `phase` must outlive the context (use the phase:: constants).
+class ThreadPhaseContext {
+ public:
+  explicit ThreadPhaseContext(const char* phase);
+  ~ThreadPhaseContext();
+
+  ThreadPhaseContext(const ThreadPhaseContext&) = delete;
+  ThreadPhaseContext& operator=(const ThreadPhaseContext&) = delete;
+
+ private:
+  const char* saved_;
+};
+
+/// The phase instrumented regions currently charge to, or nullptr.
+const char* CurrentThreadPhase();
+
+/// Charges `seconds` of busy time on OpenMP thread `tid` to the current
+/// context. No-op when no context is active. Normally used via
+/// ScopedRegionTimer.
+void AddThreadTime(const char* phase, int tid, double seconds);
+
+/// RAII timer for use INSIDE an OpenMP parallel region: times this thread's
+/// execution of the region body and charges it to the active phase context.
+///
+///   #pragma omp parallel
+///   {
+///     obs::ScopedRegionTimer obs_timer;
+///     ... region body ...
+///   }
+///
+/// Costs one atomic load when no context is active.
+class ScopedRegionTimer {
+ public:
+  ScopedRegionTimer();
+  ~ScopedRegionTimer();
+
+  ScopedRegionTimer(const ScopedRegionTimer&) = delete;
+  ScopedRegionTimer& operator=(const ScopedRegionTimer&) = delete;
+
+ private:
+  const char* phase_;        // nullptr: context was inactive at entry
+  int tid_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Reduced per-phase statistics over the threads that recorded time.
+struct ThreadPhaseStats {
+  std::string phase;
+  int threads = 0;        // threads with nonzero recorded time
+  std::int64_t regions = 0;  // region executions summed over threads
+  double min_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double max_seconds = 0.0;
+  /// max/mean busy time: 1.0 = perfectly balanced. 0 when mean is 0.
+  double imbalance = 0.0;
+};
+
+/// Stats for every phase that recorded any time, in registration order.
+std::vector<ThreadPhaseStats> SnapshotThreadStats();
+
+/// Zeroes the table. Not thread-safe against concurrent recording.
+void ResetThreadStats();
+
+}  // namespace parhde::obs

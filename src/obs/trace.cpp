@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json_writer.hpp"
+#include "util/status.hpp"
+
+namespace parhde::obs {
+namespace {
+
+/// Per-thread ring capacity. 16Ki events x 24 bytes = 384 KiB per traced
+/// thread, enough for ~500 BFS levels x 32 sources with room to spare.
+constexpr std::size_t kRingCapacity = 1 << 14;
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// One thread's ring. Owned by the global registry (so export can read it
+/// after the thread exits) and written only by its owning thread.
+struct ThreadRing {
+  explicit ThreadRing(int tid_in) : tid(tid_in) { events.reserve(1024); }
+
+  void Push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+    if (events.size() < kRingCapacity) {
+      events.push_back({name, start_ns, dur_ns});
+    } else {
+      events[head] = {name, start_ns, dur_ns};
+      head = (head + 1) % kRingCapacity;
+      ++dropped;
+    }
+  }
+
+  int tid;
+  std::vector<TraceEvent> events;
+  std::size_t head = 0;  // oldest slot once the ring is full
+  std::int64_t dropped = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+std::atomic<bool> g_enabled{false};
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+ThreadRing& LocalRing() {
+  thread_local ThreadRing* ring = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.rings.push_back(
+        std::make_unique<ThreadRing>(static_cast<int>(registry.rings.size())));
+    return registry.rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+bool Tracer::Enabled() {
+#if defined(PARHDE_TRACING) && PARHDE_TRACING
+  return g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void Tracer::SetEnabled(bool enabled) {
+#if defined(PARHDE_TRACING) && PARHDE_TRACING
+  if (enabled) Epoch();  // pin the epoch before the first span
+  g_enabled.store(enabled, std::memory_order_relaxed);
+#else
+  (void)enabled;
+#endif
+}
+
+void Tracer::Clear() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& ring : registry.rings) {
+    ring->events.clear();
+    ring->head = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::int64_t Tracer::EventCount() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::int64_t total = 0;
+  for (const auto& ring : registry.rings) {
+    total += static_cast<std::int64_t>(ring->events.size());
+  }
+  return total;
+}
+
+std::int64_t Tracer::DroppedCount() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::int64_t total = 0;
+  for (const auto& ring : registry.rings) total += ring->dropped;
+  return total;
+}
+
+std::uint64_t Tracer::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+void Tracer::RecordComplete(const char* name, std::uint64_t start_ns,
+                            std::uint64_t dur_ns) {
+  LocalRing().Push(name, start_ns, dur_ns);
+}
+
+std::string Tracer::ToJson() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    // Emit in chronological order: [head, end) is the older segment once
+    // the ring has wrapped.
+    const std::size_t count = ring->events.size();
+    for (std::size_t k = 0; k < count; ++k) {
+      // head is 0 until the ring wraps, so this is chronological either way.
+      const TraceEvent& e = ring->events[(ring->head + k) % count];
+      w.BeginObject();
+      w.Key("name");
+      w.String(e.name);
+      w.Key("cat");
+      w.String("parhde");
+      w.Key("ph");
+      w.String("X");
+      w.Key("ts");
+      w.Double(static_cast<double>(e.start_ns) / 1000.0);
+      w.Key("dur");
+      w.Double(static_cast<double>(e.dur_ns) / 1000.0);
+      w.Key("pid");
+      w.Int(1);
+      w.Key("tid");
+      w.Int(ring->tid);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Str();
+}
+
+void Tracer::WriteJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParhdeError(ErrorCode::kIo, "trace",
+                      "cannot open trace output file: " + path);
+  }
+  out << ToJson() << "\n";
+  if (!out) {
+    throw ParhdeError(ErrorCode::kIo, "trace",
+                      "failed writing trace output file: " + path);
+  }
+}
+
+}  // namespace parhde::obs

@@ -1,0 +1,113 @@
+// RAII span tracer with per-thread lock-free ring buffers, exporting the
+// Chrome trace-event JSON format (load the file in Perfetto or
+// chrome://tracing to see the phase timeline per thread).
+//
+// Two gates keep the cost at (near) zero when tracing is not wanted:
+//
+//   * Compile time: the PARHDE_TRACING CMake option (default ON) defines
+//     PARHDE_TRACING=1. When OFF, PARHDE_TRACE_SPAN compiles to nothing and
+//     the Tracer API degenerates to constant stubs — instrumented kernels
+//     carry no code at all.
+//   * Run time: even when compiled in, spans record only after
+//     Tracer::SetEnabled(true) (the CLI's --trace flag). A disabled span
+//     costs one relaxed atomic load.
+//
+// Recording is lock-free in the hot path: each thread owns a fixed-capacity
+// ring buffer (no atomics, no sharing); the only lock is taken once per
+// thread lifetime, when the buffer registers itself. When a ring wraps, the
+// oldest events are overwritten and counted in DroppedCount() — a bounded
+// memory footprint is worth more than a complete tail for long runs.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// events store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parhde::obs {
+
+/// Global tracer control and export. All methods are safe to call
+/// concurrently with span recording.
+class Tracer {
+ public:
+  /// True when tracing is compiled in AND runtime-enabled.
+  static bool Enabled();
+
+  /// Runtime switch; no-op (stays false) when compiled out.
+  static void SetEnabled(bool enabled);
+
+  /// Discards all recorded events and drop counts. Not thread-safe against
+  /// concurrent span recording; call between runs.
+  static void Clear();
+
+  /// Events currently held across all thread rings.
+  static std::int64_t EventCount();
+
+  /// Events overwritten by ring wrap-around since the last Clear().
+  static std::int64_t DroppedCount();
+
+  /// Serializes everything recorded so far as a Chrome trace-event JSON
+  /// document: {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+  /// "pid":1,"tid":...,"cat":"parhde"}, ...]}. Timestamps are microseconds
+  /// from an arbitrary per-process epoch, events sorted per thread.
+  static std::string ToJson();
+
+  /// Writes ToJson() to `path`; throws ParhdeError(kIo) on failure.
+  static void WriteJsonFile(const std::string& path);
+
+  /// Records one complete ("ph":"X") event on the calling thread's ring.
+  /// `name` must outlive the tracer. Normally called via TraceSpan.
+  static void RecordComplete(const char* name, std::uint64_t start_ns,
+                             std::uint64_t dur_ns);
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  static std::uint64_t NowNs();
+};
+
+#if defined(PARHDE_TRACING) && PARHDE_TRACING
+
+/// RAII span: records a complete trace event for its scope when tracing is
+/// enabled. Cheap enough for per-BFS-step granularity; do not put it inside
+/// per-edge loops.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Tracer::Enabled()) {
+      name_ = name;
+      start_ns_ = Tracer::NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::RecordComplete(name_, start_ns_, Tracer::NowNs() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr when tracing was off at entry
+  std::uint64_t start_ns_ = 0;
+};
+
+#else  // tracing compiled out: spans vanish entirely
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif
+
+/// Span macro for instrumentation sites; the variable name encodes the line
+/// so multiple spans can share a scope.
+#define PARHDE_TRACE_CONCAT_INNER(a, b) a##b
+#define PARHDE_TRACE_CONCAT(a, b) PARHDE_TRACE_CONCAT_INNER(a, b)
+#define PARHDE_TRACE_SPAN(name) \
+  ::parhde::obs::TraceSpan PARHDE_TRACE_CONCAT(parhde_trace_span_, __LINE__)(name)
+
+}  // namespace parhde::obs

@@ -7,6 +7,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
+
 namespace parhde {
 namespace {
 
@@ -27,6 +31,7 @@ bool AtomicRelax(std::atomic<weight_t>& slot, weight_t candidate) {
 
 SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
                          const DeltaSteppingOptions& options) {
+  PARHDE_TRACE_SPAN("sssp.delta_stepping");
   const vid_t n = graph.NumVertices();
   assert(source >= 0 && source < n);
   const bool weighted = graph.HasWeights();
@@ -82,6 +87,7 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
 
 #pragma omp parallel reduction(+ : relaxations)
       {
+        obs::ScopedRegionTimer obs_timer;
         // Phase 1: each thread relaxes its share of the frontier into
         // thread-local buckets.
         std::vector<std::vector<vid_t>> local(buckets.size());
@@ -132,6 +138,10 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
   }
 
   result.stats.relaxations = relaxations;
+  // Flush aggregate work counters once per search — never per edge.
+  obs::CounterAdd(obs::Counter::kSsspSearches, 1);
+  obs::CounterAdd(obs::Counter::kSsspRelaxations, relaxations);
+  obs::CounterAdd(obs::Counter::kSsspBucketRounds, result.stats.bucket_rounds);
   result.dist.resize(static_cast<std::size_t>(n));
 #pragma omp parallel for schedule(static)
   for (vid_t v = 0; v < n; ++v) {

@@ -1,0 +1,136 @@
+#include "util/json_writer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace parhde {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (!stack_.empty()) {
+    if (has_element_.back() == '1') out_ += ',';
+    has_element_.back() = '1';
+  }
+}
+
+void JsonWriter::Raw(const std::string& token) {
+  Separate();
+  out_ += token;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  stack_ += 'o';
+  has_element_ += '0';
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == 'o');
+  out_ += '}';
+  stack_.pop_back();
+  has_element_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  stack_ += 'a';
+  has_element_ += '0';
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == 'a');
+  out_ += ']';
+  stack_.pop_back();
+  has_element_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& key) {
+  assert(!stack_.empty() && stack_.back() == 'o');
+  assert(!after_key_);
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Raw(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Raw("null");
+}
+
+}  // namespace parhde

@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer — the serialization layer for the
+// observability subsystem (run reports, Chrome trace events, BENCH_*.json
+// artifacts). Hand-rolled on purpose: no external dependency, emits exactly
+// what we ask for, and keeps the output deterministic byte-for-byte.
+//
+// Usage is push-style with automatic comma management:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("n"); w.Int(42);
+//   w.Key("phases"); w.BeginArray();
+//   w.BeginObject(); w.Key("name"); w.String("BFS"); w.EndObject();
+//   w.EndArray();
+//   w.EndObject();
+//   std::string json = w.Str();
+//
+// Strings are escaped per RFC 8259 (quote, backslash, control characters);
+// non-finite doubles serialize as null, since JSON has no NaN/Inf.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parhde {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  /// Finite doubles render with up to 17 significant digits (round-trip
+  /// exact); NaN and infinities render as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The serialized document so far.
+  [[nodiscard]] const std::string& Str() const { return out_; }
+
+ private:
+  void Separate();  // emits "," if the container already has an element
+  void Raw(const std::string& token);
+
+  std::string out_;
+  // One level per open container: true once the first element was written.
+  std::string stack_;       // 'o' = object, 'a' = array
+  std::string has_element_; // parallel to stack_: '1' after first element
+  bool after_key_ = false;
+};
+
+/// RFC 8259 string escaping (without the surrounding quotes).
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace parhde

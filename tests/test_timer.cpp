@@ -67,6 +67,40 @@ TEST(PhaseTimings, MergeSumsPhaseWise) {
   EXPECT_DOUBLE_EQ(a.Get("Y"), 3.0);
 }
 
+TEST(PhaseTimings, MergeAppendsNewNamesAfterExisting) {
+  PhaseTimings a, b;
+  a.Add("First", 1.0);
+  b.Add("Second", 1.0);
+  b.Add("First", 1.0);
+  a.Merge(b);
+  ASSERT_EQ(a.Names().size(), 2u);
+  EXPECT_EQ(a.Names()[0], "First");
+  EXPECT_EQ(a.Names()[1], "Second");
+}
+
+TEST(PhaseTimings, ClearThenReuseStartsFresh) {
+  PhaseTimings t;
+  t.Add("Old", 5.0);
+  t.Clear();
+  t.Add("New", 1.0);
+  ASSERT_EQ(t.Names().size(), 1u);
+  EXPECT_EQ(t.Names()[0], "New");
+  EXPECT_DOUBLE_EQ(t.Get("Old"), 0.0);
+  EXPECT_DOUBLE_EQ(t.Total(), 1.0);
+}
+
+TEST(PhaseTimings, NegativeAdjustmentsReattributeTime) {
+  // The coupled BFS path books the pivot-selection tail as BFS:Other and
+  // subtracts it from BFS; totals must stay consistent under that pattern.
+  PhaseTimings t;
+  t.Add("BFS", 2.0);
+  t.Add("BFS:Other", 0.5);
+  t.Add("BFS", -0.5);
+  EXPECT_DOUBLE_EQ(t.Get("BFS"), 1.5);
+  EXPECT_DOUBLE_EQ(t.Get("BFS:Other"), 0.5);
+  EXPECT_DOUBLE_EQ(t.Total(), 2.0);
+}
+
 TEST(ScopedPhase, RecordsOnDestruction) {
   PhaseTimings t;
   {

@@ -10,6 +10,10 @@
 //             [--kernel=parbfs|serialbfs|msbfs|sssp]
 //             [--disconnected=pack|largest|reject]  (default: largest)
 //             [--coords=out.xy] [--png=out.png] [--svg=out.svg]
+//             [--report=run.json]  (machine-readable run report)
+//             [--trace=trace.json] (Chrome trace-event span timeline)
+//
+// Every subcommand accepts --threads=N (caps the OpenMP thread count).
 //   partition --in=<...> [--parts=4] [--refine] [--svg=out.svg]
 //   draw      --in=<graph> --coords=<file.xy> [--png=out.png]
 //             [--svg=out.svg] [--canvas=800] [--aa]   (render saved coords)
@@ -24,6 +28,8 @@
 // 2 usage, 3 I/O, 4 parse, 5 corrupt binary, 6 invalid value, 7 graph too
 // small, 8 disconnected input rejected, 9 numerical failure,
 // 10 eigensolver did not converge.
+#include <omp.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -47,6 +53,8 @@
 #include "hde/pivot_mds.hpp"
 #include "hde/prior_baseline.hpp"
 #include "multilevel/multilevel_hde.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -228,6 +236,11 @@ void EmitOutputs(const ArgParser& args, const CsrGraph& graph,
 }
 
 int CmdLayout(const ArgParser& args) {
+  // Fresh registries so the report covers exactly this run.
+  obs::ResetObservability();
+  const std::string trace_path = args.GetString("trace", "");
+  if (!trace_path.empty()) obs::Tracer::SetEnabled(true);
+
   const CsrGraph graph = LoadRawGraph(args);
   if (graph.NumVertices() == 0) {
     throw ParhdeError(ErrorCode::kTooSmall, "layout",
@@ -269,6 +282,7 @@ int CmdLayout(const ArgParser& args) {
   WallTimer timer;
   const ComponentsLayoutResult res =
       RunHdeOnComponents(graph, options, copts, driver);
+  const double total_seconds = timer.Seconds();
   // The layout indexes the largest component when that policy dropped
   // vertices; every downstream consumer must use the matching graph.
   const CsrGraph& laid =
@@ -278,11 +292,36 @@ int CmdLayout(const ArgParser& args) {
               static_cast<long long>(laid.NumEdges()),
               res.num_components, res.num_components == 1 ? "" : "s",
               policy.c_str());
-  std::printf("%s finished in %.3f s\n", algo.c_str(), timer.Seconds());
-  for (const auto& name : res.hde.timings.Names()) {
-    std::printf("  %-16s %8.4f s (%5.1f%%)\n", name.c_str(),
-                res.hde.timings.Get(name), res.hde.timings.Percent(name));
-  }
+
+  // One RunReport backs both the human summary and --report JSON, so the
+  // two outputs cannot disagree.
+  obs::RunReport report;
+  report.tool = "parhde_cli layout";
+  report.graph = args.GetString("in", "");
+  report.algo = algo;
+  report.vertices = laid.NumVertices();
+  report.edges = laid.NumEdges();
+  report.components = res.num_components;
+  report.config = {
+      {"algo", algo},
+      {"s", std::to_string(options.subspace_dim)},
+      {"axes", std::to_string(options.num_axes)},
+      {"pivots", args.GetString("pivots", "kcenters")},
+      {"gs", args.GetString("gs", "mgs")},
+      {"metric", args.GetString("metric", "degree")},
+      {"basis", args.GetString("basis", "b")},
+      {"coupled", args.Has("coupled") ? "true" : "false"},
+      {"kernel", args.GetString("kernel", "parbfs")},
+      {"disconnected", policy},
+      {"seed", std::to_string(options.seed)},
+  };
+  report.total_seconds = total_seconds;
+  report.timings = res.hde.timings;
+  report.metrics.emplace_back(
+      "edge_length_energy", NormalizedEdgeLengthEnergy(laid, res.hde.layout));
+  report.CollectObservability();
+
+  std::printf("%s", obs::ReportToText(report).c_str());
   if (res.hde.components.size() > 1) {
     for (std::size_t c = 0; c < res.hde.components.size(); ++c) {
       const ComponentStat& st = res.hde.components[c];
@@ -292,8 +331,19 @@ int CmdLayout(const ArgParser& args) {
           st.min_y, st.max_y);
     }
   }
-  std::printf("edge-length energy: %.6g\n",
-              NormalizedEdgeLengthEnergy(laid, res.hde.layout));
+
+  const std::string report_path = args.GetString("report", "");
+  if (!report_path.empty()) {
+    obs::WriteReportFile(report, report_path);
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::SetEnabled(false);
+    obs::Tracer::WriteJsonFile(trace_path);
+    std::printf("wrote %s (%lld events, %lld dropped)\n", trace_path.c_str(),
+                static_cast<long long>(obs::Tracer::EventCount()),
+                static_cast<long long>(obs::Tracer::DroppedCount()));
+  }
 
   EmitOutputs(args, laid, res.hde.layout);
   return 0;
@@ -375,6 +425,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   parhde::ArgParser args(argc - 1, argv + 1);
   try {
+    if (args.Has("threads")) {
+      const auto threads = static_cast<int>(args.GetInt("threads", 0));
+      if (threads < 1) {
+        throw parhde::ParhdeError(parhde::ErrorCode::kInvalidValue, "cli",
+                                  "--threads must be a positive integer");
+      }
+      omp_set_num_threads(threads);
+    }
     if (command == "generate") return CmdGenerate(args);
     if (command == "stats") return CmdStats(args);
     if (command == "layout") return CmdLayout(args);

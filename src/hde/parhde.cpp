@@ -107,6 +107,13 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
                        options.gs_kind == GramSchmidtKind::Modified;
 
   if (coupled) {
+    // Hoist the weighted per-phase invariants once for all s searches
+    // (mirrors RunKCentersPhase; see sssp/delta_stepping.hpp).
+    weight_t sssp_maxw = -1.0;
+    if (options.kernel == DistanceKernel::DeltaStepping) {
+      if (options.sssp.delta <= 0.0) options.sssp.delta = DefaultDelta(graph);
+      sssp_maxw = MaxEdgeWeight(graph);
+    }
     IncrementalDOrthogonalizer ortho(S, metric, gs_opts);
     {
       ScopedPhase scoped(result.timings, phase::kDOrtho);
@@ -124,7 +131,7 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
         const std::vector<dist_t> hops =
             RunSingleSearch(graph, source, options,
                             B.Col(static_cast<std::size_t>(i)),
-                            &result.bfs_stats);
+                            &result.bfs_stats, sssp_maxw);
         WallTimer other;
         MinInto(to_sources, hops);
         source = ArgmaxFiniteDistance(to_sources);

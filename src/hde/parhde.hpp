@@ -57,6 +57,16 @@ enum class DistanceKernel {
                    // falls back to ParallelBfs there
 };
 
+/// How the weighted (Δ-stepping) distance phase schedules its s searches
+/// when pivots are independent (PivotStrategy::Random). Mirrors the
+/// unweighted engine split: one internally-parallel search at a time vs
+/// many concurrent sequential searches (§4.4, Table 6).
+enum class SsspEngine {
+  Auto,        // Concurrent when s >= thread count, else Parallel
+  Parallel,    // one parallel Δ-stepping search at a time
+  Concurrent,  // one sequential Dijkstra per thread over the s pivots
+};
+
 /// Random-pivot phases with at least this many sources upgrade the default
 /// ParallelBfs kernel to MultiSourceBfs automatically: batching amortizes
 /// each adjacency read over up to 64 concurrent traversals, and the win
@@ -90,6 +100,10 @@ struct HdeOptions {
   BfsOptions bfs;
   MsBfsOptions ms_bfs;
   DeltaSteppingOptions sssp;
+  /// Scheduling of the weighted random-pivot distance phase; ignored for
+  /// BFS kernels and for k-centers pivots (whose searches are inherently
+  /// sequential, each internally parallel).
+  SsspEngine sssp_engine = SsspEngine::Auto;
   /// Drop tolerance for near-dependent distance vectors (Alg. 3 line 12).
   double drop_tol = 1e-3;
   /// Number of layout axes p — 2 for screen layouts (paper default),

@@ -10,7 +10,9 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/multi_sssp.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -19,12 +21,15 @@ namespace parhde {
 /// Runs one search with the configured kernel and writes distances into
 /// `column` (doubles; unreachable vertices get a large finite sentinel so
 /// downstream arithmetic stays finite — connected inputs never hit it).
-/// Returns the integer hop distances for pivot bookkeeping when the kernel
-/// is BFS-based; for SSSP the hop vector is quantized weights.
+/// BFS kernels use the hop sentinel n; the SSSP kernel uses
+/// WeightedUnreachableSentinel, placed above every finite distance of the
+/// search (finite weighted distances routinely exceed n). Returns the
+/// integer hop distances for pivot bookkeeping when the kernel is
+/// BFS-based; for SSSP the hop vector is clamped quantized weights.
 std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
                                     const HdeOptions& options,
-                                    std::span<double> column,
-                                    BfsStats* stats) {
+                                    std::span<double> column, BfsStats* stats,
+                                    weight_t max_weight) {
   const vid_t n = graph.NumVertices();
   std::vector<dist_t> hops;
 
@@ -53,20 +58,37 @@ std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
     case DistanceKernel::DeltaStepping: {
       SsspResult result = DeltaStepping(graph, source, options.sssp);
       if (stats) stats->edges_examined += result.stats.relaxations;
+      // Unreachable sentinel: strictly above every finite distance of this
+      // search (the hop sentinel n sorts *below* reachable vertices once
+      // weights exceed 1, corrupting pivot selection and the B columns).
+      const weight_t maxw =
+          max_weight >= 0.0 ? max_weight : MaxEdgeWeight(graph);
+      weight_t max_finite = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : max_finite)
+      for (vid_t v = 0; v < n; ++v) {
+        const weight_t d = result.dist[static_cast<std::size_t>(v)];
+        if (std::isfinite(d)) max_finite = std::max(max_finite, d);
+      }
+      const weight_t sentinel =
+          WeightedUnreachableSentinel(max_finite, maxw, n);
 #pragma omp parallel for schedule(static)
       for (vid_t v = 0; v < n; ++v) {
         const weight_t d = result.dist[static_cast<std::size_t>(v)];
         column[static_cast<std::size_t>(v)] =
-            std::isfinite(d) ? d : static_cast<double>(n);
+            std::isfinite(d) ? d : sentinel;
       }
       // Quantize for the farthest-vertex reduction (ties resolved on the
-      // quantized scale; adequate for pivot spreading).
+      // quantized scale; adequate for pivot spreading). Finite distances
+      // beyond the dist_t range clamp to the largest finite hop value so
+      // they still sort above everything reachable-and-near.
       hops.resize(static_cast<std::size_t>(n));
 #pragma omp parallel for schedule(static)
       for (vid_t v = 0; v < n; ++v) {
         const weight_t d = result.dist[static_cast<std::size_t>(v)];
         hops[static_cast<std::size_t>(v)] =
-            std::isfinite(d) ? static_cast<dist_t>(d) : kInfDist;
+            !std::isfinite(d)                         ? kInfDist
+            : d >= static_cast<weight_t>(kInfDist - 1) ? kInfDist - 1
+                                                       : static_cast<dist_t>(d);
       }
       return hops;
     }
@@ -103,6 +125,16 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
   phase.B = DenseMatrix(static_cast<std::size_t>(n), static_cast<std::size_t>(s));
   phase.pivots.reserve(static_cast<std::size_t>(s));
 
+  // Hoist the per-phase weighted invariants — the Δ heuristic and the max
+  // edge weight are O(m) reductions shared by all s searches instead of
+  // being re-derived per pivot.
+  HdeOptions opts = options;
+  weight_t maxw = -1.0;
+  if (opts.kernel == DistanceKernel::DeltaStepping) {
+    if (opts.sssp.delta <= 0.0) opts.sssp.delta = DefaultDelta(graph);
+    maxw = MaxEdgeWeight(graph);
+  }
+
   std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
   vid_t source = ResolveStartVertex(graph, options);
 
@@ -111,8 +143,9 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
 
     WallTimer traversal;
     const std::vector<dist_t> hops =
-        RunSingleSearch(graph, source, options,
-                        phase.B.Col(static_cast<std::size_t>(i)), &phase.stats);
+        RunSingleSearch(graph, source, opts,
+                        phase.B.Col(static_cast<std::size_t>(i)), &phase.stats,
+                        maxw);
     phase.traversal_seconds += traversal.Seconds();
 
     // "BFS: Other": maintain min-distance-to-any-source and find the
@@ -126,7 +159,54 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
   return phase;
 }
 
+/// The weighted random-pivot phase: s independent SSSP searches, scheduled
+/// per options.sssp_engine. Concurrent mode mirrors the
+/// concurrent-serial-BFS branch below — one fully sequential Δ-stepping per
+/// thread over the s pivots, zero synchronization inside a search; Parallel
+/// mode runs one internally-parallel Δ-stepping search at a time (the right
+/// shape when s is below the thread count).
+DistancePhase RunRandomSsspPhase(const CsrGraph& graph,
+                                 const HdeOptions& options) {
+  const vid_t n = graph.NumVertices();
+  const int s = options.subspace_dim;
+  DistancePhase phase;
+  phase.B = DenseMatrix(static_cast<std::size_t>(n), static_cast<std::size_t>(s));
+  phase.pivots = RandomPivots(n, s, options.seed);
+
+  // Hoisted per-phase invariants (satellite of the Δ-stepping rework): one
+  // parallel reduction each for the Δ heuristic and the sentinel's max
+  // weight, reused across all s searches.
+  HdeOptions opts = options;
+  if (opts.sssp.delta <= 0.0) opts.sssp.delta = DefaultDelta(graph);
+  const weight_t maxw = MaxEdgeWeight(graph);
+
+  const bool concurrent =
+      options.sssp_engine == SsspEngine::Concurrent ||
+      (options.sssp_engine == SsspEngine::Auto && s >= NumThreads());
+
+  WallTimer traversal;
+  if (concurrent) {
+    MultiSsspStats ms;
+    ConcurrentSsspToColumns(graph, phase.pivots, phase.B, 0, opts.sssp.delta,
+                            maxw, &ms);
+    phase.stats.edges_examined += ms.edges_scanned;
+  } else {
+    for (int i = 0; i < s; ++i) {
+      RunSingleSearch(graph, phase.pivots[static_cast<std::size_t>(i)], opts,
+                      phase.B.Col(static_cast<std::size_t>(i)), &phase.stats,
+                      maxw);
+    }
+  }
+  phase.traversal_seconds = traversal.Seconds();
+  return phase;
+}
+
 DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
+  // The weighted kernel has its own engine pair; the BFS branches below
+  // would silently compute hop distances and ignore the weights.
+  if (options.kernel == DistanceKernel::DeltaStepping) {
+    return RunRandomSsspPhase(graph, options);
+  }
   const vid_t n = graph.NumVertices();
   const int s = options.subspace_dim;
   DistancePhase phase;

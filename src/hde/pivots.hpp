@@ -7,7 +7,10 @@
 // draws all pivots up front and runs the searches concurrently: the batched
 // multi-source BFS engine (bfs/ms_bfs.hpp) when s >= kMsBfsAutoThreshold or
 // DistanceKernel::MultiSourceBfs is requested, otherwise one serial BFS per
-// thread (§4.4, Table 6).
+// thread (§4.4, Table 6). The weighted kernel mirrors that split with its
+// own engine pair (SsspEngine): one parallel Δ-stepping search at a time,
+// or one sequential Δ-stepping per thread (sssp/multi_sssp.hpp) when s
+// reaches the thread count.
 #pragma once
 
 #include "hde/parhde.hpp"
@@ -39,11 +42,15 @@ std::vector<vid_t> KCentersPivots(const CsrGraph& graph, int count,
 
 /// Runs one distance search from `source` with the kernel configured in
 /// `options`, writing double distances into `column` (length n; unreachable
-/// vertices get the finite sentinel n). Returns quantized hop distances for
-/// farthest-vertex bookkeeping. Used by the coupled BFS+DOrtho mode.
+/// vertices get a finite sentinel — n for hop kernels,
+/// WeightedUnreachableSentinel for the SSSP kernel). Returns quantized hop
+/// distances for farthest-vertex bookkeeping. Used by the coupled
+/// BFS+DOrtho mode. `max_weight` lets phase drivers hoist the
+/// MaxEdgeWeight reduction across searches; < 0 computes it on demand.
 std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
                                     const HdeOptions& options,
-                                    std::span<double> column, BfsStats* stats);
+                                    std::span<double> column, BfsStats* stats,
+                                    weight_t max_weight = -1.0);
 
 /// The start vertex a run will use: options.start_vertex if set, otherwise
 /// one drawn from options.seed.

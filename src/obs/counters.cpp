@@ -68,6 +68,8 @@ const char* CounterName(Counter c) {
     case Counter::kSsspSearches: return "sssp.searches";
     case Counter::kSsspRelaxations: return "sssp.relaxations";
     case Counter::kSsspBucketRounds: return "sssp.bucket_rounds";
+    case Counter::kSsspOverflowRebins: return "sssp.overflow_rebins";
+    case Counter::kSsspSequentialSearches: return "sssp.sequential_searches";
     case Counter::kDOrthoKeptColumns: return "dortho.kept_columns";
     case Counter::kDOrthoDroppedColumns: return "dortho.dropped_columns";
     case Counter::kEigenJacobiSweeps: return "eigen.jacobi_sweeps";

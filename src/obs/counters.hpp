@@ -41,8 +41,10 @@ enum class Counter : int {
   kMsBfsEdgesExamined,
   kMsBfsLanesActive,      // lanes summed over batches: occupancy numerator
   kSsspSearches,          // delta-stepping runs
-  kSsspRelaxations,       // edge relaxations attempted
+  kSsspRelaxations,       // edge relaxations attempted (all SSSP engines)
   kSsspBucketRounds,      // shared-bucket drain iterations
+  kSsspOverflowRebins,    // Δ-stepping window jumps re-binning overflow
+  kSsspSequentialSearches,  // sequential Dijkstras (concurrent driver)
   kDOrthoKeptColumns,     // columns surviving D-orthogonalization
   kDOrthoDroppedColumns,  // columns dropped for near-dependence
   kEigenJacobiSweeps,     // cyclic Jacobi sweeps until convergence

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
@@ -13,6 +14,20 @@
 
 namespace parhde {
 namespace {
+
+constexpr std::size_t kOverflowSlot = kSsspWindowSlots;
+constexpr std::size_t kNoBucket = std::numeric_limits<std::size_t>::max();
+
+/// Bucket ids are clamped below the size_t range so a pathological
+/// weight-to-Δ ratio cannot overflow the double→size_t cast; merging the
+/// far tail into one id only coarsens processing order, never correctness.
+constexpr std::size_t kMaxBucketId = kNoBucket / 4;
+
+/// Entries one thread drains from its own current-bucket bin before giving
+/// the refilled remainder back to the shared schedule (GAP's bin-size
+/// threshold): bounds the work a single thread can absorb unshared when a
+/// light-edge chain keeps refilling the current bucket.
+constexpr std::size_t kSelfDrainCap = 1000;
 
 /// Lock-free monotone decrease of an atomic distance. Returns true if this
 /// call made dist[v] strictly smaller.
@@ -27,7 +42,46 @@ bool AtomicRelax(std::atomic<weight_t>& slot, weight_t candidate) {
   return false;
 }
 
+std::size_t BucketOf(weight_t d, weight_t inv_delta) {
+  const double q = d * inv_delta;
+  return q >= static_cast<double>(kMaxBucketId)
+             ? kMaxBucketId
+             : static_cast<std::size_t>(q);
+}
+
+void AtomicMin(std::atomic<std::size_t>& slot, std::size_t candidate) {
+  std::size_t current = slot.load(std::memory_order_relaxed);
+  while (candidate < current &&
+         !slot.compare_exchange_weak(current, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+weight_t DefaultDelta(const CsrGraph& graph) {
+  if (!graph.HasWeights() || graph.NumArcs() == 0) return 1.0;
+  const auto& weights = graph.Weights();
+  const auto arcs = static_cast<std::int64_t>(weights.size());
+  weight_t total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < arcs; ++i) {
+    total += weights[static_cast<std::size_t>(i)];
+  }
+  return std::max<weight_t>(total / static_cast<weight_t>(arcs), 1e-12);
+}
+
+weight_t MaxEdgeWeight(const CsrGraph& graph) {
+  if (!graph.HasWeights() || graph.NumArcs() == 0) return 1.0;
+  const auto& weights = graph.Weights();
+  const auto arcs = static_cast<std::int64_t>(weights.size());
+  weight_t maxw = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : maxw)
+  for (std::int64_t i = 0; i < arcs; ++i) {
+    maxw = std::max(maxw, weights[static_cast<std::size_t>(i)]);
+  }
+  return maxw;
+}
 
 SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
                          const DeltaSteppingOptions& options) {
@@ -36,17 +90,9 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
   assert(source >= 0 && source < n);
   const bool weighted = graph.HasWeights();
 
-  weight_t delta = options.delta;
-  if (delta <= 0.0) {
-    if (weighted && graph.NumArcs() > 0) {
-      weight_t total = 0.0;
-      for (const weight_t w : graph.Weights()) total += w;
-      delta = std::max<weight_t>(total / static_cast<weight_t>(graph.NumArcs()),
-                                 1e-12);
-    } else {
-      delta = 1.0;
-    }
-  }
+  const weight_t delta =
+      options.delta > 0.0 ? options.delta : DefaultDelta(graph);
+  const weight_t inv_delta = 1.0 / delta;
 
   SsspResult result;
   result.stats.delta_used = delta;
@@ -58,90 +104,180 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
   }
   dist[static_cast<std::size_t>(source)].store(0.0, std::memory_order_relaxed);
 
-  // Shared buckets, grown on demand. Buckets may hold duplicates; staleness
-  // is checked when a vertex is popped.
-  std::vector<std::vector<vid_t>> buckets(64);
-  buckets[0].push_back(source);
-  std::size_t current = 0;
+  // Per-thread bins: the cyclic window of open buckets plus one overflow
+  // bin. The arrays are fixed-size for the whole search — a relaxation can
+  // push into a bin but never reshape the bin structure, so there is no
+  // cross-thread size to snapshot and no unbounded resize.
+  using Bins = std::vector<std::vector<vid_t>>;
+  const int max_threads = omp_get_max_threads();
+  std::vector<Bins> all_bins(static_cast<std::size_t>(max_threads),
+                             Bins(kSsspWindowSlots + 1));
+  // Per-thread publish counts, rewritten into exclusive offsets each round.
+  std::vector<std::size_t> publish_offsets(
+      static_cast<std::size_t>(max_threads) + 1, 0);
+
+  // Shared round state. `frontier` holds the bucket being drained; the
+  // window of open buckets covers [window_base, window_base + slots) and
+  // curr lies inside it. All of these are written only between barriers.
+  std::vector<vid_t> frontier{source};
+  std::vector<vid_t> incoming;
+  std::size_t window_base = 0;
+  std::size_t curr = 0;
+  std::atomic<std::size_t> next{kNoBucket};
+  std::int64_t rounds = 0;
+  std::int64_t rebins = 0;
   std::int64_t relaxations = 0;
 
-  auto bucket_of = [delta](weight_t d) {
-    return static_cast<std::size_t>(d / delta);
-  };
-
-  while (true) {
-    // Advance to the lowest non-empty bucket.
-    while (current < buckets.size() && buckets[current].empty()) ++current;
-    if (current >= buckets.size()) break;
-
-    // Drain bucket `current`; light-edge relaxations can refill it, so loop
-    // until it stays empty (the paper's "each iteration proceeds in two
-    // phases" with shared and thread-local buckets).
-    while (!buckets[current].empty()) {
-      std::vector<vid_t> frontier;
-      frontier.swap(buckets[current]);
-      ++result.stats.bucket_rounds;
-
-      const auto fsize = static_cast<std::int64_t>(frontier.size());
-      const weight_t settled_bound = static_cast<weight_t>(current) * delta;
-
 #pragma omp parallel reduction(+ : relaxations)
-      {
-        obs::ScopedRegionTimer obs_timer;
-        // Phase 1: each thread relaxes its share of the frontier into
-        // thread-local buckets.
-        std::vector<std::vector<vid_t>> local(buckets.size());
-        std::size_t local_max = 0;
+  {
+    obs::ScopedRegionTimer obs_timer;
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    Bins& bins = all_bins[tid];
+    std::size_t overflow_min = kNoBucket;
+    std::vector<vid_t> scratch;
 
-#pragma omp for schedule(dynamic, 64) nowait
-        for (std::int64_t i = 0; i < fsize; ++i) {
-          const vid_t v = frontier[static_cast<std::size_t>(i)];
-          const weight_t dv =
-              dist[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
-          // Staleness check: if v now belongs to an earlier bucket it has
-          // been (or will be) processed there with a smaller distance.
-          if (dv < settled_bound) continue;
-          if (bucket_of(dv) != current) continue;  // moved to a later bucket
-
-          const auto nbrs = graph.Neighbors(v);
-          for (std::size_t e = 0; e < nbrs.size(); ++e) {
-            const vid_t u = nbrs[e];
-            const weight_t w = weighted ? graph.NeighborWeights(v)[e] : 1.0;
-            const weight_t nd = dv + w;
-            ++relaxations;
-            if (AtomicRelax(dist[static_cast<std::size_t>(u)], nd)) {
-              const std::size_t b = bucket_of(nd);
-              if (b >= local.size()) local.resize(b + 1);
-              local[b].push_back(u);
-              local_max = std::max(local_max, b);
-            }
-          }
-        }
-
-        // Phase 2: publish thread-local buckets into the shared buckets.
-#pragma omp critical
-        {
-          if (local_max >= buckets.size()) buckets.resize(local_max + 1);
-          for (std::size_t b = 0; b < local.size(); ++b) {
-            if (!local[b].empty()) {
-              // Only future buckets matter; entries for already-settled
-              // buckets are stale by construction and skipped anyway.
-              if (b < current) continue;
-              buckets[b].insert(buckets[b].end(), local[b].begin(),
-                                local[b].end());
-            }
+    // Relaxes every edge of v (distance dv, in bucket `curr`), pushing
+    // improved vertices into this thread's bins. Lock-free: the only shared
+    // write is the CAS on the distance slot.
+    auto relax_out_edges = [&](vid_t v, weight_t dv) {
+      const auto nbrs = graph.Neighbors(v);
+      const weight_t* wv =
+          weighted ? graph.NeighborWeights(v).data() : nullptr;
+      relaxations += static_cast<std::int64_t>(nbrs.size());
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        const vid_t u = nbrs[e];
+        const weight_t nd = dv + (wv ? wv[e] : 1.0);
+        if (AtomicRelax(dist[static_cast<std::size_t>(u)], nd)) {
+          const std::size_t b = BucketOf(nd, inv_delta);
+          if (b < window_base + kSsspWindowSlots) {
+            bins[b % kSsspWindowSlots].push_back(u);
+          } else {
+            bins[kOverflowSlot].push_back(u);
+            overflow_min = std::min(overflow_min, b);
           }
         }
       }
+    };
+
+    while (true) {
+      // Round top: every thread agrees on curr and frontier (the previous
+      // round ended in a barrier). Phase 1: relax the shared frontier.
+      const auto fsize = static_cast<std::int64_t>(frontier.size());
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        const vid_t v = frontier[static_cast<std::size_t>(i)];
+        const weight_t dv =
+            dist[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+        // Staleness check: v belongs to this bucket only if its current
+        // distance still falls in it; otherwise it was (or will be)
+        // processed elsewhere.
+        if (BucketOf(dv, inv_delta) != curr) continue;
+        relax_out_edges(v, dv);
+      }
+
+      // Light-edge relaxations refill the current bucket; drain our own
+      // share immediately (capped) instead of paying a round per refill.
+      auto& self = bins[curr % kSsspWindowSlots];
+      std::size_t drained = 0;
+      while (!self.empty() && drained < kSelfDrainCap) {
+        scratch.swap(self);
+        drained += scratch.size();
+        for (const vid_t v : scratch) {
+          const weight_t dv = dist[static_cast<std::size_t>(v)].load(
+              std::memory_order_relaxed);
+          if (BucketOf(dv, inv_delta) == curr) relax_out_edges(v, dv);
+        }
+        scratch.clear();
+      }
+
+      // Propose the next bucket: lowest non-empty open bucket at or after
+      // curr, else this thread's overflow minimum. Overflow entries always
+      // sit above every open bucket (they were pushed past the window), so
+      // consulting them only when the window is empty preserves ordering.
+      std::size_t proposal = kNoBucket;
+      for (std::size_t b = curr; b < window_base + kSsspWindowSlots; ++b) {
+        if (!bins[b % kSsspWindowSlots].empty()) {
+          proposal = b;
+          break;
+        }
+      }
+      if (proposal == kNoBucket && !bins[kOverflowSlot].empty()) {
+        proposal = overflow_min;
+      }
+      if (proposal != kNoBucket) AtomicMin(next, proposal);
+#pragma omp barrier
+
+      const std::size_t chosen = next.load(std::memory_order_relaxed);
+      if (chosen == kNoBucket) break;  // every bin on every thread is empty
+
+      if (chosen >= window_base + kSsspWindowSlots) {
+        // Window jump: no thread had an open-bucket entry, so the cyclic
+        // mapping can be re-anchored at `chosen`. Each thread re-bins its
+        // own overflow against the new window; distances are quiescent
+        // between the barriers. Entries whose distance has since dropped
+        // below `chosen` were settled through the duplicate entry that
+        // accompanied the decrease, so they are dropped here.
+        scratch.swap(bins[kOverflowSlot]);
+        overflow_min = kNoBucket;
+        for (const vid_t v : scratch) {
+          const weight_t dv = dist[static_cast<std::size_t>(v)].load(
+              std::memory_order_relaxed);
+          const std::size_t b = BucketOf(dv, inv_delta);
+          if (b < chosen) continue;
+          if (b < chosen + kSsspWindowSlots) {
+            bins[b % kSsspWindowSlots].push_back(v);
+          } else {
+            bins[kOverflowSlot].push_back(v);
+            overflow_min = std::min(overflow_min, b);
+          }
+        }
+        scratch.clear();
+#pragma omp barrier
+#pragma omp single
+        {
+          window_base = chosen;
+          ++rebins;
+        }  // implicit barrier
+      }
+
+      // Publish bucket `chosen` into the next shared frontier: per-thread
+      // counts, one exclusive prefix sum, one bulk copy per thread at its
+      // own offset — no lock, no critical section.
+      auto& out = bins[chosen % kSsspWindowSlots];
+      publish_offsets[tid] = out.size();
+#pragma omp barrier
+#pragma omp single
+      {
+        const auto team = static_cast<std::size_t>(omp_get_num_threads());
+        std::size_t total = 0;
+        for (std::size_t t = 0; t < team; ++t) {
+          const std::size_t count = publish_offsets[t];
+          publish_offsets[t] = total;
+          total += count;
+        }
+        incoming.resize(total);
+        curr = chosen;
+        next.store(kNoBucket, std::memory_order_relaxed);
+        ++rounds;
+      }  // implicit barrier
+      std::copy(out.begin(), out.end(),
+                incoming.begin() +
+                    static_cast<std::ptrdiff_t>(publish_offsets[tid]));
+      out.clear();
+#pragma omp barrier
+#pragma omp single
+      { frontier.swap(incoming); }  // implicit barrier
     }
-    ++current;
   }
 
   result.stats.relaxations = relaxations;
+  result.stats.bucket_rounds = rounds + 1;  // + the seed round for bucket 0
+  result.stats.overflow_rebins = rebins;
   // Flush aggregate work counters once per search — never per edge.
   obs::CounterAdd(obs::Counter::kSsspSearches, 1);
   obs::CounterAdd(obs::Counter::kSsspRelaxations, relaxations);
   obs::CounterAdd(obs::Counter::kSsspBucketRounds, result.stats.bucket_rounds);
+  obs::CounterAdd(obs::Counter::kSsspOverflowRebins, rebins);
   result.dist.resize(static_cast<std::size_t>(n));
 #pragma omp parallel for schedule(static)
   for (vid_t v = 0; v < n; ++v) {

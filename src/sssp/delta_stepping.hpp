@@ -1,9 +1,18 @@
 // Parallel Δ-stepping SSSP (Meyer & Sanders), following the GAP
 // implementation the paper adapts (§3.3): distances are partitioned into
-// buckets of width Δ; each iteration drains the lowest non-empty shared
-// bucket, with threads relaxing edges into thread-local buckets that are
-// merged afterwards. Buckets are not recycled and settled vertices are
-// skipped lazily via a staleness check, as the paper describes.
+// buckets of width Δ; each round drains the lowest non-empty bucket, with
+// threads relaxing edges into thread-local bins that are merged into the
+// next shared frontier afterwards.
+//
+// The bucket structure is a fixed cyclic window of kSsspWindowSlots open
+// buckets plus one overflow bin per thread (the Julienne/GBBS-style capped
+// bucketing): a relaxation can never grow a bin array, so extreme
+// weight-to-Δ ratios cost at most an occasional overflow re-bin instead of
+// unbounded allocation. The merge into the shared frontier goes through
+// per-thread counts and an exclusive prefix sum — one bulk copy per thread
+// at its own offset, no lock or critical section anywhere on the hot path.
+// Settled vertices are skipped lazily via a staleness check, as the paper
+// describes.
 #pragma once
 
 #include <cstdint>
@@ -12,15 +21,24 @@
 
 namespace parhde {
 
+/// Open buckets per thread in the cyclic window. Relaxations from bucket b
+/// land in [b, b + ceil(w_max/Δ)]; anything past the window goes to the
+/// overflow bin and is re-binned when the window advances past it.
+inline constexpr std::size_t kSsspWindowSlots = 64;
+
 struct DeltaSteppingOptions {
-  /// Bucket width. <= 0 picks a heuristic: average edge weight (weighted)
-  /// or 1 (unweighted, which degenerates to level-synchronous behaviour).
+  /// Bucket width. <= 0 picks the heuristic Δ = average edge weight
+  /// (unweighted graphs use 1, which degenerates to level-synchronous
+  /// behaviour). Callers running many searches on one graph should compute
+  /// DefaultDelta once and set it here instead of paying the reduction per
+  /// search.
   weight_t delta = 0.0;
 };
 
 struct DeltaSteppingStats {
-  std::int64_t relaxations = 0;   // edge relaxations attempted
-  std::int64_t bucket_rounds = 0; // inner iterations over shared buckets
+  std::int64_t relaxations = 0;    // edge relaxations attempted
+  std::int64_t bucket_rounds = 0;  // shared-frontier publish rounds
+  std::int64_t overflow_rebins = 0;  // window jumps that re-binned overflow
   weight_t delta_used = 0.0;
 };
 
@@ -28,6 +46,17 @@ struct SsspResult {
   std::vector<weight_t> dist;
   DeltaSteppingStats stats;
 };
+
+/// The default bucket width: average edge weight, computed with a parallel
+/// reduction (1.0 for unweighted graphs). Distance phases that run s
+/// searches on the same graph hoist this once instead of re-deriving it per
+/// pivot.
+weight_t DefaultDelta(const CsrGraph& graph);
+
+/// Largest edge weight (parallel reduction; 1.0 for unweighted graphs).
+/// Used to place the unreachable-distance sentinel strictly above every
+/// finite distance a search can produce.
+weight_t MaxEdgeWeight(const CsrGraph& graph);
 
 /// Parallel single-source shortest paths. Weights must be non-negative.
 SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,

@@ -6,7 +6,8 @@
 
 namespace parhde {
 
-std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source) {
+std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source,
+                               DijkstraStats* stats) {
   const vid_t n = graph.NumVertices();
   assert(source >= 0 && source < n);
   std::vector<weight_t> dist(static_cast<std::size_t>(n), kInfWeight);
@@ -22,6 +23,10 @@ std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source) {
     heap.pop();
     if (d > dist[static_cast<std::size_t>(v)]) continue;  // stale entry
     const auto nbrs = graph.Neighbors(v);
+    if (stats) {
+      ++stats->settled;
+      stats->edges_scanned += static_cast<std::int64_t>(nbrs.size());
+    }
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const vid_t u = nbrs[i];
       const weight_t w = weighted ? graph.NeighborWeights(v)[i] : 1.0;

@@ -1,14 +1,23 @@
-// Serial Dijkstra — the correctness oracle for Δ-stepping and the weighted
-// analogue of the serial BFS baseline.
+// Serial Dijkstra — the correctness oracle for Δ-stepping, the weighted
+// analogue of the serial BFS baseline, and the per-thread engine of the
+// concurrent multi-search driver (sssp/multi_sssp.hpp).
 #pragma once
+
+#include <cstdint>
 
 #include "graph/csr_graph.hpp"
 
 namespace parhde {
 
+struct DijkstraStats {
+  std::int64_t settled = 0;        // non-stale heap pops
+  std::int64_t edges_scanned = 0;  // arcs examined from settled vertices
+};
+
 /// Shortest-path distances from `source` using edge weights (all weights
 /// must be >= 0; unweighted graphs use weight 1 per edge). Unreachable
-/// vertices get kInfWeight.
-std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source);
+/// vertices get kInfWeight. `stats`, when non-null, receives the work done.
+std::vector<weight_t> Dijkstra(const CsrGraph& graph, vid_t source,
+                               DijkstraStats* stats = nullptr);
 
 }  // namespace parhde

@@ -1,0 +1,138 @@
+#include "sssp/multi_sssp.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/thread_stats.hpp"
+#include "obs/trace.hpp"
+#include "sssp/delta_stepping.hpp"
+
+namespace parhde {
+
+namespace {
+
+/// Hard cap on the serial bucket array. At the default Δ (average edge
+/// weight) a search only approaches the cap when its distance range spans
+/// ~64k average weights; beyond it, entries pool in the last bucket, which
+/// is settled by the reinsertion loop (correct for any distance range,
+/// just no longer bucket-ordered within that tail).
+constexpr std::size_t kSerialBucketCap = std::size_t{1} << 16;
+
+std::size_t SerialBucketOf(weight_t d, weight_t inv_delta) {
+  const weight_t b = d * inv_delta;
+  return b >= static_cast<weight_t>(kSerialBucketCap - 1)
+             ? kSerialBucketCap - 1
+             : static_cast<std::size_t>(b);
+}
+
+struct SerialSsspStats {
+  std::int64_t settled = 0;
+  std::int64_t edges_scanned = 0;
+};
+
+/// One fully sequential Δ-stepping search: the per-thread kernel of the
+/// concurrent engine. No atomics, no barriers, no shared state — a thread
+/// owns the whole search, so buckets can grow on demand and the classic
+/// settle-with-reinsertion loop applies unchanged. Beats a binary-heap
+/// Dijkstra on the mesh/road graphs the weighted phase targets (bucket
+/// pushes are O(1) and cache-friendly; heap pops are log n and not).
+/// `buckets` and `dist` are scratch reused across a thread's searches.
+void SerialDeltaStepping(const CsrGraph& graph, vid_t source, weight_t delta,
+                         std::vector<std::vector<vid_t>>& buckets,
+                         std::vector<weight_t>& dist, SerialSsspStats& stats) {
+  const vid_t n = graph.NumVertices();
+  const weight_t inv_delta = 1.0 / delta;
+  const bool weighted = graph.HasWeights();
+  dist.assign(static_cast<std::size_t>(n), kInfWeight);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  if (buckets.empty()) buckets.resize(1);
+  buckets[0].push_back(source);
+
+  std::vector<vid_t> frontier;
+  for (std::size_t curr = 0; curr < buckets.size(); ++curr) {
+    // Settle bucket `curr`: light-edge relaxations may re-insert into the
+    // current bucket, so drain until it stays empty.
+    while (!buckets[curr].empty()) {
+      frontier.clear();
+      std::swap(frontier, buckets[curr]);
+      for (const vid_t v : frontier) {
+        const weight_t dv = dist[static_cast<std::size_t>(v)];
+        if (SerialBucketOf(dv, inv_delta) != curr) continue;  // stale
+        const auto nbrs = graph.Neighbors(v);
+        ++stats.settled;
+        stats.edges_scanned += static_cast<std::int64_t>(nbrs.size());
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const vid_t u = nbrs[i];
+          const weight_t w = weighted ? graph.NeighborWeights(v)[i] : 1.0;
+          const weight_t nd = dv + w;
+          if (nd < dist[static_cast<std::size_t>(u)]) {
+            dist[static_cast<std::size_t>(u)] = nd;
+            const std::size_t b = SerialBucketOf(nd, inv_delta);
+            if (b >= buckets.size()) buckets.resize(b + 1);
+            buckets[b].push_back(u);
+          }
+        }
+      }
+    }
+  }
+  for (auto& bucket : buckets) bucket.clear();
+}
+
+}  // namespace
+
+void ConcurrentSsspToColumns(const CsrGraph& graph,
+                             const std::vector<vid_t>& sources, DenseMatrix& B,
+                             std::size_t first_col, weight_t delta,
+                             weight_t max_weight, MultiSsspStats* stats) {
+  PARHDE_TRACE_SPAN("sssp.concurrent_serial");
+  const vid_t n = graph.NumVertices();
+  const auto count = static_cast<int>(sources.size());
+  if (delta <= 0.0) delta = DefaultDelta(graph);
+  std::int64_t searches = 0;
+  std::int64_t settled = 0;
+  std::int64_t edges_scanned = 0;
+
+#pragma omp parallel reduction(+ : searches, settled, edges_scanned)
+  {
+    obs::ScopedRegionTimer obs_timer;
+    // Per-thread scratch, allocated once and reused across the thread's
+    // share of the searches.
+    std::vector<std::vector<vid_t>> buckets;
+    std::vector<weight_t> dist;
+    SerialSsspStats ss;
+#pragma omp for schedule(dynamic, 1) nowait
+    for (int i = 0; i < count; ++i) {
+      SerialDeltaStepping(graph, sources[static_cast<std::size_t>(i)], delta,
+                          buckets, dist, ss);
+      ++searches;
+
+      auto column = B.Col(first_col + static_cast<std::size_t>(i));
+      weight_t max_finite = 0.0;
+      for (vid_t v = 0; v < n; ++v) {
+        const weight_t d = dist[static_cast<std::size_t>(v)];
+        if (std::isfinite(d)) max_finite = std::max(max_finite, d);
+      }
+      const weight_t sentinel =
+          WeightedUnreachableSentinel(max_finite, max_weight, n);
+      for (vid_t v = 0; v < n; ++v) {
+        const weight_t d = dist[static_cast<std::size_t>(v)];
+        column[static_cast<std::size_t>(v)] = std::isfinite(d) ? d : sentinel;
+      }
+    }
+    settled += ss.settled;
+    edges_scanned += ss.edges_scanned;
+  }
+
+  // Flush aggregate work counters once per driver call — never per edge.
+  obs::CounterAdd(obs::Counter::kSsspSequentialSearches, searches);
+  obs::CounterAdd(obs::Counter::kSsspRelaxations, edges_scanned);
+  if (stats) {
+    stats->searches += searches;
+    stats->settled += settled;
+    stats->edges_scanned += edges_scanned;
+  }
+}
+
+}  // namespace parhde

@@ -1,0 +1,57 @@
+// Concurrent multi-search SSSP driver for the weighted random-pivot
+// distance phase — the weighted twin of the concurrent-serial-BFS branch in
+// hde/pivots.cpp (§4.4, Table 6): when the s pivot searches are independent
+// (random pivots) and s is at least the thread count, running one fully
+// *sequential* Δ-stepping per thread beats running s parallel Δ-stepping
+// searches back to back — each search pays zero synchronization (no
+// atomics, no barriers, no publish rounds), and the thread team is
+// saturated by search-level parallelism instead of frontier-level
+// parallelism.
+//
+// Distances land directly in the distance-matrix columns, with unreachable
+// vertices written as a per-column sentinel strictly above every finite
+// distance (see WeightedUnreachableSentinel) so the sentinel can never sort
+// below a reachable vertex — the weighted-graph fix for the hop-count
+// sentinel n, which finite weighted distances routinely exceed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace parhde {
+
+struct MultiSsspStats {
+  std::int64_t searches = 0;
+  std::int64_t settled = 0;        // non-stale bucket pops over all searches
+  std::int64_t edges_scanned = 0;  // arcs examined over all searches
+};
+
+/// Sentinel written for unreachable vertices in a weighted distance column:
+/// strictly above the largest finite distance of that search by at least
+/// one maximal edge weight, and never below the hop-count sentinel n (so
+/// unit-weight graphs keep their historical columns bit-for-bit). The
+/// unweighted sentinel n is only valid when hops bound distances; with
+/// weights > 1 finite distances routinely exceed n, which would sort the
+/// sentinel *below* reachable vertices and corrupt pivot selection.
+inline weight_t WeightedUnreachableSentinel(weight_t max_finite,
+                                            weight_t max_weight, vid_t n) {
+  return std::max<weight_t>(max_finite + std::max<weight_t>(max_weight, 1.0),
+                            static_cast<weight_t>(n));
+}
+
+/// Runs one sequential Δ-stepping per OpenMP thread over `sources`
+/// (schedule(dynamic, 1) across searches), writing exact weighted distances
+/// into columns [first_col, first_col + sources.size()) of B. Unreachable
+/// vertices get the per-column WeightedUnreachableSentinel. Pass the phase's
+/// hoisted Δ and MaxEdgeWeight so the O(m) reductions run once per phase,
+/// not per search (`delta <= 0` re-derives DefaultDelta on demand).
+void ConcurrentSsspToColumns(const CsrGraph& graph,
+                             const std::vector<vid_t>& sources, DenseMatrix& B,
+                             std::size_t first_col, weight_t delta,
+                             weight_t max_weight,
+                             MultiSsspStats* stats = nullptr);
+
+}  // namespace parhde

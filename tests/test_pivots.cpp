@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "bfs/serial_bfs.hpp"
 #include "graph/builder.hpp"
+#include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/parallel.hpp"
 
 namespace parhde {
 namespace {
@@ -142,6 +146,140 @@ TEST(DistancePhase, SsspKernelOnUnitWeightsMatchesBfs) {
     for (vid_t v = 0; v < 144; ++v) {
       EXPECT_DOUBLE_EQ(phase.B.At(static_cast<std::size_t>(v), i),
                        static_cast<double>(expected[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+CsrGraph WeightedConnected(vid_t scale, std::uint64_t seed) {
+  EdgeList edges = GenKronecker(scale, 6, seed);
+  AssignRandomWeights(edges, 2.0, 20.0, seed + 1);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  return LargestComponent(BuildCsrGraph(vid_t{1} << scale, edges, opts)).graph;
+}
+
+TEST(DistancePhase, WeightedRandomPhaseMatchesDijkstra) {
+  // The random-pivot weighted phase must produce exact Dijkstra columns no
+  // matter which engine the auto heuristic picks.
+  const CsrGraph g = WeightedConnected(9, 41);
+  HdeOptions options;
+  options.subspace_dim = 6;
+  options.pivots = PivotStrategy::Random;
+  options.kernel = DistanceKernel::DeltaStepping;
+  options.seed = 5;
+  const DistancePhase phase = RunDistancePhase(g, options);
+  ASSERT_EQ(phase.B.Cols(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto expected = Dijkstra(g, phase.pivots[i]);
+    for (vid_t v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_NEAR(phase.B.At(static_cast<std::size_t>(v), i),
+                  expected[static_cast<std::size_t>(v)], 1e-9)
+          << "column " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST(DistancePhase, WeightedEnginesProduceEqualColumns) {
+  // One parallel Δ-stepping search at a time vs one sequential Δ-stepping
+  // per thread: identical pivots, near-identical distance matrices.
+  const CsrGraph g = WeightedConnected(9, 43);
+  HdeOptions par;
+  par.subspace_dim = 8;
+  par.pivots = PivotStrategy::Random;
+  par.kernel = DistanceKernel::DeltaStepping;
+  par.seed = 7;
+  par.sssp_engine = SsspEngine::Parallel;
+  HdeOptions con = par;
+  con.sssp_engine = SsspEngine::Concurrent;
+  const DistancePhase a = RunDistancePhase(g, par);
+  const DistancePhase b = RunDistancePhase(g, con);
+  ASSERT_EQ(a.pivots, b.pivots);
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(g.NumVertices());
+         ++r) {
+      EXPECT_NEAR(a.B.At(r, c), b.B.At(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(DistancePhase, WeightedSentinelSortsAboveReachable) {
+  // Regression test for the weighted unreachable sentinel: with weights in
+  // [8, 10] the far corner of the grid is at distance >= 22 hops * 8 = 176
+  // > n = 147, so the old hop sentinel n would sort *below* reachable
+  // vertices. Every unreachable entry must be strictly above every finite
+  // entry of its column.
+  EdgeList edges = GenGrid2d(12, 12);  // component A: 0..143
+  edges.push_back({144, 145, 1.0});    // component B: 144-145-146
+  edges.push_back({145, 146, 1.0});
+  AssignRandomWeights(edges, 8.0, 10.0, 23);
+  BuildOptions bopts;
+  bopts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(147, edges, bopts);
+  const vid_t n = g.NumVertices();
+
+  HdeOptions options;
+  options.kernel = DistanceKernel::DeltaStepping;
+  std::vector<double> column(static_cast<std::size_t>(n));
+  RunSingleSearch(g, 0, options, column, nullptr);
+
+  const auto expected = Dijkstra(g, 0);
+  double max_reachable = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (std::isfinite(expected[static_cast<std::size_t>(v)])) {
+      max_reachable =
+          std::max(max_reachable, column[static_cast<std::size_t>(v)]);
+    }
+  }
+  // The premise of the bug: reachable weighted distances exceed n.
+  ASSERT_GT(max_reachable, static_cast<double>(n));
+  for (vid_t v = 145; v < n; ++v) {
+    EXPECT_GT(column[static_cast<std::size_t>(v)], max_reachable)
+        << "unreachable vertex " << v << " sorted below a reachable one";
+  }
+}
+
+TEST(DistancePhase, WeightedKCentersUsesWeightedFarthestVertex) {
+  // On a weighted chain, k-centers with the SSSP kernel must chase the
+  // weighted-farthest vertex, and columns must be weighted distances.
+  BuildOptions bopts;
+  bopts.keep_weights = true;
+  EdgeList edges = GenChain(50);
+  AssignRandomWeights(edges, 1.0, 9.0, 31);
+  const CsrGraph g = BuildCsrGraph(50, edges, bopts);
+  HdeOptions options;
+  options.subspace_dim = 4;
+  options.start_vertex = 0;
+  options.kernel = DistanceKernel::DeltaStepping;
+  const DistancePhase phase = RunDistancePhase(g, options);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto expected = Dijkstra(g, phase.pivots[i]);
+    for (vid_t v = 0; v < 50; ++v) {
+      EXPECT_NEAR(phase.B.At(static_cast<std::size_t>(v), i),
+                  expected[static_cast<std::size_t>(v)], 1e-9);
+    }
+  }
+}
+
+TEST(DistancePhase, WeightedRandomPhaseAcrossThreadCounts) {
+  // The auto engine split depends on the thread count (s >= threads picks
+  // the concurrent driver); both sides of the split must agree with
+  // Dijkstra at every count.
+  const CsrGraph g = WeightedConnected(8, 47);
+  for (const int threads : {1, 4, 16}) {
+    ThreadCountGuard guard(threads);
+    HdeOptions options;
+    options.subspace_dim = 8;  // concurrent at 1 and 4 threads, parallel at 16
+    options.pivots = PivotStrategy::Random;
+    options.kernel = DistanceKernel::DeltaStepping;
+    options.seed = 11;
+    const DistancePhase phase = RunDistancePhase(g, options);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto expected = Dijkstra(g, phase.pivots[i]);
+      for (vid_t v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_NEAR(phase.B.At(static_cast<std::size_t>(v), i),
+                    expected[static_cast<std::size_t>(v)], 1e-9);
+      }
     }
   }
 }

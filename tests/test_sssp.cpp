@@ -4,11 +4,15 @@
 
 #include <cmath>
 
+#include <tuple>
+
 #include "bfs/serial_bfs.hpp"
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "linalg/dense_matrix.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/multi_sssp.hpp"
 #include "util/parallel.hpp"
 
 namespace parhde {
@@ -137,6 +141,150 @@ TEST_P(SsspThreadSweep, CorrectAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, SsspThreadSweep,
                          ::testing::Values(1, 2, 4, 8));
+
+// The cyclic window has kSsspWindowSlots open buckets; a graph whose
+// distance range spans far more than window * Δ buckets must route entries
+// through the per-thread overflow bin and re-bin them on window jumps.
+class DeltaThreadSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(DeltaThreadSweep, CorrectForAnyWidthAtAnyThreadCount) {
+  ThreadCountGuard guard(std::get<1>(GetParam()));
+  const CsrGraph g = WeightedGraph(400, GenRoad(20, 20, 0.1, 7), 9);
+  DeltaSteppingOptions options;
+  options.delta = std::get<0>(GetParam());
+  ExpectMatchesDijkstra(g, 0, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DeltaThreadSweep,
+                         ::testing::Combine(::testing::Values(0.1, 5.0),
+                                            ::testing::Values(1, 4, 8)));
+
+TEST(DeltaStepping, LongChainForcesOverflowRebins) {
+  // A 300-vertex unit-weight chain with Δ = 0.5 needs ~600 buckets — far
+  // beyond the 64-slot window — so entries must pass through the overflow
+  // bin and be re-binned when the window jumps. Exactness must survive.
+  const CsrGraph g = BuildCsrGraph(300, GenChain(300));
+  DeltaSteppingOptions options;
+  options.delta = 0.5;
+  const auto expected = Dijkstra(g, 0);
+  const SsspResult result = DeltaStepping(g, 0, options);
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    EXPECT_DOUBLE_EQ(result.dist[v], expected[v]) << "vertex " << v;
+  }
+  EXPECT_GT(result.stats.overflow_rebins, 0);
+}
+
+TEST(DeltaStepping, ExtremeWeightRatioMatchesDijkstra) {
+  // Weights spanning six orders of magnitude: the default Δ (average
+  // weight) is dominated by the heavy tail, so light edges pile into few
+  // buckets while heavy edges land deep in the overflow bin.
+  EdgeList edges = GenKronecker(9, 6, 21);
+  AssignRandomWeights(edges, 1e-3, 1e3, 17);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  const CsrGraph g = LargestComponent(BuildCsrGraph(1 << 9, edges, opts)).graph;
+  ExpectMatchesDijkstra(g, 0);
+  DeltaSteppingOptions tiny;
+  tiny.delta = 1e-2;  // deep bucket space: exercises the overflow window
+  ExpectMatchesDijkstra(g, 0, tiny);
+}
+
+TEST(DeltaStepping, TinyDeltaClampsBucketIndex) {
+  // Δ far below every weight makes d/Δ astronomically large; the bucket
+  // index must clamp instead of overflowing the size_t cast.
+  const CsrGraph g = WeightedGraph(25, GenGrid2d(5, 5), 30);
+  DeltaSteppingOptions options;
+  options.delta = 1e-12;
+  ExpectMatchesDijkstra(g, 0, options);
+}
+
+TEST(DeltaStepping, ConcurrentPublishStress) {
+  // Regression test for the publish-time data race in the old engine (a
+  // thread constructed its local bucket view while another resized the
+  // shared bucket vector). The rework merges via prefix-sum offsets into
+  // preallocated windows; running a wide weighted graph across many
+  // threads under ThreadSanitizer (PARHDE_SANITIZE=thread) must be clean.
+  ThreadCountGuard guard(8);
+  EdgeList edges = GenKronecker(10, 8, 13);
+  AssignRandomWeights(edges, 0.1, 100.0, 29);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  opts.merge = BuildOptions::MergePolicy::Min;
+  const CsrGraph g =
+      LargestComponent(BuildCsrGraph(1 << 10, edges, opts)).graph;
+  for (const double delta : {0.5, 5.0, 0.0}) {
+    DeltaSteppingOptions options;
+    options.delta = delta;
+    ExpectMatchesDijkstra(g, 0, options);
+  }
+}
+
+TEST(DefaultDelta, IsAverageEdgeWeight) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g =
+      BuildCsrGraph(4, {{0, 1, 2.0}, {1, 2, 4.0}, {2, 3, 6.0}}, opts);
+  // CSR stores each undirected edge as two arcs with equal weight, so the
+  // average over arcs equals the average over edges.
+  EXPECT_DOUBLE_EQ(DefaultDelta(g), 4.0);
+  EXPECT_DOUBLE_EQ(MaxEdgeWeight(g), 6.0);
+}
+
+TEST(DefaultDelta, UnweightedGraphIsUnit) {
+  const CsrGraph g = BuildCsrGraph(100, GenGrid2d(10, 10));
+  EXPECT_DOUBLE_EQ(DefaultDelta(g), 1.0);
+  EXPECT_DOUBLE_EQ(MaxEdgeWeight(g), 1.0);
+}
+
+TEST(WeightedSentinel, StrictlyAboveFiniteDistances) {
+  // max_finite + max_weight dominates once weights are non-unit...
+  EXPECT_DOUBLE_EQ(WeightedUnreachableSentinel(500.0, 10.0, 100), 510.0);
+  // ...and the hop sentinel n is kept on unit-weight graphs so historical
+  // columns stay bit-identical.
+  EXPECT_DOUBLE_EQ(WeightedUnreachableSentinel(7.0, 1.0, 100), 100.0);
+  // Zero-weight degenerate graphs still get a sentinel above max_finite.
+  EXPECT_GT(WeightedUnreachableSentinel(3.0, 0.0, 2), 3.0);
+}
+
+TEST(MultiSssp, ColumnsMatchDijkstraWithSentinel) {
+  // Two weighted components: columns must hold exact Dijkstra distances for
+  // reachable vertices and a sentinel above all of them otherwise.
+  EdgeList edges = GenGrid2d(8, 8);  // component A: vertices 0..63
+  edges.push_back({64, 65, 1.0});    // component B: 64-65-66
+  edges.push_back({65, 66, 1.0});
+  AssignRandomWeights(edges, 2.0, 50.0, 11);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const CsrGraph g = BuildCsrGraph(67, edges, opts);
+  const std::vector<vid_t> sources = {0, 64, 33};
+
+  DenseMatrix B(67, sources.size());
+  MultiSsspStats stats;
+  ConcurrentSsspToColumns(g, sources, B, 0, DefaultDelta(g), MaxEdgeWeight(g),
+                          &stats);
+
+  EXPECT_EQ(stats.searches, 3);
+  EXPECT_GT(stats.settled, 0);
+  EXPECT_GT(stats.edges_scanned, 0);
+  for (std::size_t c = 0; c < sources.size(); ++c) {
+    const auto expected = Dijkstra(g, sources[c]);
+    double max_finite = 0.0;
+    for (const double d : expected) {
+      if (std::isfinite(d)) max_finite = std::max(max_finite, d);
+    }
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      if (std::isfinite(expected[v])) {
+        EXPECT_DOUBLE_EQ(B.At(v, c), expected[v]);
+      } else {
+        EXPECT_GT(B.At(v, c), max_finite) << "sentinel sorted below a "
+                                             "reachable vertex in column "
+                                          << c;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace parhde

@@ -7,7 +7,8 @@
 //   layout    --in=<...> [--algo=parhde|phde|pivotmds|prior|multilevel]
 //             [--s=10] [--axes=2] [--pivots=kcenters|random] [--gs=mgs|cgs]
 //             [--metric=degree|unit] [--basis=b|s] [--coupled] [--seed=1]
-//             [--kernel=parbfs|serialbfs|msbfs|sssp]
+//             [--kernel=parbfs|serialbfs|msbfs|sssp] [--delta=<w>]
+//             [--sssp-engine=auto|parallel|concurrent]
 //             [--disconnected=pack|largest|reject]  (default: largest)
 //             [--coords=out.xy] [--png=out.png] [--svg=out.svg]
 //             [--report=run.json]  (machine-readable run report)
@@ -209,6 +210,22 @@ HdeOptions OptionsFromFlags(const ArgParser& args) {
   } else if (kernel == "sssp" || args.Has("sssp")) {
     options.kernel = DistanceKernel::DeltaStepping;
   }
+  // --delta overrides the Δ heuristic (average edge weight); --sssp-engine
+  // pins the weighted random-pivot scheduling instead of the s-vs-threads
+  // auto split.
+  const double delta = args.GetDouble("delta", 0.0);
+  if (delta < 0.0) {
+    throw ParhdeError(ErrorCode::kInvalidValue, "cli",
+                      "--delta must be positive");
+  }
+  options.sssp.delta = delta;
+  const std::string engine = args.GetChoice(
+      "sssp-engine", {"auto", "parallel", "concurrent"}, "auto");
+  if (engine == "parallel") {
+    options.sssp_engine = SsspEngine::Parallel;
+  } else if (engine == "concurrent") {
+    options.sssp_engine = SsspEngine::Concurrent;
+  }
   return options;
 }
 
@@ -312,6 +329,8 @@ int CmdLayout(const ArgParser& args) {
       {"basis", args.GetString("basis", "b")},
       {"coupled", args.Has("coupled") ? "true" : "false"},
       {"kernel", args.GetString("kernel", "parbfs")},
+      {"delta", std::to_string(options.sssp.delta)},
+      {"sssp_engine", args.GetString("sssp-engine", "auto")},
       {"disconnected", policy},
       {"seed", std::to_string(options.seed)},
   };

@@ -93,18 +93,23 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
   GramSchmidtOptions gs_opts;
   gs_opts.kind = options.gs_kind;
   gs_opts.drop_tol = options.drop_tol;
+  gs_opts.block_width =
+      static_cast<std::size_t>(std::max(1, options.gs_block));
 
   DenseMatrix B(static_cast<std::size_t>(n), static_cast<std::size_t>(s));
   DenseMatrix S(static_cast<std::size_t>(n), static_cast<std::size_t>(s) + 1);
   GramSchmidtResult gs;
 
   // The coupled schedule interleaves each traversal with its projection;
-  // it requires sequential (k-centers) pivots and MGS (§4.4). Any other
-  // configuration uses the decoupled two-phase pipeline — the results are
-  // identical, only timing attribution differs.
+  // it requires sequential (k-centers) pivots and an incremental
+  // orthogonalizer — MGS (§4.4) or blocked BCGS, which only ever projects
+  // against the accepted prefix. Any other configuration uses the decoupled
+  // two-phase pipeline — the results are identical, only timing attribution
+  // differs.
   const bool coupled = options.coupled_bfs_ortho &&
                        options.pivots == PivotStrategy::KCenters &&
-                       options.gs_kind == GramSchmidtKind::Modified;
+                       (options.gs_kind == GramSchmidtKind::Modified ||
+                        options.gs_kind == GramSchmidtKind::Blocked);
 
   if (coupled) {
     // Hoist the weighted per-phase invariants once for all s searches
@@ -205,7 +210,9 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
     ScopedPhase scoped(result.timings, phase::kTripleProdLs);
     obs::ThreadPhaseContext obs_phase(phase::kTripleProdLs);
     PARHDE_TRACE_SPAN("parhde.tripleprod_ls");
-    LaplacianTimesMatrixFused(graph, S, P);
+    SpmmOptions spmm;
+    spmm.block_width = options.spmm_block;
+    LaplacianTimesMatrix(graph, S, P, spmm);
   }
   DenseMatrix Z;
   {

@@ -8,7 +8,7 @@
 //     concurrent pivots (Table 6);
 //   * orthogonalization metric: D-weighted (default) vs plain, which yields
 //     Laplacian-eigenvector approximations (§4.5.1);
-//   * Gram-Schmidt kind: MGS (default) vs CGS (Table 7);
+//   * Gram-Schmidt kind: MGS (default) vs CGS (Table 7) vs blocked BCGS;
 //   * distance kernel: direction-optimizing parallel BFS (default), serial
 //     BFS, or Δ-stepping SSSP for weighted graphs (§3.3).
 #pragma once
@@ -106,6 +106,13 @@ struct HdeOptions {
   SsspEngine sssp_engine = SsspEngine::Auto;
   /// Drop tolerance for near-dependent distance vectors (Alg. 3 line 12).
   double drop_tol = 1e-3;
+  /// Kept-column block size for GramSchmidtKind::Blocked (CGS between
+  /// blocks of this many columns, MGS within a block).
+  int gs_block = 8;
+  /// Column-block width for the fused Laplacian SpMM in TripleProd:
+  /// 0 auto-tunes from the kept column count, 1 forces the per-column
+  /// reference kernel, 4/8/16 force that width (see linalg/laplacian_ops).
+  int spmm_block = 0;
   /// Number of layout axes p — 2 for screen layouts (paper default),
   /// 3 for 3-D layouts (§2.1 allows either).
   int num_axes = 2;

@@ -1,21 +1,80 @@
 #include "linalg/dense_matrix.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace parhde {
+namespace {
+
+/// Below this element count the OpenMP fork/join costs more than the fill;
+/// small matrices (eigen blocks, test fixtures) stay serial.
+constexpr std::size_t kParallelTouchThreshold = std::size_t{1} << 15;
+
+/// Allocates without value-initialization so the zero sweep below performs
+/// the *first* write to every page (the write that decides NUMA placement).
+std::unique_ptr<double[]> AllocateUninitialized(std::size_t count) {
+  if (count == 0) return nullptr;
+  return std::unique_ptr<double[]>(new double[count]);
+}
+
+void FirstTouchZero(double* data, std::size_t count) {
+  if (count < kParallelTouchThreshold) {
+    std::fill_n(data, count, 0.0);
+    return;
+  }
+  const auto n = static_cast<std::int64_t>(count);
+  // Static schedule: the same thread->range mapping the streaming kernels
+  // use, so each page lands on the node of the thread that will read it.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = 0.0;
+}
+
+void ParallelCopy(const double* src, double* dst, std::size_t count) {
+  if (count < kParallelTouchThreshold) {
+    std::copy_n(src, count, dst);
+    return;
+  }
+  const auto n = static_cast<std::int64_t>(count);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[static_cast<std::size_t>(i)] = src[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(AllocateUninitialized(rows * cols)) {
+  FirstTouchZero(data_.get(), rows_ * cols_);
+}
+
+DenseMatrix::DenseMatrix(const DenseMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      data_(AllocateUninitialized(other.rows_ * other.cols_)) {
+  ParallelCopy(other.data_.get(), data_.get(), rows_ * cols_);
+}
+
+DenseMatrix& DenseMatrix::operator=(const DenseMatrix& other) {
+  if (this == &other) return *this;
+  const std::size_t count = other.rows_ * other.cols_;
+  if (count != rows_ * cols_) data_ = AllocateUninitialized(count);
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  ParallelCopy(other.data_.get(), data_.get(), count);
+  return *this;
+}
 
 void DenseMatrix::KeepColumns(const std::vector<std::size_t>& keep) {
   std::size_t out = 0;
   for (const std::size_t c : keep) {
     assert(c < cols_ && c >= out);
     if (c != out) {
-      std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(c * rows_), rows_,
-                  data_.begin() + static_cast<std::ptrdiff_t>(out * rows_));
+      std::copy_n(data_.get() + c * rows_, rows_, data_.get() + out * rows_);
     }
     ++out;
   }
   cols_ = out;
-  data_.resize(rows_ * cols_);
 }
 
 }  // namespace parhde

@@ -1,10 +1,18 @@
 // Column-major dense matrix. The paper stores the distance matrix B in
 // column-major format (Alg. 3 line 2) so each BFS writes one contiguous
 // column and the Gram-Schmidt vector ops stream over contiguous memory.
+//
+// Storage is a manually managed buffer, zero-filled by a parallel
+// first-touch sweep instead of std::vector's serial value-initialization:
+// on NUMA machines the OS backs each page on the node of the thread that
+// first writes it, so a statically scheduled first touch places the
+// distance matrix's pages on the threads that later stream them (the
+// kernels all use static schedules over the same index space).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,9 +22,13 @@ class DenseMatrix {
  public:
   DenseMatrix() = default;
 
-  /// rows x cols matrix, zero-initialized.
-  DenseMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// rows x cols matrix, zero-initialized (parallel first touch).
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  DenseMatrix(const DenseMatrix& other);
+  DenseMatrix& operator=(const DenseMatrix& other);
+  DenseMatrix(DenseMatrix&& other) noexcept = default;
+  DenseMatrix& operator=(DenseMatrix&& other) noexcept = default;
 
   [[nodiscard]] std::size_t Rows() const { return rows_; }
   [[nodiscard]] std::size_t Cols() const { return cols_; }
@@ -33,24 +45,25 @@ class DenseMatrix {
   /// Contiguous column view.
   [[nodiscard]] std::span<double> Col(std::size_t c) {
     assert(c < cols_);
-    return {data_.data() + c * rows_, rows_};
+    return {data_.get() + c * rows_, rows_};
   }
   [[nodiscard]] std::span<const double> Col(std::size_t c) const {
     assert(c < cols_);
-    return {data_.data() + c * rows_, rows_};
+    return {data_.get() + c * rows_, rows_};
   }
 
-  [[nodiscard]] double* Data() { return data_.data(); }
-  [[nodiscard]] const double* Data() const { return data_.data(); }
+  [[nodiscard]] double* Data() { return data_.get(); }
+  [[nodiscard]] const double* Data() const { return data_.get(); }
 
   /// Removes columns whose index is not in `keep` (ascending), compacting
-  /// in place — used when Gram-Schmidt drops near-dependent vectors.
+  /// in place — used when Gram-Schmidt drops near-dependent vectors. The
+  /// buffer is not reallocated (page placement is preserved).
   void KeepColumns(const std::vector<std::size_t>& keep);
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::unique_ptr<double[]> data_;
 };
 
 }  // namespace parhde

@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -16,32 +17,56 @@ DenseMatrix TransposeTimes(const DenseMatrix& A, const DenseMatrix& B) {
   const std::size_t ka = A.Cols();
   const std::size_t kb = B.Cols();
   DenseMatrix Z(ka, kb);
+  if (ka == 0 || kb == 0) return Z;
+
+  // Column base pointers, hoisted once for the whole product.
+  std::vector<const double*> acols(ka), bcols(kb);
+  for (std::size_t a = 0; a < ka; ++a) acols[a] = A.Col(a).data();
+  for (std::size_t b = 0; b < kb; ++b) bcols[b] = B.Col(b).data();
 
   // Per-thread ka x kb accumulators over row blocks, merged serially:
-  // deterministic for a fixed thread count and free of atomics.
-  std::vector<std::vector<double>> partials;
+  // deterministic for a fixed thread count and free of atomics. One flat
+  // buffer with each thread's block padded out to whole cache lines — the
+  // nested-vector layout put different threads' tiles on shared lines.
+  const std::size_t tile = ka * kb;
+  // Pad each thread's tile so tiles are a full cache line apart regardless
+  // of the buffer's base alignment.
+  const std::size_t stride = ((tile + 7) & ~std::size_t{7}) + 8;
+  std::vector<double> partials;
+  int nthreads = 1;
 #pragma omp parallel
   {
     obs::ScopedRegionTimer obs_timer;
 #pragma omp single
-    partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
-                    std::vector<double>(ka * kb, 0.0));
-
-    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
+    {
+      nthreads = omp_get_num_threads();
+      partials.assign(static_cast<std::size_t>(nthreads) * stride, 0.0);
+    }
+    double* local =
+        partials.data() + static_cast<std::size_t>(omp_get_thread_num()) * stride;
+    // Gather row i of B once into a contiguous stack-side buffer, then
+    // stream it against every A column entry: the inner simd loop runs
+    // over brow (L1-resident) instead of kb strided column reads.
+    std::vector<double> brow(kb);
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
       const auto row = static_cast<std::size_t>(i);
+      double* browp = brow.data();
+      for (std::size_t b = 0; b < kb; ++b) browp[b] = bcols[b][row];
       for (std::size_t a = 0; a < ka; ++a) {
-        const double av = A.Col(a)[row];
+        const double av = acols[a][row];
         if (av == 0.0) continue;
+        double* la = local + a * kb;
+#pragma omp simd
         for (std::size_t b = 0; b < kb; ++b) {
-          local[a * kb + b] += av * B.Col(b)[row];
+          la[b] += av * browp[b];
         }
       }
     }
   }
 
-  for (const auto& local : partials) {
+  for (int t = 0; t < nthreads; ++t) {
+    const double* local = partials.data() + static_cast<std::size_t>(t) * stride;
     for (std::size_t a = 0; a < ka; ++a) {
       for (std::size_t b = 0; b < kb; ++b) {
         Z.At(a, b) += local[a * kb + b];
@@ -57,19 +82,48 @@ DenseMatrix TallTimesSmall(const DenseMatrix& A, const DenseMatrix& B) {
   const std::size_t k = A.Cols();
   const std::size_t p = B.Cols();
   DenseMatrix C(n, p);
+  if (k == 0 || p == 0) return C;
 
+  // Hoisted base pointers: B is column-major, so B.At(j, c) for fixed c is
+  // the contiguous k-vector bcols[c] — the naive loop re-resolved that
+  // indexing per (row, j) pair.
+  std::vector<const double*> acols(k), bcols(p);
+  std::vector<double*> ccols(p);
+  for (std::size_t j = 0; j < k; ++j) acols[j] = A.Col(j).data();
+  for (std::size_t c = 0; c < p; ++c) {
+    bcols[c] = B.Col(c).data();
+    ccols[c] = C.Col(c).data();
+  }
+
+  // Row-chunked axpy formulation: for each output column, accumulate
+  // bc[j] * A.Col(j) chunk by chunk. The C chunk stays in L1 across the k
+  // axpys and every stream is contiguous (vectorizable), where the naive
+  // per-row inner product strided across all k columns at once.
+  constexpr std::int64_t kChunk = 2048;
+  const auto nn = static_cast<std::int64_t>(n);
+  const std::int64_t nchunks = (nn + kChunk - 1) / kChunk;
 #pragma omp parallel
   {
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for schedule(static) nowait
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-      const auto row = static_cast<std::size_t>(i);
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::int64_t lo = chunk * kChunk;
+      const std::int64_t hi = std::min(nn, lo + kChunk);
       for (std::size_t c = 0; c < p; ++c) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < k; ++j) {
-          acc += A.Col(j)[row] * B.At(j, c);
+        const double* bc = bcols[c];
+        double* cc = ccols[c];
+        {
+          const double b0 = bc[0];
+          const double* aj = acols[0];
+#pragma omp simd
+          for (std::int64_t i = lo; i < hi; ++i) cc[i] = b0 * aj[i];
         }
-        C.Col(c)[row] = acc;
+        for (std::size_t j = 1; j < k; ++j) {
+          const double bj = bc[j];
+          const double* aj = acols[j];
+#pragma omp simd
+          for (std::int64_t i = lo; i < hi; ++i) cc[i] += bj * aj[i];
+        }
       }
     }
   }

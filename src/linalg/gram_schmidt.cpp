@@ -14,35 +14,85 @@
 namespace parhde {
 namespace {
 
-/// Projects column `target` against every kept column using MGS:
-/// sequentially subtract (s_j' D t / s_j' D s_j) s_j. Kept columns are
-/// already D-normalized, so the denominator is 1.
-void ProjectModified(DenseMatrix& S, std::span<const double> d,
-                     const std::vector<std::size_t>& kept, std::size_t target) {
+/// Reference MGS projection: for each kept column j, one full dot pass then
+/// one full axpy pass — 2k sweeps over the target. Kept columns are already
+/// D-normalized, so the denominator is 1. Kept as the equivalence baseline.
+void ProjectModifiedReference(DenseMatrix& S, std::span<const double> d,
+                              std::span<const std::size_t> kept,
+                              std::size_t target) {
   auto t = S.Col(target);
   for (const std::size_t j : kept) {
     const auto sj = S.Col(j);
     const double coeff = WeightedDot(sj, t, d);
     Axpy(-coeff, sj, t);
   }
+  obs::CounterAdd(obs::Counter::kDOrthoSweeps,
+                  2 * static_cast<std::int64_t>(kept.size()));
+}
+
+/// Pipelined MGS projection: the axpy against kept column j and the dot
+/// against column j+1 fuse into ONE sweep — each element of t is updated
+/// and immediately folded into the next coefficient while still in
+/// register. k+1 sweeps instead of 2k, with arithmetic per element
+/// identical to the reference (only the reduction grouping differs).
+void ProjectModifiedPipelined(DenseMatrix& S, std::span<const double> d,
+                              std::span<const std::size_t> kept,
+                              std::size_t target) {
+  const std::size_t k = kept.size();
+  if (k == 0) return;
+  auto t = S.Col(target);
+  double* tp = t.data();
+  const double* dp = d.data();
+  const auto n = static_cast<std::int64_t>(t.size());
+
+  // Priming sweep: the coefficient against the first kept column.
+  double coeff = WeightedDot(S.Col(kept[0]), t, d);
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    const double* sj = S.Col(kept[idx]).data();
+    if (idx + 1 < k) {
+      const double* sn = S.Col(kept[idx + 1]).data();
+      const double c = coeff;
+      double next = 0.0;
+#pragma omp parallel reduction(+ : next)
+      {
+        obs::ScopedRegionTimer obs_timer;
+#pragma omp for simd schedule(static) nowait
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double updated = tp[i] - c * sj[i];
+          tp[i] = updated;
+          next += sn[i] * dp[i] * updated;
+        }
+      }
+      coeff = next;
+    } else {
+      // Drain sweep: the last kept column has no successor to dot against.
+      Axpy(-coeff, S.Col(kept[idx]), t);
+    }
+  }
+  obs::CounterAdd(obs::Counter::kDOrthoSweeps,
+                  static_cast<std::int64_t>(k) + 1);
 }
 
 /// CGS: compute every projection coefficient against the original target
 /// vector in ONE fused pass (a Level-2 transposed mat-vec, coeffs = SᵀDt),
 /// then subtract them all in a second fused pass. Two sweeps over the data
 /// instead of MGS's 2k — the batching behind Table 7's 2.1x-2.8x CGS win,
-/// at the cost of classical-Gram-Schmidt stability.
+/// at the cost of classical-Gram-Schmidt stability. `against` may be any
+/// subset of already-normalized kept columns (the Blocked kind passes the
+/// closed-block prefix).
 void ProjectClassical(DenseMatrix& S, std::span<const double> d,
-                      const std::vector<std::size_t>& kept,
+                      std::span<const std::size_t> against,
                       std::size_t target) {
   auto t = S.Col(target);
-  const std::size_t k = kept.size();
+  const std::size_t k = against.size();
   if (k == 0) return;
   const auto n = static_cast<std::int64_t>(t.size());
 
   // Hoist column base pointers out of the hot loops.
   std::vector<const double*> cols(k);
-  for (std::size_t idx = 0; idx < k; ++idx) cols[idx] = S.Col(kept[idx]).data();
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    cols[idx] = S.Col(against[idx]).data();
+  }
 
   // Both passes are tiled: within a row chunk, each column is streamed
   // sequentially while the chunk of t/d stays in L1 — column-major layout
@@ -66,16 +116,19 @@ void ProjectClassical(DenseMatrix& S, std::span<const double> d,
     for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
       const std::int64_t lo = chunk * kChunk;
       const std::int64_t hi = std::min(n, lo + kChunk);
+      const double* tpc = t.data();
+      const double* dpc = d.data();
+      double* dtp = dt.data();
+#pragma omp simd
       for (std::int64_t i = lo; i < hi; ++i) {
-        dt[static_cast<std::size_t>(i - lo)] =
-            d[static_cast<std::size_t>(i)] * t[static_cast<std::size_t>(i)];
+        dtp[i - lo] = dpc[i] * tpc[i];
       }
       for (std::size_t idx = 0; idx < k; ++idx) {
         const double* col = cols[idx];
         double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
         for (std::int64_t i = lo; i < hi; ++i) {
-          acc += col[static_cast<std::size_t>(i)] *
-                 dt[static_cast<std::size_t>(i - lo)];
+          acc += col[i] * dtp[i - lo];
         }
         local[idx] += acc;
       }
@@ -93,16 +146,18 @@ void ProjectClassical(DenseMatrix& S, std::span<const double> d,
     for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
       const std::int64_t lo = chunk * kChunk;
       const std::int64_t hi = std::min(n, lo + kChunk);
+      double* tpc = t.data();
       for (std::size_t idx = 0; idx < k; ++idx) {
         const double c = coeffs[idx];
         const double* col = cols[idx];
+#pragma omp simd
         for (std::int64_t i = lo; i < hi; ++i) {
-          t[static_cast<std::size_t>(i)] -=
-              c * col[static_cast<std::size_t>(i)];
+          tpc[i] -= c * col[i];
         }
       }
     }
   }
+  obs::CounterAdd(obs::Counter::kDOrthoSweeps, 2);
 }
 
 }  // namespace
@@ -112,14 +167,31 @@ IncrementalDOrthogonalizer::IncrementalDOrthogonalizer(
     const GramSchmidtOptions& options)
     : S_(S), d_(d), options_(options) {
   assert(S.Rows() == d.size());
+  options_.block_width = std::max<std::size_t>(1, options_.block_width);
 }
 
 bool IncrementalDOrthogonalizer::Push(std::size_t c) {
   assert(kept_.empty() || c > kept_.back());
-  if (options_.kind == GramSchmidtKind::Modified) {
-    ProjectModified(S_, d_, kept_, c);
-  } else {
-    ProjectClassical(S_, d_, kept_, c);
+  const std::span<const std::size_t> kept(kept_);
+  switch (options_.kind) {
+    case GramSchmidtKind::Modified:
+      if (options_.reference_mgs) {
+        ProjectModifiedReference(S_, d_, kept, c);
+      } else {
+        ProjectModifiedPipelined(S_, d_, kept, c);
+      }
+      break;
+    case GramSchmidtKind::Classical:
+      ProjectClassical(S_, d_, kept, c);
+      break;
+    case GramSchmidtKind::Blocked:
+      // Closed blocks via the batched Level-2 path, the open block via the
+      // pipelined MGS stage (BCGS: CGS between blocks, MGS within).
+      if (finalized_ > 0) {
+        ProjectClassical(S_, d_, kept.first(finalized_), c);
+      }
+      ProjectModifiedPipelined(S_, d_, kept.subspan(finalized_), c);
+      break;
   }
   const double norm = WeightedNorm2(S_.Col(c), d_);
   if (norm <= options_.drop_tol) {
@@ -128,6 +200,10 @@ bool IncrementalDOrthogonalizer::Push(std::size_t c) {
   }
   Scale(S_.Col(c), 1.0 / norm);
   kept_.push_back(c);
+  if (options_.kind == GramSchmidtKind::Blocked &&
+      kept_.size() - finalized_ >= options_.block_width) {
+    finalized_ = kept_.size();
+  }
   return true;
 }
 
@@ -152,13 +228,34 @@ GramSchmidtResult DOrthogonalize(DenseMatrix& S, std::span<const double> d,
 }
 
 double OrthonormalityResidual(const DenseMatrix& S, std::span<const double> d) {
+  const std::size_t k = S.Cols();
+  const auto n = static_cast<std::int64_t>(S.Rows());
+  if (k == 0) return 0.0;
+
+  // Flatten the upper triangle into a pair list and parallelize over it:
+  // at s=64 that is 2080 independent O(n) dots — embarrassingly parallel,
+  // where the serial triple loop dominated test and bench runtime.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(k * (k + 1) / 2);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) pairs.emplace_back(i, j);
+  }
+  const auto npairs = static_cast<std::int64_t>(pairs.size());
+  const double* dp = d.data();
+
   double worst = 0.0;
-  for (std::size_t i = 0; i < S.Cols(); ++i) {
-    for (std::size_t j = i; j < S.Cols(); ++j) {
-      const double dot = WeightedDot(S.Col(i), S.Col(j), d);
-      const double expected = (i == j) ? 1.0 : 0.0;
-      worst = std::max(worst, std::abs(dot - expected));
+#pragma omp parallel for reduction(max : worst) schedule(dynamic, 8)
+  for (std::int64_t p = 0; p < npairs; ++p) {
+    const auto [i, j] = pairs[static_cast<std::size_t>(p)];
+    const double* a = S.Col(i).data();
+    const double* b = S.Col(j).data();
+    double dot = 0.0;
+#pragma omp simd reduction(+ : dot)
+    for (std::int64_t r = 0; r < n; ++r) {
+      dot += a[r] * dp[r] * b[r];
     }
+    const double expected = (i == j) ? 1.0 : 0.0;
+    worst = std::max(worst, std::abs(dot - expected));
   }
   return worst;
 }

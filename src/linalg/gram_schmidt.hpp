@@ -1,9 +1,21 @@
 // D-weighted Gram-Schmidt orthogonalization — the DOrtho phase (§3).
 //
 // Given columns s_0..s_k of S (s_0 is the normalized unit vector), produce
-// vectors satisfying s_i' D s_j = delta_ij. The default is Modified
-// Gram-Schmidt with Level-1 kernels; the Classical variant batches the
-// projection coefficients (Level-2 style) and is what Table 7 benchmarks.
+// vectors satisfying s_i' D s_j = delta_ij. Three kinds:
+//   * Modified — the paper default. The projection loop is *pipelined*:
+//     the axpy against kept column j and the dot against column j+1 fuse
+//     into one sweep over the target, so pushing against k kept columns
+//     costs k+1 passes instead of the textbook 2k (set
+//     GramSchmidtOptions::reference_mgs to force the 2k-pass loop — the
+//     equivalence baseline for tests and benches).
+//   * Classical — Table 7's alternative: all k coefficients batched into
+//     one fused Level-2 pass, then subtracted in a second (2 passes total,
+//     classical-GS stability).
+//   * Blocked — CGS between blocks of `block_width` kept columns, MGS
+//     within a block: approaches CGS throughput (most projections hit the
+//     batched path) while the MGS inner stage keeps the current block
+//     orthonormal to working precision, which bounds the error the
+//     between-block CGS stage can commit (BCGS stability argument).
 // Near-dependent columns (norm <= drop_tol after projection) are dropped,
 // matching Alg. 3 lines 12-13.
 #pragma once
@@ -17,8 +29,9 @@
 namespace parhde {
 
 enum class GramSchmidtKind {
-  Modified,   // paper default: MGS, one projection at a time
+  Modified,   // paper default: MGS, one (pipelined) projection at a time
   Classical,  // Table 7 alternative: CGS, coefficients batched per column
+  Blocked,    // CGS between blocks, MGS within a block
 };
 
 struct GramSchmidtOptions {
@@ -26,6 +39,12 @@ struct GramSchmidtOptions {
   /// Columns with post-projection D-norm <= drop_tol are discarded
   /// (paper uses 1e-3).
   double drop_tol = 1e-3;
+  /// Kept-column block size for GramSchmidtKind::Blocked (clamped to >= 1).
+  std::size_t block_width = 8;
+  /// Forces the unpipelined 2k-pass MGS projection loop for
+  /// GramSchmidtKind::Modified — the reference implementation the
+  /// kernel-equivalence tests and bench_dortho compare against.
+  bool reference_mgs = false;
 };
 
 struct GramSchmidtResult {
@@ -47,9 +66,9 @@ GramSchmidtResult DOrthogonalize(DenseMatrix& S, std::span<const double> d,
 /// Incremental D-orthogonalization: columns are pushed one at a time, which
 /// is what lets ParHDE *couple* the BFS and DOrtho phases (§4.4: "the
 /// default [MGS] procedure can also be executed with a coupled BFS and
-/// D-orthogonalization"; CGS cannot, since it needs all columns up front —
-/// Push still accepts it for completeness, projecting against the accepted
-/// prefix).
+/// D-orthogonalization"). Modified and Blocked work incrementally by
+/// construction; Classical cannot batch ahead of time, so Push projects
+/// against the accepted prefix.
 ///
 /// The referenced matrix and metric must outlive the orthogonalizer.
 /// Call Finalize() once to compact accepted columns to the front of S.
@@ -76,10 +95,14 @@ class IncrementalDOrthogonalizer {
   GramSchmidtOptions options_;
   std::vector<std::size_t> kept_;
   std::size_t dropped_ = 0;
+  /// Blocked kind: kept columns in closed blocks (projected against via the
+  /// batched CGS stage); kept_[finalized_..] is the open block (MGS stage).
+  std::size_t finalized_ = 0;
 };
 
 /// Max |s_i' D s_j - delta_ij| over all column pairs — the orthonormality
 /// residual, used by tests and the EXPERIMENTS verification pass.
+/// Parallelized over the upper-triangle pairs (it is O(s²·n)).
 double OrthonormalityResidual(const DenseMatrix& S, std::span<const double> d);
 
 }  // namespace parhde

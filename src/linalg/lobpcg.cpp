@@ -60,7 +60,7 @@ LobpcgResult Lobpcg(const CsrGraph& graph, const LobpcgOptions& options,
     result.iterations = it;
 
     // Rayleigh quotients and residuals of the current block.
-    LaplacianTimesMatrixFused(graph, X, LX);
+    LaplacianTimesMatrix(graph, X, LX);
     DenseMatrix R(n, k);
     bool all_converged = true;
     for (std::size_t c = 0; c < k; ++c) {
@@ -123,7 +123,7 @@ LobpcgResult Lobpcg(const CsrGraph& graph, const LobpcgOptions& options,
 
     // Rayleigh-Ritz: A = Vᵀ L V (V is D-orthonormal so B = I).
     DenseMatrix LV(n, V.Cols());
-    LaplacianTimesMatrixFused(graph, V, LV);
+    LaplacianTimesMatrix(graph, V, LV);
     const DenseMatrix A = TransposeTimes(V, LV);
     const EigenDecomposition eig = SymmetricEigen(A);
     const DenseMatrix C = SmallestEigenvectors(eig, k);

@@ -72,8 +72,13 @@ const char* CounterName(Counter c) {
     case Counter::kSsspSequentialSearches: return "sssp.sequential_searches";
     case Counter::kDOrthoKeptColumns: return "dortho.kept_columns";
     case Counter::kDOrthoDroppedColumns: return "dortho.dropped_columns";
+    case Counter::kDOrthoSweeps: return "dortho.projection_sweeps";
     case Counter::kEigenJacobiSweeps: return "eigen.jacobi_sweeps";
     case Counter::kEigenPowerFallbacks: return "eigen.power_fallbacks";
+    case Counter::kSpmmCalls: return "spmm.calls";
+    case Counter::kSpmmEdgeSweeps: return "spmm.edge_sweeps";
+    case Counter::kSpmmBlockedColumns: return "spmm.blocked_columns";
+    case Counter::kSpmmBlockWidthSum: return "spmm.block_width_sum";
     case Counter::kCounterCount: break;
   }
   return "unknown";

@@ -47,8 +47,13 @@ enum class Counter : int {
   kSsspSequentialSearches,  // sequential Dijkstras (concurrent driver)
   kDOrthoKeptColumns,     // columns surviving D-orthogonalization
   kDOrthoDroppedColumns,  // columns dropped for near-dependence
+  kDOrthoSweeps,          // n-length passes over projection targets
   kEigenJacobiSweeps,     // cyclic Jacobi sweeps until convergence
   kEigenPowerFallbacks,   // times the power-iteration fallback ran
+  kSpmmCalls,             // fused L*S products (per-column or blocked)
+  kSpmmEdgeSweeps,        // full CSR traversals across those products
+  kSpmmBlockedColumns,    // columns processed by the blocked kernel
+  kSpmmBlockWidthSum,     // sum of chosen block widths (avg = sum/calls)
   kCounterCount,
 };
 

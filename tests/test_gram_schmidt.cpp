@@ -136,7 +136,8 @@ TEST_P(GramSchmidtKindSweep, BothKindsSpanSameSubspace) {
 
 INSTANTIATE_TEST_SUITE_P(Kinds, GramSchmidtKindSweep,
                          ::testing::Values(GramSchmidtKind::Modified,
-                                           GramSchmidtKind::Classical));
+                                           GramSchmidtKind::Classical,
+                                           GramSchmidtKind::Blocked));
 
 }  // namespace
 }  // namespace parhde

@@ -5,7 +5,11 @@
 //             [--n/--scale/--rows/--cols/--ef/--seed] --out=<file.mtx>
 //   stats     --in=<file.mtx|file.el>   (sizes, degrees, diameter, gaps)
 //   layout    --in=<...> [--algo=parhde|phde|pivotmds|prior|multilevel]
-//             [--s=10] [--axes=2] [--pivots=kcenters|random] [--gs=mgs|cgs]
+//             [--s=10] [--axes=2] [--pivots=kcenters|random]
+//             [--dortho=mgs|cgs|blocked] [--gs-block=8]  (orthogonalizer;
+//             --gs=mgs|cgs remains as the historical spelling)
+//             [--spmm-block=0|1|4|8|16]  (TripleProd SpMM column block;
+//             0 auto-tunes, 1 forces the per-column reference kernel)
 //             [--metric=degree|unit] [--basis=b|s] [--coupled] [--seed=1]
 //             [--kernel=parbfs|serialbfs|msbfs|sssp] [--delta=<w>]
 //             [--sssp-engine=auto|parallel|concurrent]
@@ -187,9 +191,29 @@ HdeOptions OptionsFromFlags(const ArgParser& args) {
   if (args.GetString("pivots", "kcenters") == "random") {
     options.pivots = PivotStrategy::Random;
   }
-  if (args.GetString("gs", "mgs") == "cgs") {
+  // --dortho is the full orthogonalizer selector; --gs remains as the
+  // historical spelling for the first two kinds.
+  const std::string gs_default =
+      args.GetChoice("gs", {"mgs", "cgs"}, "mgs");
+  const std::string dortho =
+      args.GetChoice("dortho", {"mgs", "cgs", "blocked"}, gs_default);
+  if (dortho == "cgs") {
     options.gs_kind = GramSchmidtKind::Classical;
+  } else if (dortho == "blocked") {
+    options.gs_kind = GramSchmidtKind::Blocked;
   }
+  options.gs_block = static_cast<int>(args.GetInt("gs-block", 8));
+  if (options.gs_block < 1) {
+    throw ParhdeError(ErrorCode::kInvalidValue, "cli",
+                      "--gs-block must be a positive integer");
+  }
+  const auto spmm_block = static_cast<int>(args.GetInt("spmm-block", 0));
+  if (spmm_block != 0 && spmm_block != 1 && spmm_block != 4 &&
+      spmm_block != 8 && spmm_block != 16) {
+    throw ParhdeError(ErrorCode::kInvalidValue, "cli",
+                      "--spmm-block must be one of 0 (auto), 1, 4, 8, 16");
+  }
+  options.spmm_block = spmm_block;
   if (args.GetString("metric", "degree") == "unit") {
     options.metric = OrthoMetric::Unweighted;
   }
@@ -325,6 +349,11 @@ int CmdLayout(const ArgParser& args) {
       {"axes", std::to_string(options.num_axes)},
       {"pivots", args.GetString("pivots", "kcenters")},
       {"gs", args.GetString("gs", "mgs")},
+      {"dortho", options.gs_kind == GramSchmidtKind::Blocked    ? "blocked"
+                 : options.gs_kind == GramSchmidtKind::Classical ? "cgs"
+                                                                 : "mgs"},
+      {"gs_block", std::to_string(options.gs_block)},
+      {"spmm_block", std::to_string(options.spmm_block)},
       {"metric", args.GetString("metric", "degree")},
       {"basis", args.GetString("basis", "b")},
       {"coupled", args.Has("coupled") ? "true" : "false"},

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <limits>
 
 #include "bfs/frontier.hpp"
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace parhde {
 namespace {
@@ -183,6 +186,10 @@ void RunBatch(const CsrGraph& graph, std::span<const vid_t> sources,
   obs::CounterAdd(obs::Counter::kMsBfsBatches, 1);
   obs::CounterAdd(obs::Counter::kMsBfsLanesActive, lanes);
   while (frontier_count > 0) {
+    // Sequential level loop (the steps fork internally): throwing here is
+    // OpenMP-safe, and per-level checks bound detection by one level.
+    resilience::CheckDeadline("BFS");
+    PARHDE_FAULT_STALL("msbfs:stall");
     obs::SeriesAppend(obs::Series::kMsBfsFrontierSizes, frontier_count);
     const dist_t next_level = level + 1;
     if (options.mode == MsBfsOptions::Mode::Auto) {
@@ -287,6 +294,9 @@ void MultiSourceBfsToColumns(const CsrGraph& graph,
                static_cast<std::size_t>(v)] = static_cast<double>(d);
         };
       });
+  if (PARHDE_FAULT_ONESHOT("msbfs:nan")) {
+    B.Col(col_offset)[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   if (stats) *stats = local;
 }
 

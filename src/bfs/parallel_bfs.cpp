@@ -7,6 +7,8 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace parhde {
 namespace {
@@ -141,6 +143,11 @@ BfsResult ParallelBfs(const CsrGraph& graph, vid_t source,
   dist_t level = 0;
 
   while (frontier_size > 0) {
+    // Sequential context (the parallel regions live inside the steps), so
+    // an expired deadline may throw directly. One check per level bounds
+    // detection latency by the slowest level.
+    resilience::CheckDeadline("BFS");
+    PARHDE_FAULT_STALL("bfs:stall");
     frontier_total += frontier_size;
     obs::SeriesAppend(obs::Series::kBfsFrontierSizes, frontier_size);
     const dist_t next_level = level + 1;

@@ -6,11 +6,13 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <limits>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "resilience/fault_injection.hpp"
 #include "util/status.hpp"
 
 namespace parhde {
@@ -262,9 +264,38 @@ MatrixMarketData ReadMatrixMarket(std::istream& in) {
   return data;
 }
 
+#if PARHDE_FAULT_INJECTION
+namespace {
+// io:short-read / io:corrupt-header: slurp the opened file, damage the
+// bytes in memory, and hand the parser an in-memory stream — exercising the
+// same typed error paths a truncated or garbled on-disk file would.
+std::optional<std::istringstream> MaybeDamageStream(std::istream& in) {
+  const bool short_read = resilience::FaultArm("io:short-read");
+  const bool corrupt = resilience::FaultArm("io:corrupt-header");
+  if (!short_read && !corrupt) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (short_read) {
+    const auto keep =
+        static_cast<std::size_t>(resilience::FaultParam("io:short-read", 64));
+    if (bytes.size() > keep) bytes.resize(keep);
+  }
+  if (corrupt) {
+    for (std::size_t i = 0; i < bytes.size() && i < 8; ++i) {
+      bytes[i] = static_cast<char>(bytes[i] ^ 0x5a);
+    }
+  }
+  return std::istringstream(std::move(bytes));
+}
+}  // namespace
+#endif
+
 MatrixMarketData ReadMatrixMarketFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) Fail(ErrorCode::kIo, "cannot open " + path);
+#if PARHDE_FAULT_INJECTION
+  if (auto damaged = MaybeDamageStream(in)) return ReadMatrixMarket(*damaged);
+#endif
   return ReadMatrixMarket(in);
 }
 
@@ -336,6 +367,9 @@ MatrixMarketData ReadEdgeList(std::istream& in) {
 MatrixMarketData ReadEdgeListFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) Fail(ErrorCode::kIo, "cannot open " + path);
+#if PARHDE_FAULT_INJECTION
+  if (auto damaged = MaybeDamageStream(in)) return ReadEdgeList(*damaged);
+#endif
   return ReadEdgeList(in);
 }
 
@@ -370,6 +404,9 @@ void WriteBinaryFile(const CsrGraph& graph, const std::string& path) {
 CsrGraph ReadBinaryFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) Fail(ErrorCode::kIo, "cannot open " + path);
+#if PARHDE_FAULT_INJECTION
+  if (auto damaged = MaybeDamageStream(in)) return ReadBinary(*damaged);
+#endif
   return ReadBinary(in);
 }
 

@@ -13,6 +13,7 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/recovery.hpp"
 #include "util/parallel.hpp"
 #include "util/status.hpp"
 
@@ -111,56 +112,88 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
                        (options.gs_kind == GramSchmidtKind::Modified ||
                         options.gs_kind == GramSchmidtKind::Blocked);
 
-  if (coupled) {
-    // Hoist the weighted per-phase invariants once for all s searches
-    // (mirrors RunKCentersPhase; see sssp/delta_stepping.hpp).
-    weight_t sssp_maxw = -1.0;
-    if (options.kernel == DistanceKernel::DeltaStepping) {
-      if (options.sssp.delta <= 0.0) options.sssp.delta = DefaultDelta(graph);
-      sssp_maxw = MaxEdgeWeight(graph);
-    }
-    IncrementalDOrthogonalizer ortho(S, metric, gs_opts);
-    {
-      ScopedPhase scoped(result.timings, phase::kDOrtho);
-      obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
-      Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
-      ortho.Push(0);
-    }
-    std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
-    vid_t source = ResolveStartVertex(graph, options);
-    for (int i = 0; i < s; ++i) {
-      result.pivots.push_back(source);
-      {
-        ScopedPhase scoped(result.timings, phase::kBfs);
-        obs::ThreadPhaseContext obs_phase(phase::kBfs);
-        const std::vector<dist_t> hops =
-            RunSingleSearch(graph, source, options,
-                            B.Col(static_cast<std::size_t>(i)),
-                            &result.bfs_stats, sssp_maxw);
-        WallTimer other;
-        MinInto(to_sources, hops);
-        source = ArgmaxFiniteDistance(to_sources);
-        if (source == kInvalidVid) source = result.pivots.back();
-        const double other_seconds = other.Seconds();
-        result.timings.Add(phase::kBfsOther, other_seconds);
-        result.timings.Add(phase::kBfs, -other_seconds);
+  bool use_coupled = coupled;
+  std::string coupled_trigger;  // set when the coupled schedule fell back
+  if (use_coupled) {
+    WallTimer coupled_timer;
+    try {
+      // Hoist the weighted per-phase invariants once for all s searches
+      // (mirrors RunKCentersPhase; see sssp/delta_stepping.hpp).
+      weight_t sssp_maxw = -1.0;
+      if (options.kernel == DistanceKernel::DeltaStepping) {
+        if (options.sssp.delta <= 0.0) options.sssp.delta = DefaultDelta(graph);
+        sssp_maxw = MaxEdgeWeight(graph);
       }
+      IncrementalDOrthogonalizer ortho(S, metric, gs_opts);
       {
         ScopedPhase scoped(result.timings, phase::kDOrtho);
         obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
-        PARHDE_TRACE_SPAN("dortho.push");
-        Copy(B.Col(static_cast<std::size_t>(i)),
-             S.Col(static_cast<std::size_t>(i) + 1));
-        ortho.Push(static_cast<std::size_t>(i) + 1);
+        Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
+        ortho.Push(0);
       }
+      std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
+      vid_t source = ResolveStartVertex(graph, options);
+      for (int i = 0; i < s; ++i) {
+        result.pivots.push_back(source);
+        {
+          ScopedPhase scoped(result.timings, phase::kBfs);
+          obs::ThreadPhaseContext obs_phase(phase::kBfs);
+          const std::vector<dist_t> hops =
+              RunSingleSearch(graph, source, options,
+                              B.Col(static_cast<std::size_t>(i)),
+                              &result.bfs_stats, sssp_maxw);
+          WallTimer other;
+          MinInto(to_sources, hops);
+          source = ArgmaxFiniteDistance(to_sources);
+          if (source == kInvalidVid) source = result.pivots.back();
+          const double other_seconds = other.Seconds();
+          result.timings.Add(phase::kBfsOther, other_seconds);
+          result.timings.Add(phase::kBfs, -other_seconds);
+        }
+        {
+          ScopedPhase scoped(result.timings, phase::kDOrtho);
+          obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
+          PARHDE_TRACE_SPAN("dortho.push");
+          Copy(B.Col(static_cast<std::size_t>(i)),
+               S.Col(static_cast<std::size_t>(i) + 1));
+          ortho.Push(static_cast<std::size_t>(i) + 1);
+        }
+      }
+      gs = ortho.Finalize();
+      // A rank collapse can only leak NaN/Inf through a division by a
+      // vanishing norm; surface it inside the try so the fallback absorbs
+      // it rather than corrupt coordinates three phases later.
+      CheckMatrixFinite(S, phase::kDOrtho, "orthogonalized subspace");
+    } catch (const ParhdeError& e) {
+      // The coupled schedule has no per-phase ladder of its own (its two
+      // phases interleave); its downgrade is the decoupled pipeline below,
+      // whose distance and DOrtho ladders then apply in full.
+      if (options.resilience.recovery != resilience::RecoveryPolicy::Ladder ||
+          !resilience::IsRetryable(e.code())) {
+        throw;
+      }
+      resilience::RecordRecoveryAttempt({"BFS+DOrtho", "coupled",
+                                         ErrorCodeName(e.code()),
+                                         coupled_timer.Seconds(), false});
+      if (resilience::DeadlinePoll()) throw;  // run budget already spent
+      obs::CounterAdd(obs::Counter::kRecoveryRetries, 1);
+      coupled_trigger = ErrorCodeName(e.code());
+      use_coupled = false;
+      result.pivots.clear();
+      result.bfs_stats = BfsStats{};
+      S = DenseMatrix(static_cast<std::size_t>(n),
+                      static_cast<std::size_t>(s) + 1);
+      gs = GramSchmidtResult{};
     }
-    gs = ortho.Finalize();
-  } else {
+  }
+
+  if (!use_coupled) {
+    WallTimer decoupled_timer;
     // ---- BFS phase: s traversals, interleaved with pivot selection. ----
     DistancePhase distances = [&] {
       obs::ThreadPhaseContext obs_phase(phase::kBfs);
       PARHDE_TRACE_SPAN("parhde.bfs_phase");
-      return RunDistancePhase(graph, options);
+      return RunDistancePhaseWithRecovery(graph, options);
     }();
     result.pivots = distances.pivots;
     result.bfs_stats = distances.stats;
@@ -168,22 +201,61 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
     result.timings.Add(phase::kBfsOther, distances.other_seconds);
     B = std::move(distances.B);
 
-    // ---- DOrtho phase: build S = [s0 | b1 .. bs] and D-orthogonalize. ----
+    // ---- DOrtho phase: build S = [s0 | b1 .. bs] and D-orthogonalize,
+    // under the GS downgrade ladder (blocked/classical -> pipelined MGS ->
+    // reference MGS). Each attempt rebuilds S from the retained B: a failed
+    // attempt leaves S scaled, compacted, or poisoned in place.
     ScopedPhase scoped(result.timings, phase::kDOrtho);
     obs::ThreadPhaseContext obs_phase(phase::kDOrtho);
     PARHDE_TRACE_SPAN("parhde.dortho_phase");
-    Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
-    for (int i = 0; i < s; ++i) {
-      Copy(B.Col(static_cast<std::size_t>(i)),
-           S.Col(static_cast<std::size_t>(i) + 1));
+    std::vector<const char*> gs_rungs;
+    std::vector<GramSchmidtOptions> gs_configs;
+    {
+      GramSchmidtOptions cfg = gs_opts;
+      switch (gs_opts.kind) {
+        case GramSchmidtKind::Blocked:
+          gs_rungs.push_back("bcgs");
+          gs_configs.push_back(cfg);
+          break;
+        case GramSchmidtKind::Classical:
+          gs_rungs.push_back("cgs");
+          gs_configs.push_back(cfg);
+          break;
+        case GramSchmidtKind::Modified:
+          break;
+      }
+      cfg.kind = GramSchmidtKind::Modified;
+      cfg.reference_mgs = false;
+      if (gs_opts.kind != GramSchmidtKind::Modified || !gs_opts.reference_mgs) {
+        gs_rungs.push_back("mgs");
+        gs_configs.push_back(cfg);
+      }
+      cfg.reference_mgs = true;
+      gs_rungs.push_back("mgs-reference");
+      gs_configs.push_back(cfg);
     }
-    gs = DOrthogonalize(S, metric, gs_opts);
+    gs = resilience::RunLadder(
+        phase::kDOrtho, options.resilience,
+        options.resilience.dortho_budget_seconds, gs_rungs.data(),
+        gs_rungs.size(), [&](std::size_t rung) {
+          S = DenseMatrix(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(s) + 1);
+          Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
+          for (int i = 0; i < s; ++i) {
+            Copy(B.Col(static_cast<std::size_t>(i)),
+                 S.Col(static_cast<std::size_t>(i) + 1));
+          }
+          GramSchmidtResult attempt_gs =
+              DOrthogonalize(S, metric, gs_configs[rung]);
+          CheckMatrixFinite(S, phase::kDOrtho, "orthogonalized subspace");
+          return attempt_gs;
+        });
+    if (!coupled_trigger.empty()) {
+      resilience::RecordRecoveryAttempt({"BFS+DOrtho", "decoupled",
+                                         coupled_trigger,
+                                         decoupled_timer.Seconds(), true});
+    }
   }
-
-  // A drop-tolerance failure (rank collapse) can only leak NaN/Inf through
-  // a division by a vanishing norm; surface it here with the phase named
-  // rather than as corrupt coordinates three phases later.
-  CheckMatrixFinite(S, phase::kDOrtho, "orthogonalized subspace");
 
   // Drop the degenerate 0th column (Alg. 3 line 16). It always survives
   // orthogonalization (it is the first column), so it is compacted to the
@@ -228,19 +300,8 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
     obs::ThreadPhaseContext obs_phase(phase::kEigensolve);
     PARHDE_TRACE_SPAN("parhde.eigensolve");
-    EigenDecomposition eig = SymmetricEigen(Z);
-    // Jacobi converges in a handful of sweeps for every sane Z; if it ran
-    // out of budget, retry with the shift-and-deflate power iteration
-    // before giving up with a typed error.
-    if (!eig.converged) {
-      obs::CounterAdd(obs::Counter::kEigenPowerFallbacks, 1);
-      eig = PowerIterationEigen(Z);
-    }
-    if (!eig.converged) {
-      throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
-                        "projected eigensolve failed to converge (Jacobi "
-                        "and power-iteration fallback)");
-    }
+    EigenDecomposition eig =
+        resilience::SolveSmallEigen(Z, phase::kEigensolve, options.resilience);
     // With S D-orthonormal, minimizing the Hall energy in the subspace means
     // taking the *smallest* eigenvalues of Z (the paper's "top two" refers
     // to the reversed ordering of the transition matrix, §2.1).

@@ -20,6 +20,7 @@
 #include "graph/csr_graph.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/gram_schmidt.hpp"
+#include "resilience/recovery_log.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "util/timer.hpp"
 
@@ -55,6 +56,9 @@ enum class DistanceKernel {
   MultiSourceBfs,  // bit-packed 64-wide batched BFS; random pivots only —
                    // k-centers interleaves selection with traversal, so it
                    // falls back to ParallelBfs there
+  Dijkstra,        // serial binary-heap Dijkstra per pivot — the recovery
+                   // ladder's last weighted rung: slowest, but free of the
+                   // bucket arithmetic a poisoned weight can derail
 };
 
 /// How the weighted (Δ-stepping) distance phase schedules its s searches
@@ -123,6 +127,12 @@ struct HdeOptions {
   /// configurations silently use the decoupled pipeline. Results are
   /// identical either way — only the execution schedule changes.
   bool coupled_bfs_ortho = false;
+  /// Permits the automatic ParallelBfs -> MultiSourceBfs upgrade in the
+  /// random-pivot phase. The distance-phase recovery ladder clears it on a
+  /// downgraded retry so the fallback cannot re-select the failed engine.
+  bool msbfs_auto = true;
+  /// Recovery policy and per-phase deadline budgets (resilience layer).
+  resilience::ResilienceOptions resilience;
 };
 
 /// A 2-D layout: coordinate k of vertex i is (x[i], y[i]).

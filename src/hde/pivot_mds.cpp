@@ -9,6 +9,7 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/recovery.hpp"
 #include "util/status.hpp"
 
 namespace parhde {
@@ -28,7 +29,7 @@ HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
   DistancePhase distances = [&] {
     obs::ThreadPhaseContext obs_phase(phase::kBfs);
     PARHDE_TRACE_SPAN("pivot_mds.bfs_phase");
-    return RunDistancePhase(graph, options);
+    return RunDistancePhaseWithRecovery(graph, options);
   }();
   result.pivots = distances.pivots;
   result.bfs_stats = distances.stats;
@@ -97,16 +98,8 @@ HdeResult RunPivotMds(const CsrGraph& graph, const HdeOptions& options_in) {
     ScopedPhase scoped(result.timings, phase::kEigensolve);
     obs::ThreadPhaseContext obs_phase(phase::kEigensolve);
     PARHDE_TRACE_SPAN("pivot_mds.eigensolve");
-    EigenDecomposition eig = SymmetricEigen(Z);
-    if (!eig.converged) {
-      obs::CounterAdd(obs::Counter::kEigenPowerFallbacks, 1);
-      eig = PowerIterationEigen(Z);
-    }
-    if (!eig.converged) {
-      throw ParhdeError(ErrorCode::kNoConvergence, phase::kEigensolve,
-                        "double-centered eigensolve failed to converge "
-                        "(Jacobi and power-iteration fallback)");
-    }
+    const EigenDecomposition eig =
+        resilience::SolveSmallEigen(Z, phase::kEigensolve, options.resilience);
     const std::size_t axes = std::min<std::size_t>(2, eig.values.size());
     Y = LargestEigenvectors(eig, axes);
     for (std::size_t a = 0; a < axes; ++a) {

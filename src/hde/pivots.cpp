@@ -10,6 +10,7 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/recovery.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/multi_sssp.hpp"
@@ -55,9 +56,20 @@ std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
       obs::CounterAdd(obs::Counter::kSerialBfsSearches, 1);
       break;
     }
-    case DistanceKernel::DeltaStepping: {
-      SsspResult result = DeltaStepping(graph, source, options.sssp);
-      if (stats) stats->edges_examined += result.stats.relaxations;
+    case DistanceKernel::DeltaStepping:
+    case DistanceKernel::Dijkstra: {
+      std::vector<weight_t> wdist;
+      if (options.kernel == DistanceKernel::DeltaStepping) {
+        SsspResult result = DeltaStepping(graph, source, options.sssp);
+        if (stats) stats->edges_examined += result.stats.relaxations;
+        wdist = std::move(result.dist);
+      } else {
+        // The ladder's terminal weighted rung: serial, heap-based, immune
+        // to the bucket arithmetic a pathological Δ/weight ratio derails.
+        DijkstraStats ds;
+        wdist = Dijkstra(graph, source, &ds);
+        if (stats) stats->edges_examined += ds.edges_scanned;
+      }
       // Unreachable sentinel: strictly above every finite distance of this
       // search (the hop sentinel n sorts *below* reachable vertices once
       // weights exceed 1, corrupting pivot selection and the B columns).
@@ -66,14 +78,14 @@ std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
       weight_t max_finite = 0.0;
 #pragma omp parallel for schedule(static) reduction(max : max_finite)
       for (vid_t v = 0; v < n; ++v) {
-        const weight_t d = result.dist[static_cast<std::size_t>(v)];
+        const weight_t d = wdist[static_cast<std::size_t>(v)];
         if (std::isfinite(d)) max_finite = std::max(max_finite, d);
       }
       const weight_t sentinel =
           WeightedUnreachableSentinel(max_finite, maxw, n);
 #pragma omp parallel for schedule(static)
       for (vid_t v = 0; v < n; ++v) {
-        const weight_t d = result.dist[static_cast<std::size_t>(v)];
+        const weight_t d = wdist[static_cast<std::size_t>(v)];
         column[static_cast<std::size_t>(v)] =
             std::isfinite(d) ? d : sentinel;
       }
@@ -84,7 +96,7 @@ std::vector<dist_t> RunSingleSearch(const CsrGraph& graph, vid_t source,
       hops.resize(static_cast<std::size_t>(n));
 #pragma omp parallel for schedule(static)
       for (vid_t v = 0; v < n; ++v) {
-        const weight_t d = result.dist[static_cast<std::size_t>(v)];
+        const weight_t d = wdist[static_cast<std::size_t>(v)];
         hops[static_cast<std::size_t>(v)] =
             !std::isfinite(d)                         ? kInfDist
             : d >= static_cast<weight_t>(kInfDist - 1) ? kInfDist - 1
@@ -130,7 +142,8 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
   // being re-derived per pivot.
   HdeOptions opts = options;
   weight_t maxw = -1.0;
-  if (opts.kernel == DistanceKernel::DeltaStepping) {
+  if (opts.kernel == DistanceKernel::DeltaStepping ||
+      opts.kernel == DistanceKernel::Dijkstra) {
     if (opts.sssp.delta <= 0.0) opts.sssp.delta = DefaultDelta(graph);
     maxw = MaxEdgeWeight(graph);
   }
@@ -181,8 +194,9 @@ DistancePhase RunRandomSsspPhase(const CsrGraph& graph,
   const weight_t maxw = MaxEdgeWeight(graph);
 
   const bool concurrent =
-      options.sssp_engine == SsspEngine::Concurrent ||
-      (options.sssp_engine == SsspEngine::Auto && s >= NumThreads());
+      options.kernel == DistanceKernel::DeltaStepping &&
+      (options.sssp_engine == SsspEngine::Concurrent ||
+       (options.sssp_engine == SsspEngine::Auto && s >= NumThreads()));
 
   WallTimer traversal;
   if (concurrent) {
@@ -204,7 +218,8 @@ DistancePhase RunRandomSsspPhase(const CsrGraph& graph,
 DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
   // The weighted kernel has its own engine pair; the BFS branches below
   // would silently compute hop distances and ignore the weights.
-  if (options.kernel == DistanceKernel::DeltaStepping) {
+  if (options.kernel == DistanceKernel::DeltaStepping ||
+      options.kernel == DistanceKernel::Dijkstra) {
     return RunRandomSsspPhase(graph, options);
   }
   const vid_t n = graph.NumVertices();
@@ -221,7 +236,7 @@ DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
   bool use_msbfs = options.kernel == DistanceKernel::MultiSourceBfs;
   std::vector<dist_t> probe;
   if (!use_msbfs && options.kernel == DistanceKernel::ParallelBfs &&
-      s >= kMsBfsAutoThreshold) {
+      options.msbfs_auto && s >= kMsBfsAutoThreshold) {
     probe = SerialBfs(graph, phase.pivots.front());
     obs::CounterAdd(obs::Counter::kSerialBfsSearches, 1);
     dist_t ecc = 0;
@@ -327,6 +342,79 @@ DistancePhase RunDistancePhase(const CsrGraph& graph,
     return RunRandomPhase(graph, options);
   }
   return RunKCentersPhase(graph, options);
+}
+
+DistancePhase RunDistancePhaseWithRecovery(const CsrGraph& graph,
+                                           const HdeOptions& options) {
+  // Build the downgrade ladder for the configured kernel. Each rung is a
+  // full HdeOptions so a retry can change more than one knob (kernel,
+  // engine, the msbfs auto-upgrade) at once.
+  std::vector<const char*> rungs;
+  std::vector<HdeOptions> configs;
+  const bool random = options.pivots == PivotStrategy::Random;
+  auto push = [&](const char* name, HdeOptions cfg) {
+    rungs.push_back(name);
+    configs.push_back(std::move(cfg));
+  };
+  switch (options.kernel) {
+    case DistanceKernel::MultiSourceBfs: {
+      push("msbfs", options);
+      HdeOptions parbfs = options;
+      parbfs.kernel = DistanceKernel::ParallelBfs;
+      parbfs.msbfs_auto = false;
+      push("parbfs", parbfs);
+      break;
+    }
+    case DistanceKernel::ParallelBfs: {
+      // The auto path may silently upgrade to MS-BFS (random pivots, s
+      // large, low diameter); the retry rung pins the plain BFS engine so
+      // the failed upgrade cannot be re-chosen. Without an upgrade
+      // possibility the ladder is a single rung.
+      if (random && options.msbfs_auto &&
+          options.subspace_dim >= kMsBfsAutoThreshold) {
+        push("parbfs-auto", options);
+        HdeOptions pinned = options;
+        pinned.msbfs_auto = false;
+        push("parbfs", pinned);
+      } else {
+        push("parbfs", options);
+      }
+      break;
+    }
+    case DistanceKernel::SerialBfs:
+      push("serialbfs", options);
+      break;
+    case DistanceKernel::DeltaStepping: {
+      const bool concurrent =
+          random && (options.sssp_engine == SsspEngine::Concurrent ||
+                     (options.sssp_engine == SsspEngine::Auto &&
+                      options.subspace_dim >= NumThreads()));
+      if (concurrent) {
+        push("sssp-concurrent", options);
+      }
+      HdeOptions parallel = options;
+      parallel.sssp_engine = SsspEngine::Parallel;
+      push("sssp-parallel", parallel);
+      HdeOptions dijkstra = options;
+      dijkstra.kernel = DistanceKernel::Dijkstra;
+      push("dijkstra", dijkstra);
+      break;
+    }
+    case DistanceKernel::Dijkstra:
+      push("dijkstra", options);
+      break;
+  }
+
+  return resilience::RunLadder(
+      phase::kBfs, options.resilience,
+      options.resilience.distance_budget_seconds, rungs.data(), rungs.size(),
+      [&](std::size_t rung) {
+        DistancePhase phase = RunDistancePhase(graph, configs[rung]);
+        // A poisoned traversal (injected or real) surfaces here as a typed
+        // kNumerical the ladder can absorb, not as corrupt coordinates.
+        CheckMatrixFinite(phase.B, phase::kBfs, "distance matrix");
+        return phase;
+      });
 }
 
 }  // namespace parhde

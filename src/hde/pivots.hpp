@@ -31,6 +31,17 @@ struct DistancePhase {
 DistancePhase RunDistancePhase(const CsrGraph& graph,
                                const HdeOptions& options);
 
+/// RunDistancePhase wrapped in the distance recovery ladder: each attempt
+/// runs under the per-phase deadline budget and its B matrix is checked
+/// finite; on a retryable failure (kNumerical / kNoConvergence /
+/// kDeadlineExceeded) under RecoveryPolicy::Ladder the kernel is downgraded
+/// — MS-BFS to direction-optimizing BFS, concurrent Δ-stepping to parallel
+/// Δ-stepping to serial Dijkstra — and the phase rerun. Every attempt is
+/// recorded in the recovery log. The shared BFS-phase entry point of the
+/// decoupled ParHDE, PHDE, and PivotMDS drivers.
+DistancePhase RunDistancePhaseWithRecovery(const CsrGraph& graph,
+                                           const HdeOptions& options);
+
 /// `count` distinct pivots drawn uniformly without repetition.
 std::vector<vid_t> RandomPivots(vid_t n, int count, std::uint64_t seed);
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <new>
+
+#include "resilience/fault_injection.hpp"
 
 namespace parhde {
 namespace {
@@ -14,6 +17,9 @@ constexpr std::size_t kParallelTouchThreshold = std::size_t{1} << 15;
 /// the *first* write to every page (the write that decides NUMA placement).
 std::unique_ptr<double[]> AllocateUninitialized(std::size_t count) {
   if (count == 0) return nullptr;
+  // The "Nth tracked allocation" site: every dense-matrix buffer in the
+  // pipeline funnels through here.
+  if (PARHDE_FAULT_ONESHOT("alloc:bad-alloc")) throw std::bad_alloc();
   return std::unique_ptr<double[]>(new double[count]);
 }
 

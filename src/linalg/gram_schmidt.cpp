@@ -7,9 +7,13 @@
 #include <cmath>
 #include <cstdint>
 
+#include <limits>
+
 #include "linalg/vector_ops.hpp"
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace parhde {
 namespace {
@@ -172,6 +176,12 @@ IncrementalDOrthogonalizer::IncrementalDOrthogonalizer(
 
 bool IncrementalDOrthogonalizer::Push(std::size_t c) {
   assert(kept_.empty() || c > kept_.back());
+  // Column granularity: Push is sequential (its projections fork
+  // internally), so the deadline may throw directly.
+  resilience::CheckDeadline("DOrtho");
+  if (PARHDE_FAULT_ONESHOT("gs:nan")) {
+    S_.Col(c)[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   const std::span<const std::size_t> kept(kept_);
   switch (options_.kind) {
     case GramSchmidtKind::Modified:

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "obs/counters.hpp"
+#include "resilience/deadline.hpp"
 
 namespace parhde {
 namespace {
@@ -52,6 +53,7 @@ EigenDecomposition SymmetricEigen(const DenseMatrix& A_in, double tol,
   int sweeps = 0;
   bool converged = false;
   while (sweeps < max_sweeps && !(converged = OffDiagonalNorm(A) <= threshold)) {
+    resilience::CheckDeadline("Eigensolve");  // sweep granularity
     ++sweeps;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {

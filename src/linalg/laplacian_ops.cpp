@@ -9,8 +9,11 @@
 #include <sys/mman.h>
 #endif
 
+#include <limits>
+
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace parhde {
 namespace {
@@ -325,6 +328,9 @@ void LaplacianTimesMatrix(const CsrGraph& graph, const DenseMatrix& S,
     LaplacianTimesMatrixFused(graph, S, P);
   } else {
     LaplacianTimesMatrixBlocked(graph, S, P, width);
+  }
+  if (PARHDE_FAULT_ONESHOT("spmm:nan") && P.Cols() > 0 && P.Rows() > 0) {
+    P.Col(0)[0] = std::numeric_limits<double>::quiet_NaN();
   }
 }
 

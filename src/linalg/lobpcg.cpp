@@ -9,6 +9,7 @@
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/laplacian_ops.hpp"
 #include "linalg/vector_ops.hpp"
+#include "resilience/deadline.hpp"
 #include "util/prng.hpp"
 
 namespace parhde {
@@ -57,6 +58,7 @@ LobpcgResult Lobpcg(const CsrGraph& graph, const LobpcgOptions& options,
   gs.drop_tol = 1e-10;  // basis vectors, not noisy distance columns
 
   for (int it = 1; it <= options.max_iterations; ++it) {
+    resilience::CheckDeadline("LOBPCG");  // iteration granularity
     result.iterations = it;
 
     // Rayleigh quotients and residuals of the current block.

@@ -79,6 +79,9 @@ const char* CounterName(Counter c) {
     case Counter::kSpmmEdgeSweeps: return "spmm.edge_sweeps";
     case Counter::kSpmmBlockedColumns: return "spmm.blocked_columns";
     case Counter::kSpmmBlockWidthSum: return "spmm.block_width_sum";
+    case Counter::kDeadlineExpirations: return "deadline.expirations";
+    case Counter::kRecoveryRetries: return "recovery.retries";
+    case Counter::kFaultsInjected: return "fault.injected_total";
     case Counter::kCounterCount: break;
   }
   return "unknown";

@@ -54,6 +54,9 @@ enum class Counter : int {
   kSpmmEdgeSweeps,        // full CSR traversals across those products
   kSpmmBlockedColumns,    // columns processed by the blocked kernel
   kSpmmBlockWidthSum,     // sum of chosen block widths (avg = sum/calls)
+  kDeadlineExpirations,   // phase/run deadlines that expired into a throw
+  kRecoveryRetries,       // ladder downgrades taken after a retryable error
+  kFaultsInjected,        // total fault-site fires (injection builds only)
   kCounterCount,
 };
 

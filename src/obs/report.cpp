@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/trace.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/json_writer.hpp"
 #include "util/status.hpp"
 
@@ -31,6 +32,11 @@ Environment CaptureEnvironment() {
 
 void RunReport::CollectObservability() {
   counters = SnapshotCounters();
+  // Per-site fired counts from the fault-injection registry (empty unless
+  // a plan is loaded in an injection-enabled build).
+  for (const auto& [site, fired] : resilience::FaultFiredCounts()) {
+    counters.push_back(CounterSnapshot{"fault." + site, fired});
+  }
   series.clear();
   series_dropped.clear();
   for (int i = 0; i < static_cast<int>(Series::kSeriesCount); ++i) {
@@ -43,12 +49,15 @@ void RunReport::CollectObservability() {
     }
   }
   thread_stats = SnapshotThreadStats();
+  recovery = resilience::RecoveryAttempts();
   environment = CaptureEnvironment();
 }
 
 void ResetObservability() {
   ResetCounters();
   ResetThreadStats();
+  resilience::ResetRecoveryLog();
+  resilience::ResetFaultCounters();
   Tracer::Clear();
 }
 
@@ -156,6 +165,26 @@ std::string ReportToJson(const RunReport& report) {
   }
   w.EndArray();
 
+  // Always present so consumers can distinguish "healthy run" (empty
+  // array) from "report predates the resilience layer" (key missing).
+  w.Key("recovery");
+  w.BeginArray();
+  for (const auto& attempt : report.recovery) {
+    w.BeginObject();
+    w.Key("phase");
+    w.String(attempt.phase);
+    w.Key("kernel");
+    w.String(attempt.kernel);
+    w.Key("trigger");
+    w.String(attempt.trigger);
+    w.Key("seconds");
+    w.Double(attempt.seconds);
+    w.Key("succeeded");
+    w.Bool(attempt.succeeded);
+    w.EndObject();
+  }
+  w.EndArray();
+
   w.Key("environment");
   w.BeginObject();
   w.Key("omp_max_threads");
@@ -203,6 +232,19 @@ std::string ReportToText(const RunReport& report) {
     std::snprintf(line, sizeof(line), "  %-24s %lld\n", counter.name.c_str(),
                   static_cast<long long>(counter.value));
     out += line;
+  }
+
+  if (!report.recovery.empty()) {
+    out += "recovery ladder:\n";
+    for (const auto& attempt : report.recovery) {
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %-16s %-10s %8.4f s  (after %s)\n",
+                    attempt.phase.c_str(), attempt.kernel.c_str(),
+                    attempt.succeeded ? "recovered" : "failed",
+                    attempt.seconds,
+                    attempt.trigger.empty() ? "-" : attempt.trigger.c_str());
+      out += line;
+    }
   }
 
   if (!report.thread_stats.empty()) {

@@ -15,6 +15,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
+#include "resilience/recovery_log.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
 
@@ -59,6 +60,10 @@ struct RunReport {
   std::vector<std::pair<std::string, std::vector<std::int64_t>>> series;
   std::vector<std::pair<std::string, std::int64_t>> series_dropped;
   std::vector<ThreadPhaseStats> thread_stats;
+  /// Recovery-ladder attempts recorded during the run (resilience layer).
+  /// Empty for a healthy run: the ladder only logs failures and the
+  /// downgraded retries that absorbed them.
+  std::vector<resilience::RecoveryAttempt> recovery;
   Environment environment;
 
   /// Snapshots the counter registry, series, per-thread stats, and

@@ -1,0 +1,82 @@
+#include "resilience/deadline.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <limits>
+
+#include "obs/counters.hpp"
+#include "util/status.hpp"
+
+namespace parhde::resilience {
+namespace {
+
+constexpr long long kNoDeadline = std::numeric_limits<long long>::max();
+
+// Earliest active deadline as steady_clock nanoseconds-since-epoch;
+// kNoDeadline when disarmed. Relaxed is enough: polls only need to observe
+// the value eventually, and the arming thread is the one that later throws.
+std::atomic<long long> g_deadline_ns{kNoDeadline};
+// When the *innermost* guard armed, and its budget — for the error message.
+std::atomic<long long> g_armed_at_ns{0};
+std::atomic<double> g_budget_seconds{0.0};
+
+long long NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             DeadlineClock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool DeadlineArmed() {
+  return g_deadline_ns.load(std::memory_order_relaxed) != kNoDeadline;
+}
+
+bool DeadlinePoll() {
+  const long long deadline = g_deadline_ns.load(std::memory_order_relaxed);
+  if (deadline == kNoDeadline) return false;
+  return NowNs() > deadline;
+}
+
+void ThrowDeadlineExceeded(const char* phase) {
+  obs::CounterAdd(obs::Counter::kDeadlineExpirations, 1);
+  const double elapsed =
+      static_cast<double>(NowNs() -
+                          g_armed_at_ns.load(std::memory_order_relaxed)) *
+      1e-9;
+  const double budget = g_budget_seconds.load(std::memory_order_relaxed);
+  char msg[128];
+  std::snprintf(msg, sizeof(msg),
+                "deadline exceeded after %.3fs (budget %.3fs)", elapsed,
+                budget);
+  throw ParhdeError(ErrorCode::kDeadlineExceeded, phase, msg);
+}
+
+void CheckDeadline(const char* phase) {
+  if (DeadlinePoll()) ThrowDeadlineExceeded(phase);
+}
+
+DeadlineGuard::DeadlineGuard(const char* phase, double budget_seconds) {
+  (void)phase;
+  if (budget_seconds <= 0.0) return;
+  armed_ = true;
+  prev_deadline_ns_ = g_deadline_ns.load(std::memory_order_relaxed);
+  prev_armed_at_ns_ = g_armed_at_ns.load(std::memory_order_relaxed);
+  prev_budget_ = g_budget_seconds.load(std::memory_order_relaxed);
+  const long long now = NowNs();
+  long long mine =
+      now + static_cast<long long>(budget_seconds * 1e9);
+  if (mine > prev_deadline_ns_) mine = prev_deadline_ns_;  // only tighten
+  g_deadline_ns.store(mine, std::memory_order_relaxed);
+  g_armed_at_ns.store(now, std::memory_order_relaxed);
+  g_budget_seconds.store(budget_seconds, std::memory_order_relaxed);
+}
+
+DeadlineGuard::~DeadlineGuard() {
+  if (!armed_) return;
+  g_deadline_ns.store(prev_deadline_ns_, std::memory_order_relaxed);
+  g_armed_at_ns.store(prev_armed_at_ns_, std::memory_order_relaxed);
+  g_budget_seconds.store(prev_budget_, std::memory_order_relaxed);
+}
+
+}  // namespace parhde::resilience

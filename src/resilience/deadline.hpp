@@ -1,0 +1,65 @@
+// Cooperative deadline/watchdog layer.
+//
+// One process-global cancellation token holds the earliest active deadline.
+// DeadlineGuard is the only writer: it arms a budget on construction
+// (clamped to any outer deadline, so nested guards can only tighten) and
+// restores the previous state on destruction. Kernels never block on it —
+// they poll at natural quiescent points (a BFS level, a Δ-stepping round, a
+// Gram-Schmidt column push, a Jacobi sweep, a LOBPCG iteration), which
+// bounds detection latency by one round of the slowest kernel.
+//
+// Two polling forms, because of OpenMP's exception rule (an exception must
+// not escape a parallel region):
+//   * CheckDeadline(phase) — throws ParhdeError(kDeadlineExceeded); use only
+//     from sequential code (a loop whose parallelism is nested inside it).
+//   * DeadlinePoll() — non-throwing; use inside a parallel region to set a
+//     shared flag at a consistent point (e.g. an `omp single`), break all
+//     threads out together, and throw after the region joins.
+//
+// Cost when disarmed: one relaxed atomic load per poll — no clock read.
+#pragma once
+
+#include <chrono>
+
+namespace parhde::resilience {
+
+using DeadlineClock = std::chrono::steady_clock;
+
+/// True iff some DeadlineGuard is currently armed.
+bool DeadlineArmed();
+
+/// True iff a deadline is armed and has expired. Never throws; safe from
+/// any thread, inside or outside parallel regions.
+bool DeadlinePoll();
+
+/// Throws ParhdeError(ErrorCode::kDeadlineExceeded, phase, ...) naming the
+/// phase and the elapsed/budget seconds if the active deadline has expired.
+/// Sequential contexts only — must not be called where the throw would
+/// escape an OpenMP parallel region.
+void CheckDeadline(const char* phase);
+
+/// Builds and throws the kDeadlineExceeded error unconditionally — the
+/// post-region throw for kernels that detected expiry via DeadlinePoll().
+[[noreturn]] void ThrowDeadlineExceeded(const char* phase);
+
+/// RAII deadline: arms `min(outer deadline, now + budget_seconds)` for its
+/// scope and restores the previous deadline on destruction. A budget <= 0
+/// is a no-op guard (nothing armed, nothing restored). The CLI arms one
+/// guard for --timeout around the whole run; the recovery ladder re-arms a
+/// fresh per-phase guard for every attempt so a retry gets a full budget.
+class DeadlineGuard {
+ public:
+  DeadlineGuard(const char* phase, double budget_seconds);
+  ~DeadlineGuard();
+
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+
+ private:
+  bool armed_ = false;
+  long long prev_deadline_ns_ = 0;
+  long long prev_armed_at_ns_ = 0;
+  double prev_budget_ = 0.0;
+};
+
+}  // namespace parhde::resilience

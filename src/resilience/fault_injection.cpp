@@ -1,0 +1,188 @@
+#include "resilience/fault_injection.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "util/status.hpp"
+
+namespace parhde::resilience {
+namespace {
+
+constexpr const char* kModule = "resilience/fault-plan";
+
+// Every site name the parser accepts; an entry outside this list is a
+// usage error so typos fail loudly instead of silently never firing.
+constexpr const char* kKnownSites[] = {
+    "io:short-read",   "io:corrupt-header", "alloc:bad-alloc",
+    "spmm:nan",        "gs:nan",            "eigensolve:nan",
+    "eigensolve:no-converge",               "msbfs:nan",
+    "bfs:stall",       "msbfs:stall",       "sssp:stall",
+    "multisssp:stall",
+};
+
+bool IsKnownSite(const std::string& name) {
+  for (const char* s : kKnownSites) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+bool IsStallSite(const std::string& name) {
+  return name.size() >= 6 && name.compare(name.size() - 6, 6, ":stall") == 0;
+}
+
+struct SiteState {
+  std::string name;
+  long long param = 1;     // iter/count/bytes/ms depending on the site
+  long long trigger = 1;   // one-shot sites fire on this invocation number
+  long long calls = 0;     // invocations observed
+  long long fired = 0;     // times the fault actually triggered
+  bool stall = false;      // repeating (stall) vs one-shot semantics
+};
+
+// Plan state. Lookups take the mutex; sites are checked at round/column/
+// call granularity (never per edge), and the fast path when no plan is
+// loaded is a single relaxed atomic load.
+std::mutex g_mutex;
+std::vector<SiteState> g_plan;
+std::atomic<bool> g_active{false};
+
+SiteState* FindSite(const char* site) {
+  for (SiteState& s : g_plan) {
+    if (s.name == site) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void LoadFaultPlan(const std::string& plan) {
+  std::vector<SiteState> parsed;
+  if (!plan.empty() && plan.back() == ',') {
+    throw ParhdeError(ErrorCode::kUsage, kModule,
+                      "empty entry in fault plan '" + plan + "'");
+  }
+  std::size_t pos = 0;
+  while (pos < plan.size()) {
+    std::size_t comma = plan.find(',', pos);
+    if (comma == std::string::npos) comma = plan.size();
+    const std::string entry = plan.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      throw ParhdeError(ErrorCode::kUsage, kModule,
+                        "empty entry in fault plan '" + plan + "'");
+    }
+    SiteState site;
+    const std::size_t at = entry.find('@');
+    site.name = entry.substr(0, at);
+    if (!IsKnownSite(site.name)) {
+      throw ParhdeError(ErrorCode::kUsage, kModule,
+                        "unknown fault site '" + site.name + "'");
+    }
+    site.stall = IsStallSite(site.name);
+    site.param = site.stall ? 100 : 1;  // default: 100 ms / first invocation
+    if (at != std::string::npos) {
+      const std::string kv = entry.substr(at + 1);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        throw ParhdeError(ErrorCode::kUsage, kModule,
+                          "malformed parameter '" + kv + "' in fault entry '" +
+                              entry + "' (expected key=value)");
+      }
+      char* end = nullptr;
+      const std::string value = kv.substr(eq + 1);
+      const long long parsed_value = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed_value <= 0) {
+        throw ParhdeError(ErrorCode::kUsage, kModule,
+                          "fault parameter must be a positive integer, got '" +
+                              value + "' in entry '" + entry + "'");
+      }
+      site.param = parsed_value;
+    }
+    // For most one-shot sites the parameter IS the trigger invocation
+    // (spmm:nan@iter=3 fires on the third product). io:short-read's
+    // parameter is a payload — how many bytes to keep — so it fires on the
+    // first read regardless.
+    site.trigger = site.name == "io:short-read" ? 1 : site.param;
+    for (const SiteState& existing : parsed) {
+      if (existing.name == site.name) {
+        throw ParhdeError(ErrorCode::kUsage, kModule,
+                          "duplicate fault site '" + site.name + "'");
+      }
+    }
+    parsed.push_back(std::move(site));
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_plan = std::move(parsed);
+  g_active.store(!g_plan.empty(), std::memory_order_release);
+}
+
+void ClearFaultPlan() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_plan.clear();
+  g_active.store(false, std::memory_order_release);
+}
+
+bool FaultPlanActive() { return g_active.load(std::memory_order_acquire); }
+
+bool FaultArm(const char* site) {
+  if (!FaultPlanActive()) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState* s = FindSite(site);
+  if (s == nullptr || s->stall) return false;
+  ++s->calls;
+  if (s->calls != s->trigger) return false;
+  ++s->fired;
+  obs::CounterAdd(obs::Counter::kFaultsInjected, 1);
+  return true;
+}
+
+long long FaultStallMs(const char* site) {
+  if (!FaultPlanActive()) return 0;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState* s = FindSite(site);
+  if (s == nullptr || !s->stall) return 0;
+  ++s->calls;
+  ++s->fired;
+  obs::CounterAdd(obs::Counter::kFaultsInjected, 1);
+  return s->param;
+}
+
+long long FaultParam(const char* site, long long fallback) {
+  if (!FaultPlanActive()) return fallback;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const SiteState* s = FindSite(site);
+  return s != nullptr ? s->param : fallback;
+}
+
+void FaultSleepMs(long long ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::vector<std::pair<std::string, long long>> FaultFiredCounts() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<std::pair<std::string, long long>> out;
+  out.reserve(g_plan.size());
+  for (const SiteState& s : g_plan) out.emplace_back(s.name, s.fired);
+  return out;
+}
+
+long long FaultFiredCount(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const SiteState* s = FindSite(site);
+  return s != nullptr ? s->fired : 0;
+}
+
+void ResetFaultCounters() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (SiteState& s : g_plan) {
+    s.calls = 0;
+    s.fired = 0;
+  }
+}
+
+}  // namespace parhde::resilience

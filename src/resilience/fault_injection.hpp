@@ -1,0 +1,116 @@
+// Deterministic fault-injection framework.
+//
+// Named injection sites are compiled into the kernels only when the build
+// sets -DPARHDE_FAULT_INJECTION=1 (CMake option PARHDE_FAULT_INJECTION,
+// default OFF). In an OFF build the PARHDE_FAULT_* macros expand to a
+// constant false / nothing, so every `if (PARHDE_FAULT_ONESHOT(...))`
+// branch is dead code the compiler removes — the hot paths carry zero
+// injection cost. The cold registry below (plan parsing, fired counters)
+// is always compiled so tooling links in both configurations.
+//
+// A fault *plan* is a comma-separated list of `site[@key=value]` entries:
+//
+//   --fault-plan=spmm:nan@iter=3,io:short-read@bytes=4096
+//   PARHDE_FAULT_PLAN=gs:nan parhde layout ...
+//
+// One-shot sites (nan poison, bad-alloc, io corruption, no-converge) fire
+// exactly once, on the Nth invocation of the site (N = the entry's numeric
+// parameter, default 1) — so `spmm:nan@iter=3` poisons the third L·S
+// product and never fires again, which lets the recovery ladder's retry of
+// the same kernel succeed. Stall sites (`@ms=`) fire on *every* invocation,
+// sleeping the given milliseconds per round, so a cooperative deadline
+// check at round granularity can interrupt the phase within 2x its budget.
+//
+// Site catalog (kept in sync with DESIGN.md "Resilience"):
+//   io:short-read@bytes=N      truncate the next graph file read to N bytes
+//   io:corrupt-header          XOR-corrupt the first 8 bytes of the next read
+//   alloc:bad-alloc@count=N    throw std::bad_alloc at the Nth tracked
+//                              DenseMatrix allocation
+//   spmm:nan@iter=N            poison NaN into the Nth L*S product
+//   gs:nan@iter=N              poison NaN into the Nth orthogonalizer push
+//   eigensolve:nan@iter=N      poison NaN into the Nth projected matrix
+//   eigensolve:no-converge@iter=N  force the Nth Jacobi solve to report
+//                              non-convergence
+//   msbfs:nan@iter=N           poison NaN into the Nth MS-BFS distance block
+//   bfs:stall@ms=N             sleep N ms per parallel-BFS level
+//   msbfs:stall@ms=N           sleep N ms per MS-BFS level
+//   sssp:stall@ms=N            sleep N ms per Δ-stepping bucket round
+//   multisssp:stall@ms=N       sleep N ms per concurrent-driver drain round
+//
+// Per-site fired counters are exported through the obs run report as
+// dynamic `fault.<site>` counter entries so replay tests can assert exactly
+// which sites triggered.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef PARHDE_FAULT_INJECTION
+#define PARHDE_FAULT_INJECTION 0
+#endif
+
+namespace parhde::resilience {
+
+/// True when the binary was built with PARHDE_FAULT_INJECTION=ON.
+inline constexpr bool kFaultInjectionCompiled = PARHDE_FAULT_INJECTION != 0;
+
+/// Parses and installs a fault plan ("site@key=value,site2,...").
+/// Replaces any previous plan and zeroes all counters. Throws
+/// ParhdeError(kUsage) on an unknown site, malformed entry, or
+/// non-positive parameter.
+void LoadFaultPlan(const std::string& plan);
+
+/// Removes the plan and zeroes all counters.
+void ClearFaultPlan();
+
+/// True when a non-empty plan is installed.
+bool FaultPlanActive();
+
+/// One-shot site check: counts the invocation and returns true exactly
+/// once — on the Nth call for this site, N being the plan entry's
+/// parameter (default 1). Returns false for unplanned sites. Thread-safe.
+bool FaultArm(const char* site);
+
+/// Stall site check: returns the planned sleep milliseconds (> 0) for this
+/// site and counts a fire, or 0 when the site is not planned. Thread-safe.
+long long FaultStallMs(const char* site);
+
+/// The numeric parameter of a planned site (e.g. `bytes` for
+/// io:short-read), or `fallback` when the site is unplanned.
+long long FaultParam(const char* site, long long fallback);
+
+/// Sleeps the calling thread; the stall macro's out-of-line body.
+void FaultSleepMs(long long ms);
+
+/// Times each planned site has fired, in plan order (zeros included).
+std::vector<std::pair<std::string, long long>> FaultFiredCounts();
+
+/// Fired count for one site (0 when unplanned or never fired).
+long long FaultFiredCount(const char* site);
+
+/// Zeroes fired/invocation counters but keeps the plan installed — called
+/// by obs::ResetObservability() at the start of a run, after the CLI has
+/// loaded the plan.
+void ResetFaultCounters();
+
+}  // namespace parhde::resilience
+
+// Injection macros. OFF builds: constant-false / empty, so guarded branches
+// are eliminated entirely. ON builds: a registry lookup per site invocation
+// (linear scan of the tiny plan; short-circuits when no plan is loaded).
+#if PARHDE_FAULT_INJECTION
+#define PARHDE_FAULT_ONESHOT(site) (::parhde::resilience::FaultArm(site))
+#define PARHDE_FAULT_STALL(site)                                       \
+  do {                                                                 \
+    const long long parhde_stall_ms_ =                                 \
+        ::parhde::resilience::FaultStallMs(site);                      \
+    if (parhde_stall_ms_ > 0)                                          \
+      ::parhde::resilience::FaultSleepMs(parhde_stall_ms_);            \
+  } while (0)
+#else
+#define PARHDE_FAULT_ONESHOT(site) false
+#define PARHDE_FAULT_STALL(site) \
+  do {                           \
+  } while (0)
+#endif

@@ -1,0 +1,84 @@
+#include "resilience/recovery.hpp"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "resilience/fault_injection.hpp"
+
+namespace parhde::resilience {
+namespace {
+
+std::mutex g_log_mutex;
+std::vector<RecoveryAttempt> g_log;
+
+// Local finite sweep so this layer does not depend on the hde headers
+// (CheckMatrixFinite lives in hde/parhde.hpp, above resilience).
+void RequireFinite(const DenseMatrix& Z, const char* phase) {
+  for (std::size_t c = 0; c < Z.Cols(); ++c) {
+    const auto col = Z.Col(c);
+    for (std::size_t i = 0; i < Z.Rows(); ++i) {
+      if (!std::isfinite(col[i])) {
+        throw ParhdeError(ErrorCode::kNumerical, phase,
+                          "projected matrix has a non-finite entry");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool IsRetryable(ErrorCode code) {
+  return code == ErrorCode::kNumerical || code == ErrorCode::kNoConvergence ||
+         code == ErrorCode::kDeadlineExceeded;
+}
+
+void RecordRecoveryAttempt(RecoveryAttempt attempt) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log.push_back(std::move(attempt));
+}
+
+std::vector<RecoveryAttempt> RecoveryAttempts() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  return g_log;
+}
+
+void ResetRecoveryLog() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log.clear();
+}
+
+EigenDecomposition SolveSmallEigen(DenseMatrix& Z, const char* phase,
+                                   const ResilienceOptions& opts) {
+  if (PARHDE_FAULT_ONESHOT("eigensolve:nan")) {
+    Z.At(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  // A non-finite Z cannot be repaired by a different solver — surface it as
+  // a typed numerical error before the ladder runs.
+  RequireFinite(Z, phase);
+  static constexpr const char* kRungs[] = {"jacobi", "power-iteration"};
+  return RunLadder(
+      phase, opts, opts.eigensolve_budget_seconds, kRungs, 2,
+      [&](std::size_t rung) -> EigenDecomposition {
+        EigenDecomposition eig;
+        if (rung == 0) {
+          eig = SymmetricEigen(Z);
+          if (PARHDE_FAULT_ONESHOT("eigensolve:no-converge")) {
+            eig.converged = false;
+          }
+        } else {
+          obs::CounterAdd(obs::Counter::kEigenPowerFallbacks, 1);
+          eig = PowerIterationEigen(Z);
+        }
+        if (!eig.converged) {
+          throw ParhdeError(
+              ErrorCode::kNoConvergence, phase,
+              rung == 0
+                  ? "Jacobi eigensolver failed to converge"
+                  : "power-iteration fallback also failed to converge");
+        }
+        return eig;
+      });
+}
+
+}  // namespace parhde::resilience

@@ -1,0 +1,85 @@
+// Declarative recovery ladders.
+//
+// A ladder is an ordered list of (rung name, configuration) downgrades for
+// one phase; RunLadder() attempts them in order, retrying on the retryable
+// error classes (kNumerical, kNoConvergence, kDeadlineExceeded) until a
+// rung succeeds or the ladder is exhausted. Every failed rung — and every
+// successful run of a downgraded rung — is recorded in the global recovery
+// log, which the obs run report serializes as its `recovery` section.
+//
+// The ladders the drivers install (DESIGN.md "Resilience" has the table):
+//   distance   MS-BFS -> direction-optimizing BFS;
+//              concurrent Δ-stepping -> parallel Δ-stepping -> Dijkstra
+//   DOrtho     blocked BCGS -> pipelined MGS -> reference MGS
+//   eigensolve cyclic Jacobi -> shifted-deflated power iteration
+//
+// Each attempt gets a fresh per-phase DeadlineGuard (so a retry is not
+// born dead under the budget its predecessor exhausted), but an expired
+// *outer* deadline — the whole-run --timeout — stops the ladder: retrying
+// under a spent run budget only burns more of it.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "linalg/jacobi_eigen.hpp"
+#include "obs/counters.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/recovery_log.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace parhde::resilience {
+
+/// The error classes a ladder downgrade may absorb. Everything else
+/// (kIo, kParse, usage...) propagates immediately: a corrupt file will not
+/// parse better under a slower kernel.
+bool IsRetryable(ErrorCode code);
+
+/// Runs `attempt(rung_index)` for rung 0, falling to the next rung when the
+/// attempt throws a retryable ParhdeError and the policy is Ladder. `rungs`
+/// supplies the rung names for the recovery log. Non-retryable errors,
+/// Strict policy, ladder exhaustion, and an expired outer deadline all
+/// rethrow the current failure. Returns the first successful attempt's
+/// result.
+template <typename Fn>
+auto RunLadder(const char* phase, const ResilienceOptions& opts,
+               double budget_seconds, const char* const* rungs,
+               std::size_t num_rungs, Fn&& attempt)
+    -> decltype(attempt(std::size_t{0})) {
+  std::string trigger;  // failure code that caused the current downgrade
+  for (std::size_t r = 0;; ++r) {
+    WallTimer timer;
+    try {
+      DeadlineGuard guard(phase, budget_seconds);
+      auto result = attempt(r);
+      if (r > 0) {
+        RecordRecoveryAttempt(
+            {phase, rungs[r], trigger, timer.Seconds(), true});
+      }
+      return result;
+    } catch (const ParhdeError& e) {
+      RecordRecoveryAttempt(
+          {phase, rungs[r], ErrorCodeName(e.code()), timer.Seconds(), false});
+      if (!IsRetryable(e.code()) || opts.recovery == RecoveryPolicy::Strict ||
+          r + 1 >= num_rungs) {
+        throw;
+      }
+      if (DeadlinePoll()) throw;  // whole-run budget already spent
+      obs::CounterAdd(obs::Counter::kRecoveryRetries, 1);
+      trigger = ErrorCodeName(e.code());
+    }
+  }
+}
+
+/// The shared eigensolve ladder: cyclic Jacobi, then the shifted-deflated
+/// power iteration, on the (already projected) s x s matrix Z. Replaces the
+/// previously copy-pasted fallback in the parhde/phde/pivot-mds drivers.
+/// Validates Z is finite first (throws kNumerical naming `phase` — no rung
+/// can repair a poisoned input), honors opts.eigensolve_budget_seconds per
+/// attempt, and throws kNoConvergence when both rungs fail. Z is mutable
+/// only for the eigensolve:nan injection site.
+EigenDecomposition SolveSmallEigen(DenseMatrix& Z, const char* phase,
+                                   const ResilienceOptions& opts);
+
+}  // namespace parhde::resilience

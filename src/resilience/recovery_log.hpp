@@ -1,0 +1,53 @@
+// Recovery-ladder policy types and the global attempt log.
+//
+// Deliberately free of heavy includes: hde/parhde.hpp embeds
+// ResilienceOptions in HdeOptions and obs/report.hpp embeds RecoveryAttempt
+// in RunReport, so this header depends on nothing but the standard library.
+// The ladder executor itself lives in resilience/recovery.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parhde::resilience {
+
+/// What to do when a phase fails with a retryable error
+/// (kNumerical / kNoConvergence / kDeadlineExceeded).
+enum class RecoveryPolicy {
+  Strict,  // fail fast: propagate the first error, no downgrades
+  Ladder,  // walk the phase's downgrade ladder until a rung succeeds
+};
+
+/// Per-run resilience knobs carried inside HdeOptions. Budgets are per
+/// ladder *attempt* (a retry re-arms a fresh guard); 0 disables the budget.
+/// The whole-run --timeout is a separate outer DeadlineGuard armed by the
+/// CLI, which nested guards can only tighten.
+struct ResilienceOptions {
+  RecoveryPolicy recovery = RecoveryPolicy::Ladder;
+  double distance_budget_seconds = 0.0;    // BFS / SSSP phase
+  double dortho_budget_seconds = 0.0;      // Gram-Schmidt phase
+  double eigensolve_budget_seconds = 0.0;  // s x s eigensolve
+};
+
+/// One ladder attempt, failed or successful-after-downgrade. Healthy runs
+/// (first rung succeeds everywhere) record nothing, so an empty log means
+/// no recovery machinery engaged.
+struct RecoveryAttempt {
+  std::string phase;    // "BFS", "DOrtho", "Eigensolve", "BFS+DOrtho"
+  std::string kernel;   // rung attempted: "msbfs", "sssp-parallel", ...
+  std::string trigger;  // error-code name: the failure of *this* rung, or
+                        // for a successful downgrade, the code that led here
+  double seconds = 0.0;
+  bool succeeded = false;
+};
+
+/// Appends to the process-global log. Thread-safe.
+void RecordRecoveryAttempt(RecoveryAttempt attempt);
+
+/// Snapshot of all attempts since the last reset, in record order.
+std::vector<RecoveryAttempt> RecoveryAttempts();
+
+/// Clears the log; called by obs::ResetObservability() between runs.
+void ResetRecoveryLog();
+
+}  // namespace parhde::resilience

@@ -11,6 +11,8 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace parhde {
 namespace {
@@ -127,6 +129,12 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
   std::int64_t rounds = 0;
   std::int64_t rebins = 0;
   std::int64_t relaxations = 0;
+  // Deadline handling inside the persistent parallel region: one thread
+  // polls the clock at the publish barrier (so every thread observes the
+  // same verdict after it), all threads break together at the next round
+  // top, and the throw happens after the region joins — an exception must
+  // never escape an OpenMP parallel region.
+  bool deadline_hit = false;
 
 #pragma omp parallel reduction(+ : relaxations)
   {
@@ -160,6 +168,7 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
     };
 
     while (true) {
+      if (deadline_hit) break;  // uniform: set between barriers last round
       // Round top: every thread agrees on curr and frontier (the previous
       // round ended in a barrier). Phase 1: relax the shared frontier.
       const auto fsize = static_cast<std::int64_t>(frontier.size());
@@ -259,6 +268,8 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
         curr = chosen;
         next.store(kNoBucket, std::memory_order_relaxed);
         ++rounds;
+        PARHDE_FAULT_STALL("sssp:stall");
+        deadline_hit = resilience::DeadlinePoll();
       }  // implicit barrier
       std::copy(out.begin(), out.end(),
                 incoming.begin() +
@@ -269,6 +280,8 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
       { frontier.swap(incoming); }  // implicit barrier
     }
   }
+
+  if (deadline_hit) resilience::ThrowDeadlineExceeded("SSSP");
 
   result.stats.relaxations = relaxations;
   result.stats.bucket_rounds = rounds + 1;  // + the seed round for bucket 0

@@ -1,5 +1,6 @@
 #include "sssp/multi_sssp.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -7,6 +8,8 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/fault_injection.hpp"
 #include "sssp/delta_stepping.hpp"
 
 namespace parhde {
@@ -39,9 +42,13 @@ struct SerialSsspStats {
 /// Dijkstra on the mesh/road graphs the weighted phase targets (bucket
 /// pushes are O(1) and cache-friendly; heap pops are log n and not).
 /// `buckets` and `dist` are scratch reused across a thread's searches.
-void SerialDeltaStepping(const CsrGraph& graph, vid_t source, weight_t delta,
+/// Returns false when `cancel` was observed set (deadline expired in some
+/// thread) — the search is abandoned mid-flight and its column is garbage;
+/// the driver throws after the region joins.
+bool SerialDeltaStepping(const CsrGraph& graph, vid_t source, weight_t delta,
                          std::vector<std::vector<vid_t>>& buckets,
-                         std::vector<weight_t>& dist, SerialSsspStats& stats) {
+                         std::vector<weight_t>& dist, SerialSsspStats& stats,
+                         std::atomic<bool>& cancel) {
   const vid_t n = graph.NumVertices();
   const weight_t inv_delta = 1.0 / delta;
   const bool weighted = graph.HasWeights();
@@ -55,6 +62,16 @@ void SerialDeltaStepping(const CsrGraph& graph, vid_t source, weight_t delta,
     // Settle bucket `curr`: light-edge relaxations may re-insert into the
     // current bucket, so drain until it stays empty.
     while (!buckets[curr].empty()) {
+      // Drain-round granularity: cheap next to emptying a bucket, frequent
+      // enough to stop a runaway search within one round. Threads poll the
+      // deadline independently but rendezvous on the shared flag, and the
+      // throw happens outside the parallel region.
+      PARHDE_FAULT_STALL("multisssp:stall");
+      if (cancel.load(std::memory_order_relaxed) || resilience::DeadlinePoll()) {
+        cancel.store(true, std::memory_order_relaxed);
+        for (auto& bucket : buckets) bucket.clear();  // scratch is reused
+        return false;
+      }
       frontier.clear();
       std::swap(frontier, buckets[curr]);
       for (const vid_t v : frontier) {
@@ -78,6 +95,7 @@ void SerialDeltaStepping(const CsrGraph& graph, vid_t source, weight_t delta,
     }
   }
   for (auto& bucket : buckets) bucket.clear();
+  return true;
 }
 
 }  // namespace
@@ -93,6 +111,7 @@ void ConcurrentSsspToColumns(const CsrGraph& graph,
   std::int64_t searches = 0;
   std::int64_t settled = 0;
   std::int64_t edges_scanned = 0;
+  std::atomic<bool> cancel{false};
 
 #pragma omp parallel reduction(+ : searches, settled, edges_scanned)
   {
@@ -104,8 +123,10 @@ void ConcurrentSsspToColumns(const CsrGraph& graph,
     SerialSsspStats ss;
 #pragma omp for schedule(dynamic, 1) nowait
     for (int i = 0; i < count; ++i) {
-      SerialDeltaStepping(graph, sources[static_cast<std::size_t>(i)], delta,
-                          buckets, dist, ss);
+      if (!SerialDeltaStepping(graph, sources[static_cast<std::size_t>(i)],
+                               delta, buckets, dist, ss, cancel)) {
+        continue;  // cancelled: skip the column write, throw after the join
+      }
       ++searches;
 
       auto column = B.Col(first_col + static_cast<std::size_t>(i));
@@ -128,6 +149,9 @@ void ConcurrentSsspToColumns(const CsrGraph& graph,
   // Flush aggregate work counters once per driver call — never per edge.
   obs::CounterAdd(obs::Counter::kSsspSequentialSearches, searches);
   obs::CounterAdd(obs::Counter::kSsspRelaxations, edges_scanned);
+  if (cancel.load(std::memory_order_relaxed)) {
+    resilience::ThrowDeadlineExceeded("SSSP");
+  }
   if (stats) {
     stats->searches += searches;
     stats->settled += settled;

@@ -14,6 +14,8 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kDisconnected: return "disconnected";
     case ErrorCode::kNumerical: return "numerical";
     case ErrorCode::kNoConvergence: return "no-convergence";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
   }
   return "unknown";
 }
@@ -30,6 +32,8 @@ int ExitCodeFor(ErrorCode code) {
     case ErrorCode::kDisconnected: return 8;
     case ErrorCode::kNumerical: return 9;
     case ErrorCode::kNoConvergence: return 10;
+    case ErrorCode::kDeadlineExceeded: return 11;
+    case ErrorCode::kResourceExhausted: return 12;
   }
   return 1;
 }

@@ -28,6 +28,8 @@ enum class ErrorCode {
   kDisconnected,   // disconnected input under DisconnectedPolicy::Reject
   kNumerical,      // NaN/Inf escaped a compute phase
   kNoConvergence,  // iterative solver exhausted its budget
+  kDeadlineExceeded,   // a phase or run budget expired (resilience/deadline)
+  kResourceExhausted,  // allocation failure (std::bad_alloc) mapped by the CLI
 };
 
 /// Stable lowercase identifier for a code ("parse", "corrupt-binary", ...).

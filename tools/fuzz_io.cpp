@@ -1,0 +1,47 @@
+// libFuzzer harness for the three graph readers (MatrixMarket, edge list,
+// binary CSR snapshot). Built only with -DPARHDE_FUZZ=ON, which requires a
+// clang toolchain (-fsanitize=fuzzer,address).
+//
+// Input format: byte 0 selects the reader (mod 3), the rest is the file
+// body. The property under test is the IO contract from util/status.hpp:
+// arbitrary bytes must either parse into a graph that passes Validate() or
+// throw a typed ParhdeError — never crash, hang, or trip ASan. The checked
+// in seed corpus lives in tests/corpus/fuzz_io/.
+//
+// Run: ./fuzz_io ../tests/corpus/fuzz_io -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "util/status.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  const int selector = data[0] % 3;
+  std::istringstream in(std::string(
+      reinterpret_cast<const char*>(data) + 1, size - 1));
+  try {
+    switch (selector) {
+      case 0: {
+        const parhde::MatrixMarketData mm = parhde::ReadMatrixMarket(in);
+        parhde::BuildCsrGraph(mm.n, mm.edges).Validate();
+        break;
+      }
+      case 1: {
+        const parhde::MatrixMarketData el = parhde::ReadEdgeList(in);
+        parhde::BuildCsrGraph(el.n, el.edges).Validate();
+        break;
+      }
+      default:
+        parhde::ReadBinary(in).Validate();
+        break;
+    }
+  } catch (const parhde::ParhdeError&) {
+    // Typed rejection is the correct behavior for malformed input.
+  }
+  return 0;
+}

@@ -17,8 +17,18 @@
 //             [--coords=out.xy] [--png=out.png] [--svg=out.svg]
 //             [--report=run.json]  (machine-readable run report)
 //             [--trace=trace.json] (Chrome trace-event span timeline)
+//             [--timeout=<sec>]       (whole-run deadline)
+//             [--phase-timeout=<sec>] (per-phase budget: distance, DOrtho,
+//             eigensolve each get this much before their ladder retries)
+//             [--recovery=ladder|strict]  (downgrade failed kernels, or
+//             surface the first typed error; default ladder)
 //
-// Every subcommand accepts --threads=N (caps the OpenMP thread count).
+// Every subcommand accepts --threads=N (caps the OpenMP thread count) and
+// --fault-plan=<plan> (deterministic fault injection; requires a build with
+// -DPARHDE_FAULT_INJECTION=ON — see src/resilience/fault_injection.hpp for
+// the site catalog and plan grammar). The PARHDE_FAULT_PLAN environment
+// variable is the flag's fallback spelling for harnesses that cannot edit
+// argv.
 //   partition --in=<...> [--parts=4] [--refine] [--svg=out.svg]
 //   draw      --in=<graph> --coords=<file.xy> [--png=out.png]
 //             [--svg=out.svg] [--canvas=800] [--aa]   (render saved coords)
@@ -32,11 +42,15 @@
 // Exit codes (see src/util/status.hpp): 0 success, 1 internal error,
 // 2 usage, 3 I/O, 4 parse, 5 corrupt binary, 6 invalid value, 7 graph too
 // small, 8 disconnected input rejected, 9 numerical failure,
-// 10 eigensolver did not converge.
+// 10 eigensolver did not converge, 11 deadline exceeded, 12 resources
+// exhausted (allocation failure).
 #include <omp.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <new>
+#include <optional>
 #include <string>
 
 #include "draw/coords_io.hpp"
@@ -60,6 +74,8 @@
 #include "multilevel/multilevel_hde.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/cli.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -250,6 +266,20 @@ HdeOptions OptionsFromFlags(const ArgParser& args) {
   } else if (engine == "concurrent") {
     options.sssp_engine = SsspEngine::Concurrent;
   }
+  // Resilience: --recovery selects strict (surface the first typed error)
+  // or ladder (downgrade and retry); --phase-timeout gives each of the
+  // three recoverable phases the same per-attempt budget.
+  if (args.GetChoice("recovery", {"ladder", "strict"}, "ladder") == "strict") {
+    options.resilience.recovery = resilience::RecoveryPolicy::Strict;
+  }
+  const double phase_timeout = args.GetDouble("phase-timeout", 0.0);
+  if (phase_timeout < 0.0) {
+    throw ParhdeError(ErrorCode::kInvalidValue, "cli",
+                      "--phase-timeout must be positive");
+  }
+  options.resilience.distance_budget_seconds = phase_timeout;
+  options.resilience.dortho_budget_seconds = phase_timeout;
+  options.resilience.eigensolve_budget_seconds = phase_timeout;
   return options;
 }
 
@@ -320,9 +350,19 @@ int CmdLayout(const ArgParser& args) {
     };
   }
 
+  // --timeout arms the whole-run deadline for the layout computation only
+  // (loading already happened; report/render work is not under the gun).
+  const double timeout = args.GetDouble("timeout", 0.0);
+  if (timeout < 0.0) {
+    throw ParhdeError(ErrorCode::kInvalidValue, "cli",
+                      "--timeout must be positive");
+  }
   WallTimer timer;
+  std::optional<resilience::DeadlineGuard> run_deadline;
+  if (timeout > 0.0) run_deadline.emplace("run", timeout);
   const ComponentsLayoutResult res =
       RunHdeOnComponents(graph, options, copts, driver);
+  run_deadline.reset();
   const double total_seconds = timer.Seconds();
   // The layout indexes the largest component when that policy dropped
   // vertices; every downstream consumer must use the matching graph.
@@ -362,7 +402,14 @@ int CmdLayout(const ArgParser& args) {
       {"sssp_engine", args.GetString("sssp-engine", "auto")},
       {"disconnected", policy},
       {"seed", std::to_string(options.seed)},
+      {"recovery", args.GetString("recovery", "ladder")},
+      {"timeout", std::to_string(timeout)},
+      {"phase_timeout", args.GetString("phase-timeout", "0")},
   };
+  if (resilience::FaultPlanActive()) {
+    report.config.emplace_back("fault_plan",
+                               args.GetString("fault-plan", "(env)"));
+  }
   report.total_seconds = total_seconds;
   report.timings = res.hde.timings;
   report.metrics.emplace_back(
@@ -481,6 +528,21 @@ int main(int argc, char** argv) {
       }
       omp_set_num_threads(threads);
     }
+    // Fault plan: --fault-plan wins; PARHDE_FAULT_PLAN is the env fallback.
+    // Loading before dispatch means every subcommand honors it.
+    std::string fault_plan = args.GetString("fault-plan", "");
+    if (fault_plan.empty()) {
+      if (const char* env = std::getenv("PARHDE_FAULT_PLAN")) fault_plan = env;
+    }
+    if (!fault_plan.empty()) {
+      if (!parhde::resilience::kFaultInjectionCompiled) {
+        throw parhde::ParhdeError(
+            parhde::ErrorCode::kUsage, "cli",
+            "fault plan given but this binary was built without "
+            "-DPARHDE_FAULT_INJECTION=ON");
+      }
+      parhde::resilience::LoadFaultPlan(fault_plan);
+    }
     if (command == "generate") return CmdGenerate(args);
     if (command == "stats") return CmdStats(args);
     if (command == "layout") return CmdLayout(args);
@@ -489,6 +551,11 @@ int main(int argc, char** argv) {
   } catch (const parhde::ParhdeError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return parhde::ExitCodeFor(e.code());
+  } catch (const std::bad_alloc&) {
+    // Allocation failure anywhere in a run maps to the documented
+    // resource-exhaustion exit code, not a generic internal error.
+    std::fprintf(stderr, "error: out of memory\n");
+    return parhde::ExitCodeFor(parhde::ErrorCode::kResourceExhausted);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

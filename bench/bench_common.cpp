@@ -1,13 +1,18 @@
 #include "bench_common.hpp"
 
+#include <omp.h>
+
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/ordering.hpp"
+#include "obs/hwperf.hpp"
 #include "obs/report.hpp"
+#include "util/memory.hpp"
 #include "util/table.hpp"
 
 namespace parhde::bench {
@@ -17,7 +22,52 @@ CsrGraph Lcc(vid_t n, const EdgeList& edges) {
   return LargestComponent(BuildCsrGraph(n, edges)).graph;
 }
 
+[[noreturn]] void BenchUsageError(const std::string& why) {
+  std::fprintf(stderr, "error: %s\n", why.c_str());
+  std::exit(2);
+}
+
+void EnableBenchHwCounters(const std::string& mode_name) {
+  obs::HwCounterMode mode;
+  if (mode_name == "off") {
+    mode = obs::HwCounterMode::kOff;
+  } else if (mode_name == "phase") {
+    mode = obs::HwCounterMode::kPhase;
+  } else if (mode_name == "thread") {
+    mode = obs::HwCounterMode::kThread;
+  } else {
+    BenchUsageError("--hw-counters must be off, phase, or thread (got '" +
+                    mode_name + "')");
+  }
+  if (!obs::EnableHwCounters(mode) && mode != obs::HwCounterMode::kOff) {
+    std::fprintf(stderr, "warning: hw counters unavailable: %s\n",
+                 obs::HwCountersUnavailableReason().c_str());
+  }
+}
+
 }  // namespace
+
+void InitBench(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const int threads = std::atoi(arg.c_str() + 10);
+      if (threads < 1) {
+        BenchUsageError("--threads must be a positive integer");
+      }
+      omp_set_num_threads(threads);
+    } else if (arg == "--hw-counters") {
+      EnableBenchHwCounters("phase");
+    } else if (arg.rfind("--hw-counters=", 0) == 0) {
+      EnableBenchHwCounters(arg.substr(14));
+    } else {
+      argv[out++] = argv[i];  // not ours: keep for the bench framework
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+}
 
 std::vector<NamedGraph> LargeSuite() {
   std::vector<NamedGraph> suite;
@@ -150,6 +200,10 @@ void WriteBenchReport(const std::string& bench, const std::string& graph_name,
   report.total_seconds = total_seconds;
   report.timings = timings;
   report.environment = obs::CaptureEnvironment();
+  // Counter attribution and the RSS high-water mark ride along in every
+  // artifact; `hw` degrades to available=false when the layer is off.
+  report.hw = obs::SnapshotHwPerf();
+  report.peak_rss_bytes = PeakRssBytes();
   const std::string path =
       "BENCH_" + report.algo + "_" + BenchSlug(graph_name) + ".json";
   obs::WriteReportFile(report, path);

@@ -19,6 +19,15 @@
 
 namespace parhde::bench {
 
+/// Shared flag handling for every bench binary: consumes `--threads=N`
+/// (OpenMP thread cap) and `--hw-counters[=off|phase|thread]`
+/// (perf_event_open attribution in the BENCH_*.json artifacts; bare flag
+/// means "phase") from argv, compacting what remains so
+/// google-benchmark-based binaries can pass the rest to
+/// benchmark::Initialize without tripping over unknown flags. Exits with
+/// the usage code (2) on a malformed value; a denied perf host only warns.
+void InitBench(int* argc, char** argv);
+
 struct NamedGraph {
   std::string name;
   std::string paper_name;  // the paper graph this stands in for

@@ -7,7 +7,8 @@
 #include "hde/prior_baseline.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
   using namespace parhde;
   using namespace parhde::bench;
 

@@ -7,7 +7,8 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
   using namespace parhde;
   using namespace parhde::bench;
 

@@ -4,6 +4,8 @@
 // the full-pipeline tables.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "bfs/parallel_bfs.hpp"
 #include "bfs/serial_bfs.hpp"
 #include "graph/builder.hpp"
@@ -157,4 +159,13 @@ BENCHMARK(BM_GramSchmidt)
 }  // namespace
 }  // namespace parhde
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared bench flags (--threads,
+// --hw-counters) are stripped before google-benchmark sees argv.
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

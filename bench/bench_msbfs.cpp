@@ -5,6 +5,8 @@
 // the two timings is the realized amortization on each graph family.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <vector>
 
 #include "bfs/ms_bfs.hpp"
@@ -81,4 +83,13 @@ BENCHMARK(BM_Road_MultiSourceBfs)->Arg(16)->Arg(64)->Arg(128)->UseRealTime();
 }  // namespace
 }  // namespace parhde
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared bench flags (--threads,
+// --hw-counters) are stripped before google-benchmark sees argv.
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,7 +31,8 @@ double NormalizedEnergy(const parhde::CsrGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
   using namespace parhde;
   using namespace parhde::bench;
 

@@ -47,7 +47,8 @@ void RunAblation(const char* label, const parhde::CsrGraph& ordered) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
   using namespace parhde;
   using namespace parhde::bench;
 

@@ -15,7 +15,8 @@
 #include "multilevel/multilevel_hde.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
   using namespace parhde;
   using namespace parhde::bench;
 

@@ -11,7 +11,8 @@
 #include "util/memory.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  parhde::bench::InitBench(&argc, argv);
   using namespace parhde;
   using namespace parhde::bench;
 

@@ -1,0 +1,542 @@
+#include "obs/hwperf.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "obs/thread_stats.hpp"  // kMaxTrackedThreads / kMaxTrackedPhases
+
+#if defined(PARHDE_HWPERF) && PARHDE_HWPERF && defined(__linux__)
+#define PARHDE_HWPERF_LIVE 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#endif
+
+namespace parhde::obs {
+namespace {
+
+constexpr int kNumEvents = static_cast<int>(HwEvent::kEventCount);
+
+const char* const kEventNames[kNumEvents] = {
+    "hw.cycles",         "hw.instructions",   "hw.llc_references",
+    "hw.llc_misses",     "hw.branch_misses",  "hw.stalled_cycles",
+    "sw.task_clock_ns",  "sw.page_faults",    "sw.context_switches",
+};
+
+/// Accumulation cell for one (phase, thread) pair. Written only by OpenMP
+/// thread `tid` (same single-writer argument as the thread-stat table).
+struct HwCell {
+  std::uint64_t values[kNumEvents] = {};
+  double seconds = 0.0;
+  std::int64_t regions = 0;
+  bool multiplexed = false;
+};
+
+struct HwPhaseRow {
+  const char* name = nullptr;
+  HwCell cells[kMaxTrackedThreads];
+};
+
+struct PerThread;
+
+struct Global {
+  std::mutex mutex;  // guards everything below except the atomics
+  std::atomic<int> mode{0};  // HwCounterMode; nonzero => regions sample
+  std::atomic<std::uint64_t> generation{0};  // bumped per Enable/Disable
+  bool available = false;
+  std::string reason;
+  // Events that survived the probe, in the exact order the per-thread
+  // groups open them (group position -> HwEvent index).
+  std::vector<int> hw_group;
+  std::vector<int> sw_group;
+  bool enabled[kNumEvents] = {};
+  std::vector<PerThread*> threads;  // registered TLS states, for closing
+  // Lazily allocated (leaked) so a build that never enables the layer
+  // pays no static footprint. Registration mirrors thread_stats.
+  HwPhaseRow* rows = nullptr;
+  std::atomic<int> num_phases{0};
+};
+
+Global& G() {
+  static Global* g = new Global();  // leaked: outlives all threads
+  return *g;
+}
+
+/// Per-thread counter fds. hw_fd/sw_fd are the group-leader fds; a value
+/// of -1 means that group failed to open on this thread.
+struct PerThread {
+  std::uint64_t generation = 0;
+  int hw_fd = -1;
+  int sw_fd = -1;
+  int n_hw = 0;
+  int n_sw = 0;
+
+  ~PerThread();
+};
+
+#ifdef PARHDE_HWPERF_LIVE
+
+void CloseThreadFds(PerThread& t) {
+  if (t.hw_fd >= 0) ::close(t.hw_fd);
+  if (t.sw_fd >= 0) ::close(t.sw_fd);
+  t.hw_fd = t.sw_fd = -1;
+  t.n_hw = t.n_sw = 0;
+}
+
+PerThread::~PerThread() {
+  Global& g = G();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  CloseThreadFds(*this);
+  for (std::size_t i = 0; i < g.threads.size(); ++i) {
+    if (g.threads[i] == this) {
+      g.threads.erase(g.threads.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+EventSpec SpecFor(int event) {
+  switch (static_cast<HwEvent>(event)) {
+    case HwEvent::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case HwEvent::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case HwEvent::kLlcReferences:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES};
+    case HwEvent::kLlcMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES};
+    case HwEvent::kBranchMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES};
+    case HwEvent::kStalledCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND};
+    case HwEvent::kTaskClockNs:
+      return {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK};
+    case HwEvent::kPageFaults:
+      return {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS};
+    case HwEvent::kContextSwitches:
+      return {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES};
+    case HwEvent::kEventCount:
+      break;
+  }
+  return {0, 0};
+}
+
+int OpenEvent(int event, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  const EventSpec spec = SpecFor(event);
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // Counters run from the moment they open: regions difference two reads,
+  // so there is no enable/disable ioctl on the hot path.
+  attr.disabled = 0;
+  // perf_event_paranoid=2 (the common default) allows user-space-only
+  // self-profiling; asking for more would turn an available host into a
+  // denied one.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, PERF_FLAG_FD_CLOEXEC));
+}
+
+/// Opens `events` as one group on the calling thread. Returns the leader
+/// fd (or -1) and shrinks `events` to the members that actually opened.
+int OpenGroup(std::vector<int>& events) {
+  int leader = -1;
+  std::vector<int> opened;
+  for (const int event : events) {
+    const int fd = OpenEvent(event, leader);
+    if (fd < 0) continue;
+    if (leader < 0) leader = fd;
+    opened.push_back(event);
+  }
+  events = std::move(opened);
+  return leader;
+}
+
+/// Reads a PERF_FORMAT_GROUP leader: out[0]=time_enabled,
+/// out[1]=time_running, out[2..2+n) = member values.
+bool ReadGroup(int fd, int n, std::uint64_t* out) {
+  std::uint64_t buf[3 + kNumEvents];
+  const auto want =
+      static_cast<ssize_t>((3 + static_cast<std::size_t>(n)) * sizeof(std::uint64_t));
+  if (::read(fd, buf, static_cast<std::size_t>(want)) != want) return false;
+  out[0] = buf[1];
+  out[1] = buf[2];
+  for (int i = 0; i < n; ++i) out[2 + i] = buf[3 + i];
+  return true;
+}
+
+int ParanoidLevel() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (!f) return -100;
+  int level = -100;
+  if (std::fscanf(f, "%d", &level) != 1) level = -100;
+  std::fclose(f);
+  return level;
+}
+
+/// Opens this thread's groups per the probed spec and registers the TLS
+/// state for later closing. Called once per (thread, generation).
+void OpenForThread(PerThread& t, std::uint64_t gen) {
+  Global& g = G();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  CloseThreadFds(t);
+  t.generation = gen;
+  if (!g.available) return;
+  std::vector<int> hw = g.hw_group;
+  std::vector<int> sw = g.sw_group;
+  t.hw_fd = hw.empty() ? -1 : OpenGroup(hw);
+  t.sw_fd = sw.empty() ? -1 : OpenGroup(sw);
+  // A thread where fewer events open than the probe saw (fd limits, racing
+  // cgroup changes) would mis-map group positions; treat it as inactive
+  // rather than attribute counts to the wrong event.
+  if (t.hw_fd >= 0 && hw.size() != g.hw_group.size()) {
+    ::close(t.hw_fd);
+    t.hw_fd = -1;
+  }
+  if (t.sw_fd >= 0 && sw.size() != g.sw_group.size()) {
+    ::close(t.sw_fd);
+    t.sw_fd = -1;
+  }
+  t.n_hw = t.hw_fd >= 0 ? static_cast<int>(g.hw_group.size()) : 0;
+  t.n_sw = t.sw_fd >= 0 ? static_cast<int>(g.sw_group.size()) : 0;
+  bool registered = false;
+  for (PerThread* p : g.threads) registered |= (p == &t);
+  if (!registered) g.threads.push_back(&t);
+}
+
+PerThread& Tls() {
+  thread_local PerThread state;
+  return state;
+}
+
+#else  // !PARHDE_HWPERF_LIVE
+
+PerThread::~PerThread() = default;
+
+#endif  // PARHDE_HWPERF_LIVE
+
+/// Phase slot registration, same lock-free-lookup pattern as the
+/// thread-stat table. (Unused when the layer is compiled out.)
+[[maybe_unused]] int SlotFor(const char* phase) {
+  Global& g = G();
+  if (g.rows == nullptr) return -1;
+  const int n = g.num_phases.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const char* name = g.rows[i].name;
+    if (name == phase || std::strcmp(name, phase) == 0) return i;
+  }
+  std::lock_guard<std::mutex> lock(g.mutex);
+  const int m = g.num_phases.load(std::memory_order_relaxed);
+  for (int i = n; i < m; ++i) {
+    const char* name = g.rows[i].name;
+    if (name == phase || std::strcmp(name, phase) == 0) return i;
+  }
+  if (m >= kMaxTrackedPhases) return -1;
+  g.rows[m].name = phase;
+  g.num_phases.store(m + 1, std::memory_order_release);
+  return m;
+}
+
+void ZeroTableLocked(Global& g) {
+  const int n = g.num_phases.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    g.rows[i].name = nullptr;
+    for (int t = 0; t < kMaxTrackedThreads; ++t) g.rows[i].cells[t] = HwCell{};
+  }
+  g.num_phases.store(0, std::memory_order_release);
+}
+
+double Derive(std::int64_t num, std::int64_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : -1.0;
+}
+
+void FillDerived(HwPhaseCounters& p) {
+  const auto v = [&](HwEvent e) { return p.values[static_cast<int>(e)]; };
+  const auto h = [&](HwEvent e) { return p.has[static_cast<int>(e)]; };
+  if (h(HwEvent::kCycles) && h(HwEvent::kInstructions)) {
+    p.ipc = Derive(v(HwEvent::kInstructions), v(HwEvent::kCycles));
+  }
+  if (h(HwEvent::kLlcReferences) && h(HwEvent::kLlcMisses)) {
+    p.llc_miss_rate = Derive(v(HwEvent::kLlcMisses), v(HwEvent::kLlcReferences));
+  }
+  if (h(HwEvent::kCycles) && h(HwEvent::kStalledCycles)) {
+    p.stalled_frac = Derive(v(HwEvent::kStalledCycles), v(HwEvent::kCycles));
+  }
+  if (h(HwEvent::kLlcMisses) && p.seconds > 0.0) {
+    // One LLC miss ~ one 64-byte cache line from DRAM: a deliberate
+    // estimate (prefetched and write-allocated traffic is not counted).
+    p.dram_gbps = static_cast<double>(v(HwEvent::kLlcMisses)) * 64.0 /
+                  p.seconds / 1e9;
+  }
+}
+
+}  // namespace
+
+const char* HwCounterModeName(HwCounterMode mode) {
+  switch (mode) {
+    case HwCounterMode::kOff: return "off";
+    case HwCounterMode::kPhase: return "phase";
+    case HwCounterMode::kThread: return "thread";
+  }
+  return "off";
+}
+
+const char* HwEventName(HwEvent e) {
+  const int i = static_cast<int>(e);
+  return (i >= 0 && i < kNumEvents) ? kEventNames[i] : "unknown";
+}
+
+bool EnableHwCounters(HwCounterMode mode) {
+  Global& g = G();
+  if (mode == HwCounterMode::kOff) {
+    DisableHwCounters();
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.mode.store(0, std::memory_order_relaxed);  // quiesce regions
+#ifdef PARHDE_HWPERF_LIVE
+  for (PerThread* t : g.threads) CloseThreadFds(*t);
+#endif
+  g.hw_group.clear();
+  g.sw_group.clear();
+  std::memset(g.enabled, 0, sizeof(g.enabled));
+  g.available = false;
+  g.reason.clear();
+
+  if (!kHwPerfCompiled) {
+    g.reason = "hardware counters not compiled in (PARHDE_HWPERF=OFF)";
+    return false;
+  }
+  if (const char* deny = std::getenv("PARHDE_HWPERF_FORCE_DENY");
+      deny != nullptr && deny[0] != '\0' && std::strcmp(deny, "0") != 0) {
+    g.reason = "denied by PARHDE_HWPERF_FORCE_DENY";
+    return false;
+  }
+#ifndef PARHDE_HWPERF_LIVE
+  g.reason = "perf_event_open is Linux-only";
+  return false;
+#else
+  // Probe on the calling thread, opening each candidate individually so we
+  // learn exactly which events this PMU/kernel has; the per-worker groups
+  // then open the surviving set. The first errno of each class feeds the
+  // denial message.
+  std::vector<int> hw, sw;
+  int hw_errno = 0, sw_errno = 0;
+  for (int event = 0; event < kNumEvents; ++event) {
+    const bool is_hw = SpecFor(event).type == PERF_TYPE_HARDWARE;
+    const int fd = OpenEvent(event, -1);
+    if (fd < 0) {
+      int& first = is_hw ? hw_errno : sw_errno;
+      if (first == 0) first = errno;
+      continue;
+    }
+    (is_hw ? hw : sw).push_back(event);
+    ::close(fd);
+  }
+
+  if (hw.empty() && sw.empty()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "perf_event_open denied: %s (hw) / %s (sw); "
+                  "kernel.perf_event_paranoid=%d",
+                  std::strerror(hw_errno ? hw_errno : ENOENT),
+                  std::strerror(sw_errno ? sw_errno : ENOENT),
+                  ParanoidLevel());
+    g.reason = buf;
+    return false;
+  }
+
+  g.hw_group = std::move(hw);
+  g.sw_group = std::move(sw);
+  for (const int e : g.hw_group) g.enabled[e] = true;
+  for (const int e : g.sw_group) g.enabled[e] = true;
+  if (g.hw_group.empty()) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "hardware events unavailable (%s; "
+                  "kernel.perf_event_paranoid=%d); software events only",
+                  std::strerror(hw_errno ? hw_errno : ENOENT),
+                  ParanoidLevel());
+    g.reason = buf;  // informational: available stays true
+  }
+  if (g.rows == nullptr) g.rows = new HwPhaseRow[kMaxTrackedPhases]();
+  ZeroTableLocked(g);
+  g.available = true;
+  g.generation.fetch_add(1, std::memory_order_release);
+  g.mode.store(static_cast<int>(mode), std::memory_order_release);
+  return true;
+#endif
+}
+
+void DisableHwCounters() {
+  Global& g = G();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.mode.store(0, std::memory_order_relaxed);
+#ifdef PARHDE_HWPERF_LIVE
+  for (PerThread* t : g.threads) CloseThreadFds(*t);
+#endif
+  g.generation.fetch_add(1, std::memory_order_release);
+  g.available = false;
+}
+
+HwCounterMode HwCountersMode() {
+  return static_cast<HwCounterMode>(G().mode.load(std::memory_order_relaxed));
+}
+
+bool HwCountersAvailable() {
+  Global& g = G();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.available;
+}
+
+std::string HwCountersUnavailableReason() {
+  Global& g = G();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.reason;
+}
+
+bool HwEventEnabled(HwEvent e) {
+  Global& g = G();
+  const int i = static_cast<int>(e);
+  if (i < 0 || i >= kNumEvents) return false;
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.enabled[i];
+}
+
+void HwRegionBegin(HwRegionSample& sample) {
+  Global& g = G();
+  if (g.mode.load(std::memory_order_relaxed) == 0) return;
+#ifdef PARHDE_HWPERF_LIVE
+  PerThread& t = Tls();
+  const std::uint64_t gen = g.generation.load(std::memory_order_acquire);
+  if (t.generation != gen) OpenForThread(t, gen);
+  if (t.hw_fd < 0 && t.sw_fd < 0) return;
+  bool ok = true;
+  if (t.hw_fd >= 0) ok &= ReadGroup(t.hw_fd, t.n_hw, sample.hw);
+  if (t.sw_fd >= 0) ok &= ReadGroup(t.sw_fd, t.n_sw, sample.sw);
+  sample.active = ok;
+#else
+  (void)sample;
+#endif
+}
+
+void HwRegionEnd(const HwRegionSample& sample, const char* phase, int tid,
+                 double seconds) {
+  if (!sample.active || phase == nullptr) return;
+  if (tid < 0 || tid >= kMaxTrackedThreads) return;
+#ifdef PARHDE_HWPERF_LIVE
+  Global& g = G();
+  if (g.mode.load(std::memory_order_relaxed) == 0) return;
+  PerThread& t = Tls();
+  HwRegionSample end;
+  bool ok = true;
+  if (t.hw_fd >= 0) ok &= ReadGroup(t.hw_fd, t.n_hw, end.hw);
+  if (t.sw_fd >= 0) ok &= ReadGroup(t.sw_fd, t.n_sw, end.sw);
+  if (!ok) return;
+  const int slot = SlotFor(phase);
+  if (slot < 0) return;
+  HwCell& cell = g.rows[slot].cells[tid];
+  cell.seconds += seconds;
+  cell.regions += 1;
+  const auto charge = [&cell](const std::vector<int>& group,
+                              const std::uint64_t* begin,
+                              const std::uint64_t* endv) {
+    if (group.empty()) return;
+    const std::uint64_t te_d = endv[0] - begin[0];
+    const std::uint64_t tr_d = endv[1] - begin[1];
+    double scale = 1.0;
+    if (tr_d > 0 && tr_d < te_d) {
+      scale = static_cast<double>(te_d) / static_cast<double>(tr_d);
+      cell.multiplexed = true;
+    }
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const std::uint64_t delta = endv[2 + i] - begin[2 + i];
+      cell.values[group[i]] +=
+          scale == 1.0
+              ? delta
+              : static_cast<std::uint64_t>(static_cast<double>(delta) * scale);
+    }
+  };
+  // The group vectors are only mutated under the mode=0 quiesce, so the
+  // relaxed mode check above makes these reads race-free.
+  charge(g.hw_group, sample.hw, end.hw);
+  charge(g.sw_group, sample.sw, end.sw);
+#else
+  (void)seconds;
+#endif
+}
+
+HwPerfSnapshot SnapshotHwPerf() {
+  Global& g = G();
+  HwPerfSnapshot snap;
+  std::lock_guard<std::mutex> lock(g.mutex);
+  snap.mode = static_cast<HwCounterMode>(g.mode.load(std::memory_order_relaxed));
+  snap.available = g.available;
+  snap.reason = g.reason;
+  for (const int e : g.hw_group) snap.events.emplace_back(kEventNames[e]);
+  for (const int e : g.sw_group) snap.events.emplace_back(kEventNames[e]);
+  if (g.rows == nullptr) return snap;
+  const int n = g.num_phases.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const HwPhaseRow& row = g.rows[i];
+    if (row.name == nullptr) continue;
+    HwPhaseCounters phase;
+    phase.phase = row.name;
+    for (int e = 0; e < kNumEvents; ++e) phase.has[e] = g.enabled[e];
+    for (int t = 0; t < kMaxTrackedThreads; ++t) {
+      const HwCell& cell = row.cells[t];
+      if (cell.regions == 0) continue;
+      ++phase.threads;
+      phase.regions += cell.regions;
+      if (cell.seconds > phase.seconds) phase.seconds = cell.seconds;
+      phase.multiplexed |= cell.multiplexed;
+      for (int e = 0; e < kNumEvents; ++e) {
+        phase.values[e] += static_cast<std::int64_t>(cell.values[e]);
+      }
+      if (snap.mode == HwCounterMode::kThread) {
+        HwThreadCounters tc;
+        tc.phase = row.name;
+        tc.tid = t;
+        tc.seconds = cell.seconds;
+        for (int e = 0; e < kNumEvents; ++e) {
+          tc.has[e] = g.enabled[e];
+          tc.values[e] = static_cast<std::int64_t>(cell.values[e]);
+        }
+        tc.ipc = (g.enabled[static_cast<int>(HwEvent::kCycles)] &&
+                  g.enabled[static_cast<int>(HwEvent::kInstructions)])
+                     ? Derive(tc.values[static_cast<int>(HwEvent::kInstructions)],
+                              tc.values[static_cast<int>(HwEvent::kCycles)])
+                     : -1.0;
+        snap.threads.push_back(std::move(tc));
+      }
+    }
+    if (phase.threads == 0) continue;
+    FillDerived(phase);
+    snap.phases.push_back(std::move(phase));
+  }
+  return snap;
+}
+
+void ResetHwCounters() {
+  Global& g = G();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.rows != nullptr) ZeroTableLocked(g);
+}
+
+}  // namespace parhde::obs

@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "resilience/fault_injection.hpp"
 #include "util/json_writer.hpp"
+#include "util/memory.hpp"
 #include "util/status.hpp"
 
 namespace parhde::obs {
@@ -50,22 +51,41 @@ void RunReport::CollectObservability() {
   }
   thread_stats = SnapshotThreadStats();
   recovery = resilience::RecoveryAttempts();
+  hw = SnapshotHwPerf();
+  peak_rss_bytes = PeakRssBytes();
   environment = CaptureEnvironment();
 }
 
 void ResetObservability() {
   ResetCounters();
   ResetThreadStats();
+  ResetHwCounters();
   resilience::ResetRecoveryLog();
   resilience::ResetFaultCounters();
   Tracer::Clear();
 }
 
+namespace {
+
+/// Emits {"<event>": value, ...} for the events present in `has`.
+void WriteHwCounterMap(JsonWriter& w, const bool* has,
+                       const std::int64_t* values) {
+  w.BeginObject();
+  for (int e = 0; e < static_cast<int>(HwEvent::kEventCount); ++e) {
+    if (!has[e]) continue;
+    w.Key(HwEventName(static_cast<HwEvent>(e)));
+    w.Int(values[e]);
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
 std::string ReportToJson(const RunReport& report) {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema");
-  w.String("parhde-run-report/1");
+  w.String("parhde-run-report/2");
   w.Key("tool");
   w.String(report.tool);
   w.Key("algo");
@@ -161,9 +181,94 @@ std::string ReportToJson(const RunReport& report) {
     w.Double(stats.max_seconds);
     w.Key("imbalance");
     w.Double(stats.imbalance);
+    w.Key("rss_delta_bytes");
+    w.Int(stats.rss_delta_bytes);
     w.EndObject();
   }
   w.EndArray();
+
+  // hw: always present, so a reader can distinguish "counters denied"
+  // (available=false + reason) from "report predates schema /2".
+  w.Key("hw");
+  w.BeginObject();
+  w.Key("compiled");
+  w.Bool(report.hw.compiled);
+  w.Key("mode");
+  w.String(HwCounterModeName(report.hw.mode));
+  w.Key("available");
+  w.Bool(report.hw.available);
+  w.Key("reason");
+  w.String(report.hw.reason);
+  w.Key("events");
+  w.BeginArray();
+  for (const auto& name : report.hw.events) w.String(name);
+  w.EndArray();
+  w.Key("phases");
+  w.BeginArray();
+  for (const auto& phase : report.hw.phases) {
+    w.BeginObject();
+    w.Key("phase");
+    w.String(phase.phase);
+    w.Key("threads");
+    w.Int(phase.threads);
+    w.Key("regions");
+    w.Int(phase.regions);
+    w.Key("seconds");
+    w.Double(phase.seconds);
+    w.Key("multiplexed");
+    w.Bool(phase.multiplexed);
+    w.Key("counters");
+    WriteHwCounterMap(w, phase.has, phase.values);
+    w.Key("derived");
+    w.BeginObject();
+    if (phase.ipc >= 0.0) {
+      w.Key("ipc");
+      w.Double(phase.ipc);
+    }
+    if (phase.llc_miss_rate >= 0.0) {
+      w.Key("llc_miss_rate");
+      w.Double(phase.llc_miss_rate);
+    }
+    if (phase.stalled_frac >= 0.0) {
+      w.Key("stalled_frac");
+      w.Double(phase.stalled_frac);
+    }
+    if (phase.dram_gbps >= 0.0) {
+      w.Key("dram_gbps");
+      w.Double(phase.dram_gbps);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  if (!report.hw.threads.empty()) {
+    w.Key("threads");
+    w.BeginArray();
+    for (const auto& tc : report.hw.threads) {
+      w.BeginObject();
+      w.Key("phase");
+      w.String(tc.phase);
+      w.Key("tid");
+      w.Int(tc.tid);
+      w.Key("seconds");
+      w.Double(tc.seconds);
+      w.Key("counters");
+      WriteHwCounterMap(w, tc.has, tc.values);
+      if (tc.ipc >= 0.0) {
+        w.Key("ipc");
+        w.Double(tc.ipc);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+
+  w.Key("memory");
+  w.BeginObject();
+  w.Key("peak_rss_bytes");
+  w.Int(report.peak_rss_bytes);
+  w.EndObject();
 
   // Always present so consumers can distinguish "healthy run" (empty
   // array) from "report predates the resilience layer" (key missing).
@@ -251,13 +356,68 @@ std::string ReportToText(const RunReport& report) {
     out += "per-thread phase time (min/mean/max s, imbalance=max/mean):\n";
     for (const auto& stats : report.thread_stats) {
       std::snprintf(line, sizeof(line),
-                    "  %-16s %2d thr  %8.4f / %8.4f / %8.4f  x%.2f\n",
+                    "  %-16s %2d thr  %8.4f / %8.4f / %8.4f  x%.2f",
                     stats.phase.c_str(), stats.threads, stats.min_seconds,
                     stats.mean_seconds, stats.max_seconds, stats.imbalance);
       out += line;
+      if (stats.rss_delta_bytes > 0) {
+        std::snprintf(line, sizeof(line), "  +%.1f MiB",
+                      static_cast<double>(stats.rss_delta_bytes) / (1 << 20));
+        out += line;
+      }
+      out += "\n";
     }
   }
 
+  // Hardware attribution: only rendered when the layer collected
+  // something; a denied host gets one explanatory line instead.
+  if (report.hw.mode != HwCounterMode::kOff) {
+    if (!report.hw.available) {
+      std::snprintf(line, sizeof(line), "hw counters: unavailable (%s)\n",
+                    report.hw.reason.c_str());
+      out += line;
+    } else if (!report.hw.phases.empty()) {
+      out += "hw counters per phase:\n";
+      for (const auto& phase : report.hw.phases) {
+        std::snprintf(line, sizeof(line), "  %-16s", phase.phase.c_str());
+        out += line;
+        bool any = false;
+        const auto metric = [&](double value, const char* fmt) {
+          if (value < 0.0) return;
+          std::snprintf(line, sizeof(line), fmt, value);
+          out += line;
+          any = true;
+        };
+        metric(phase.ipc, "  ipc %.2f");
+        if (phase.llc_miss_rate >= 0.0) {
+          metric(phase.llc_miss_rate * 100.0, "  llc-miss %.1f%%");
+        }
+        if (phase.stalled_frac >= 0.0) {
+          metric(phase.stalled_frac * 100.0, "  stalled %.1f%%");
+        }
+        metric(phase.dram_gbps, "  ~%.2f GB/s");
+        const int task_clock = static_cast<int>(HwEvent::kTaskClockNs);
+        if (!any && phase.has[task_clock]) {
+          std::snprintf(line, sizeof(line), " task-clock %.3f s",
+                        static_cast<double>(phase.values[task_clock]) * 1e-9);
+          out += line;
+        }
+        if (phase.multiplexed) out += "  (multiplexed)";
+        out += "\n";
+      }
+      if (!report.hw.reason.empty()) {
+        std::snprintf(line, sizeof(line), "  note: %s\n",
+                      report.hw.reason.c_str());
+        out += line;
+      }
+    }
+  }
+
+  if (report.peak_rss_bytes > 0) {
+    std::snprintf(line, sizeof(line), "peak RSS: %.1f MiB\n",
+                  static_cast<double>(report.peak_rss_bytes) / (1 << 20));
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "threads: %d (of %d procs)\n",
                 report.environment.omp_max_threads,
                 report.environment.omp_num_procs);

@@ -1,7 +1,17 @@
 // Structured run reports — the machine-readable output of a layout or
 // benchmark run: graph stats, configuration, wall-clock phase breakdown,
-// work counters, per-thread phase statistics, and build/runtime
-// environment, serialized as JSON (schema "parhde-run-report/1").
+// work counters, per-thread phase statistics, hardware-counter phase
+// attribution, memory high-water marks, and build/runtime environment,
+// serialized as JSON (schema "parhde-run-report/2").
+//
+// Schema history:
+//   /1  phases, counters, series, thread_phases, recovery, environment
+//   /2  adds "hw" (perf_event_open phase attribution incl. derived IPC /
+//       LLC miss rate / stalled fraction / est. DRAM GB/s, with
+//       hw.available=false + reason on denied hosts), "memory"
+//       (getrusage peak RSS), and "rss_delta_bytes" per thread-phase row.
+//       Every /1 key is unchanged: a /1 reader ignoring unknown keys
+//       reads /2 documents correctly.
 //
 // The human-readable summary the CLI prints is rendered from the SAME
 // RunReport by ReportToText, so the text and JSON outputs cannot disagree:
@@ -14,6 +24,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/hwperf.hpp"
 #include "obs/thread_stats.hpp"
 #include "resilience/recovery_log.hpp"
 #include "util/timer.hpp"
@@ -64,6 +75,12 @@ struct RunReport {
   /// Empty for a healthy run: the ladder only logs failures and the
   /// downgraded retries that absorbed them.
   std::vector<resilience::RecoveryAttempt> recovery;
+  /// Hardware-counter phase attribution (hwperf layer). When the layer is
+  /// off, compiled out, or denied, `hw.available` is false and `hw.reason`
+  /// says why — the key is always present in the JSON.
+  HwPerfSnapshot hw;
+  /// getrusage peak RSS in bytes; -1 when unavailable on this platform.
+  std::int64_t peak_rss_bytes = -1;
   Environment environment;
 
   /// Snapshots the counter registry, series, per-thread stats, and
@@ -75,7 +92,7 @@ struct RunReport {
 /// trace events) so the next run reports only its own work.
 void ResetObservability();
 
-/// JSON document for the report (schema "parhde-run-report/1").
+/// JSON document for the report (schema "parhde-run-report/2").
 std::string ReportToJson(const RunReport& report);
 
 /// Human-readable summary: phase table (name, seconds, percent), headline

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/memory.hpp"
+
 namespace parhde::obs {
 namespace {
 
@@ -20,6 +22,8 @@ struct PhaseRow {
   const char* name = nullptr;
   double seconds[kMaxTrackedThreads] = {};
   std::int64_t regions[kMaxTrackedThreads] = {};
+  // Written only by the serial control thread (ThreadPhaseContext dtor).
+  std::int64_t rss_delta_bytes = 0;
 };
 
 struct Table {
@@ -65,12 +69,20 @@ std::uint64_t NowNs() {
 }  // namespace
 
 ThreadPhaseContext::ThreadPhaseContext(const char* phase)
-    : saved_(g_current_phase.load(std::memory_order_relaxed)) {
+    : saved_(g_current_phase.load(std::memory_order_relaxed)),
+      rss_entry_(PeakRssBytes()) {
   g_current_phase.store(phase, std::memory_order_relaxed);
 }
 
 ThreadPhaseContext::~ThreadPhaseContext() {
+  const char* phase = g_current_phase.load(std::memory_order_relaxed);
   g_current_phase.store(saved_, std::memory_order_relaxed);
+  if (phase == nullptr || rss_entry_ < 0) return;
+  const std::int64_t now = PeakRssBytes();
+  if (now <= rss_entry_) return;  // high-water mark did not move
+  const int slot = SlotFor(phase);
+  if (slot < 0) return;
+  GetTable().rows[slot].rss_delta_bytes += now - rss_entry_;
 }
 
 const char* CurrentThreadPhase() {
@@ -92,14 +104,16 @@ ScopedRegionTimer::ScopedRegionTimer()
     : phase_(CurrentThreadPhase()) {
   if (phase_ != nullptr) {
     tid_ = omp_get_thread_num();
+    HwRegionBegin(hw_);  // one relaxed load unless --hw-counters armed it
     start_ns_ = NowNs();
   }
 }
 
 ScopedRegionTimer::~ScopedRegionTimer() {
   if (phase_ != nullptr) {
-    AddThreadTime(phase_, tid_,
-                  static_cast<double>(NowNs() - start_ns_) * 1e-9);
+    const double seconds = static_cast<double>(NowNs() - start_ns_) * 1e-9;
+    AddThreadTime(phase_, tid_, seconds);
+    HwRegionEnd(hw_, phase_, tid_, seconds);
   }
 }
 
@@ -125,10 +139,16 @@ std::vector<ThreadPhaseStats> SnapshotThreadStats() {
       stats.regions += row.regions[t];
       ++stats.threads;
     }
-    if (stats.threads == 0) continue;
-    stats.mean_seconds = total / stats.threads;
-    stats.imbalance =
-        stats.mean_seconds > 0.0 ? stats.max_seconds / stats.mean_seconds : 0.0;
+    stats.rss_delta_bytes = row.rss_delta_bytes;
+    // Keep phases whose contexts saw RSS growth even when no instrumented
+    // region ran under them (a serial allocation-heavy phase).
+    if (stats.threads == 0 && stats.rss_delta_bytes == 0) continue;
+    if (stats.threads > 0) {
+      stats.mean_seconds = total / stats.threads;
+      stats.imbalance = stats.mean_seconds > 0.0
+                            ? stats.max_seconds / stats.mean_seconds
+                            : 0.0;
+    }
     out.push_back(std::move(stats));
   }
   return out;
@@ -141,6 +161,7 @@ void ResetThreadStats() {
   for (int i = 0; i < n; ++i) {
     std::memset(table.rows[i].seconds, 0, sizeof(table.rows[i].seconds));
     std::memset(table.rows[i].regions, 0, sizeof(table.rows[i].regions));
+    table.rows[i].rss_delta_bytes = 0;
   }
 }
 

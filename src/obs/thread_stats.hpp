@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/hwperf.hpp"
+
 namespace parhde::obs {
 
 /// Upper bounds for the static table. 256 threads covers any node the
@@ -44,6 +46,11 @@ class ThreadPhaseContext {
 
  private:
   const char* saved_;
+  // getrusage peak RSS at entry; the destructor charges the high-water
+  // growth observed while this context was active to its phase. Nested
+  // contexts each observe the same growth — per-phase deltas are an
+  // attribution aid, not a partition.
+  std::int64_t rss_entry_;
 };
 
 /// The phase instrumented regions currently charge to, or nullptr.
@@ -76,6 +83,7 @@ class ScopedRegionTimer {
   const char* phase_;        // nullptr: context was inactive at entry
   int tid_ = 0;
   std::uint64_t start_ns_ = 0;
+  HwRegionSample hw_;        // inert unless --hw-counters enabled the layer
 };
 
 /// Reduced per-phase statistics over the threads that recorded time.
@@ -88,6 +96,10 @@ struct ThreadPhaseStats {
   double max_seconds = 0.0;
   /// max/mean busy time: 1.0 = perfectly balanced. 0 when mean is 0.
   double imbalance = 0.0;
+  /// Peak-RSS growth (bytes, getrusage high-water delta) observed while
+  /// this phase's contexts were active. 0 when the phase allocated
+  /// nothing new — peak RSS is monotone over the process lifetime.
+  std::int64_t rss_delta_bytes = 0;
 };
 
 /// Stats for every phase that recorded any time, in registration order.

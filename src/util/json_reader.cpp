@@ -1,0 +1,217 @@
+#include "util/json_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace parhde {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) {
+    throw ParhdeError(ErrorCode::kParse, "json",
+                      "parse error at byte " + std::to_string(pos_) + ": " +
+                          why);
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void Keyword(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) Fail("bad keyword");
+    pos_ += len;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = ParseString();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      Keyword(c == 't' ? "true" : "false");
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = (c == 't');
+      return v;
+    }
+    if (c == 'n') {
+      Keyword("null");
+      return JsonValue{};
+    }
+    return ParseNumber();
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') Fail("malformed number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) Fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              Fail("bad \\u escape");
+            }
+          }
+          // The documents this library reads back are ASCII; keep the
+          // escaped form rather than decode code points.
+          out += "\\u" + text_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      const std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      v.object[key] = ParseValue();
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  auto it = object.find(key);
+  if (it == object.end()) {
+    throw ParhdeError(ErrorCode::kParse, "json", "missing key: " + key);
+  }
+  return it->second;
+}
+
+JsonValue ParseJson(const std::string& text) { return Parser(text).Parse(); }
+
+JsonValue ParseJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParhdeError(ErrorCode::kIo, "json", "cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) {
+    throw ParhdeError(ErrorCode::kIo, "json", "failed reading file: " + path);
+  }
+  try {
+    return ParseJson(ss.str());
+  } catch (const ParhdeError& e) {
+    throw ParhdeError(e.code(), "json", path + ": " + e.what());
+  }
+}
+
+}  // namespace parhde

@@ -1,0 +1,40 @@
+// Minimal JSON value + recursive-descent parser (RFC 8259 subset
+// sufficient for the documents this library emits — run reports and
+// BENCH_*.json artifacts). The production counterpart of the test-only
+// parser in tests/json_test_util.hpp: same value model, but malformed
+// input raises the typed ParhdeError(kParse) / ParhdeError(kIo) the CLI
+// tools map to their documented exit codes. Used by tools/bench_compare
+// to read benchmark baselines back; kept dependency-free like the writer.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parhde {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return object.count(key) > 0;
+  }
+  /// Member lookup; throws ParhdeError(kParse) when absent — a missing
+  /// key in a schema'd document is a malformed document.
+  [[nodiscard]] const JsonValue& At(const std::string& key) const;
+};
+
+/// Parses a complete JSON document (trailing garbage rejected). Throws
+/// ParhdeError(kParse) with a byte offset on malformed input.
+JsonValue ParseJson(const std::string& text);
+
+/// Reads and parses `path`; ParhdeError(kIo) when unreadable.
+JsonValue ParseJsonFile(const std::string& path);
+
+}  // namespace parhde

@@ -1,24 +1,23 @@
 #include "util/memory.hpp"
 
-#include <cstdio>
-#include <cstring>
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace parhde {
 
 std::int64_t PeakRssBytes() {
-  std::FILE* status = std::fopen("/proc/self/status", "r");
-  if (!status) return -1;
-  char line[256];
-  std::int64_t kib = -1;
-  while (std::fgets(line, sizeof(line), status)) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      long long value = 0;
-      if (std::sscanf(line + 6, "%lld", &value) == 1) kib = value;
-      break;
-    }
-  }
-  std::fclose(status);
-  return kib < 0 ? -1 : kib * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return -1;
+#endif
 }
 
 }  // namespace parhde

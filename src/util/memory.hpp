@@ -8,9 +8,11 @@
 
 namespace parhde {
 
-/// Peak resident set size of this process in bytes (Linux VmHWM);
-/// -1 when the value is unavailable. Monotone non-decreasing over the
-/// process lifetime — sample before/after a phase to attribute growth.
+/// Peak resident set size of this process in bytes, via
+/// getrusage(RUSAGE_SELF).ru_maxrss (one cheap syscall — safe to sample
+/// at every phase boundary); -1 when the value is unavailable. Monotone
+/// non-decreasing over the process lifetime — sample before/after a
+/// phase to attribute growth.
 std::int64_t PeakRssBytes();
 
 }  // namespace parhde

@@ -1,0 +1,232 @@
+// End-to-end tests of the bench_compare regression harness: verdict
+// classification around the noise threshold, the documented exit codes
+// (0 clean, 13 regression, 2/3/4 typed errors), and the machine-readable
+// verdict document. The binary path is injected by CMake as
+// PARHDE_BENCH_COMPARE_PATH; runs it as a subprocess like test_cli_tool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "json_test_util.hpp"
+
+#ifndef PARHDE_BENCH_COMPARE_PATH
+#define PARHDE_BENCH_COMPARE_PATH ""
+#endif
+
+namespace parhde {
+namespace {
+
+class BenchCompareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(PARHDE_BENCH_COMPARE_PATH).empty()) {
+      GTEST_SKIP() << "PARHDE_BENCH_COMPARE_PATH not configured";
+    }
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parhde_bc_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_ / "base");
+    std::filesystem::create_directories(dir_ / "new");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes a minimal parhde-run-report document — the subset of fields
+  /// bench_compare keys and compares on.
+  void WriteReport(const std::string& set, const std::string& bench,
+                   const std::string& graph, double seconds) {
+    std::ofstream out(dir_ / set / ("BENCH_" + bench + "_" + graph + ".json"));
+    out << "{\"schema\":\"parhde-run-report/2\",\"tool\":\"bench\","
+        << "\"algo\":\"" << bench << "\","
+        << "\"graph\":{\"name\":\"" << graph << "\"},"
+        << "\"config\":{\"s\":\"10\"},"
+        << "\"total_seconds\":" << seconds << "}";
+  }
+
+  void WriteRaw(const std::string& set, const std::string& name,
+                const std::string& text) {
+    std::ofstream out(dir_ / set / name);
+    out << text;
+  }
+
+  /// Runs bench_compare and returns its exit code; stdout+stderr land in
+  /// log.txt for Log().
+  int Run(const std::string& args) {
+    const std::string cmd = std::string(PARHDE_BENCH_COMPARE_PATH) + " " +
+                            args + " > " + (dir_ / "log.txt").string() +
+                            " 2>&1";
+    const int status = std::system(cmd.c_str());
+#ifdef __unix__
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    return -1;
+#else
+    return status;
+#endif
+  }
+
+  int RunDirs(const std::string& extra = "") {
+    return Run((dir_ / "base").string() + " " + (dir_ / "new").string() +
+               (extra.empty() ? "" : " " + extra));
+  }
+
+  std::string Log() {
+    std::ifstream in(dir_ / "log.txt");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BenchCompareTest, IdenticalInputsAreUnchanged) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 1.0);
+  EXPECT_EQ(RunDirs(), 0);
+  EXPECT_NE(Log().find("verdict: unchanged"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, SlowdownBeyondThresholdExits13) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 2.0);
+  EXPECT_EQ(RunDirs(), 13);
+  EXPECT_NE(Log().find("regressed"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, DefaultThresholdEdges) {
+  // 9% over: inside the default 10% noise band.
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 1.09);
+  EXPECT_EQ(RunDirs(), 0);
+  // 11% over: outside it.
+  WriteReport("new", "spmm", "kron15", 1.11);
+  EXPECT_EQ(RunDirs(), 13);
+}
+
+TEST_F(BenchCompareTest, ThresholdIsConfigurable) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 1.09);
+  EXPECT_EQ(RunDirs("--threshold=0.05"), 13);
+  // A generous threshold forgives a 2x slowdown.
+  WriteReport("new", "spmm", "kron15", 2.0);
+  EXPECT_EQ(RunDirs("--threshold=1.5"), 0);
+}
+
+TEST_F(BenchCompareTest, SpeedupIsImprovedNotRegressed) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 0.5);
+  EXPECT_EQ(RunDirs(), 0);
+  EXPECT_NE(Log().find("verdict: improved"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, MissingAndAddedRowsDoNotFail) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("base", "spmm", "road350", 1.0);  // missing from candidate
+  WriteReport("new", "spmm", "kron15", 1.0);
+  WriteReport("new", "dortho", "kron15", 1.0);  // added in candidate
+  EXPECT_EQ(RunDirs(), 0);
+  const std::string log = Log();
+  EXPECT_NE(log.find("missing 1"), std::string::npos);
+  EXPECT_NE(log.find("added 1"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, DifferentConfigIsADifferentRow) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  // Same bench and graph, different config: must not be compared.
+  WriteRaw("new", "BENCH_spmm_kron15.json",
+           "{\"schema\":\"parhde-run-report/2\",\"algo\":\"spmm\","
+           "\"graph\":{\"name\":\"kron15\"},\"config\":{\"s\":\"50\"},"
+           "\"total_seconds\":9.0}");
+  EXPECT_EQ(RunDirs(), 0);
+  const std::string log = Log();
+  EXPECT_NE(log.find("missing 1"), std::string::npos);
+  EXPECT_NE(log.find("added 1"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, UsageErrors) {
+  EXPECT_EQ(Run(""), 2);             // no inputs
+  EXPECT_EQ(Run((dir_ / "base").string()), 2);  // one input
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 1.0);
+  EXPECT_EQ(RunDirs("--threshold=-1"), 2);
+  EXPECT_EQ(RunDirs("--format=xml"), 2);
+}
+
+TEST_F(BenchCompareTest, MissingPathExitsIo) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  EXPECT_EQ(Run((dir_ / "base").string() + " " + Path("nope.json")), 3);
+}
+
+TEST_F(BenchCompareTest, MalformedJsonExitsParse) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteRaw("new", "BENCH_bad.json", "{\"schema\":");
+  EXPECT_EQ(RunDirs(), 4);
+}
+
+TEST_F(BenchCompareTest, MissingRequiredKeyExitsParse) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteRaw("new", "BENCH_nokey.json",
+           "{\"schema\":\"parhde-run-report/2\",\"algo\":\"spmm\"}");
+  EXPECT_EQ(RunDirs(), 4);
+}
+
+TEST_F(BenchCompareTest, NonReportSchemaIsSkipped) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 1.0);
+  WriteRaw("new", "trace.json", "{\"schema\":\"parhde-trace/1\"}");
+  EXPECT_EQ(RunDirs(), 0);
+  EXPECT_NE(Log().find("skipping"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, VerdictJsonRoundTrips) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("base", "spmm", "road350", 1.0);
+  WriteReport("new", "spmm", "kron15", 2.0);
+  WriteReport("new", "spmm", "road350", 0.5);
+  EXPECT_EQ(RunDirs("--json=" + Path("verdict.json")), 13);
+
+  std::ifstream in(Path("verdict.json"));
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const testutil::JsonValue doc = testutil::Parse(ss.str());
+  EXPECT_EQ(doc.At("schema").string, "parhde-bench-compare/1");
+  EXPECT_EQ(doc.At("metric").string, "total_seconds");
+  EXPECT_DOUBLE_EQ(doc.At("threshold").number, 0.10);
+  EXPECT_EQ(doc.At("verdict").string, "regressed");
+  EXPECT_DOUBLE_EQ(doc.At("summary").At("regressed").number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.At("summary").At("improved").number, 1.0);
+  ASSERT_EQ(doc.At("rows").array.size(), 2u);
+  for (const auto& row : doc.At("rows").array) {
+    EXPECT_EQ(row.At("bench").string, "spmm");
+    const std::string verdict = row.At("verdict").string;
+    if (row.At("graph").string == "kron15") {
+      EXPECT_EQ(verdict, "regressed");
+      EXPECT_DOUBLE_EQ(row.At("ratio").number, 2.0);
+    } else {
+      EXPECT_EQ(verdict, "improved");
+      EXPECT_DOUBLE_EQ(row.At("ratio").number, 0.5);
+    }
+  }
+}
+
+TEST_F(BenchCompareTest, JsonFormatPrintsTheVerdictDocument) {
+  WriteReport("base", "spmm", "kron15", 1.0);
+  WriteReport("new", "spmm", "kron15", 1.0);
+  EXPECT_EQ(RunDirs("--format=json"), 0);
+  const testutil::JsonValue doc = testutil::Parse(Log());
+  EXPECT_EQ(doc.At("verdict").string, "unchanged");
+}
+
+}  // namespace
+}  // namespace parhde

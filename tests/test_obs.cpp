@@ -291,7 +291,7 @@ TEST(RunReport, JsonRoundTripsAllSections) {
   report.CollectObservability();
 
   const JsonValue v = Parse(obs::ReportToJson(report));
-  EXPECT_EQ(v.At("schema").string, "parhde-run-report/1");
+  EXPECT_EQ(v.At("schema").string, "parhde-run-report/2");
   EXPECT_EQ(v.At("algo").string, "parhde");
   EXPECT_DOUBLE_EQ(v.At("graph").At("vertices").number, 100.0);
   EXPECT_DOUBLE_EQ(v.At("graph").At("components").number, 2.0);
@@ -390,7 +390,7 @@ TEST_F(ObsCliTest, LayoutEmitsReportTraceAndHonorsThreads) {
 
   // ---- report: phases, counters, per-thread stats, thread count. ----
   const JsonValue report = Parse(Slurp("run.json"));
-  EXPECT_EQ(report.At("schema").string, "parhde-run-report/1");
+  EXPECT_EQ(report.At("schema").string, "parhde-run-report/2");
   EXPECT_EQ(report.At("algo").string, "parhde");
   EXPECT_GT(report.At("graph").At("vertices").number, 0.0);
 

@@ -1,0 +1,296 @@
+// bench_compare — turns the BENCH_*.json artifacts the benches already
+// emit into an actual performance trajectory: loads two or more run-report
+// files (or directories of them, e.g. bench/baselines/ vs a fresh
+// bench-smoke output dir), matches rows by (bench, graph, config), applies
+// a noise threshold, and renders a verdict.
+//
+//   bench_compare [flags] <baseline file|dir> <candidate file|dir>...
+//     --threshold=0.10    relative slowdown tolerated before "regressed"
+//                         (and speedup required before "improved")
+//     --json=<file>       write the machine-readable verdict document
+//                         (schema "parhde-bench-compare/1")
+//     --format=table|json stdout rendering (default: table)
+//
+// Verdicts per row: improved / unchanged / regressed, plus `missing`
+// (baseline row absent from the candidate set) and `added` (candidate row
+// with no baseline) — the latter two are inventory changes, not
+// regressions, and never affect the exit code.
+//
+// Exit codes: 0 no regression, 13 at least one row regressed beyond the
+// threshold, 2 usage, 3 I/O, 4 malformed JSON. CI runs this as a
+// soft-fail step over checked-in baselines (see bench/baselines/README.md
+// for the update procedure): machine-to-machine noise makes a hard gate
+// on absolute times meaningless, but the diff surfacing in the log makes
+// a silent slowdown loud.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace parhde;
+
+/// The documented "a row got slower" exit code; distinct from every
+/// ErrorCode exit so CI can branch on it.
+constexpr int kRegressionExit = 13;
+
+struct BenchRow {
+  std::string bench;   // report.algo (the bench slug)
+  std::string graph;   // report.graph.name
+  std::string config;  // canonicalized "k=v,..." of the config object
+  double total_seconds = 0.0;
+  std::string file;    // provenance, for messages
+};
+
+std::string RowKey(const BenchRow& row) {
+  return row.bench + "|" + row.graph + "|" + row.config;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--threshold=0.10] [--json=<file>] "
+               "[--format=table|json]\n"
+               "                     <baseline file|dir> "
+               "<candidate file|dir>...\n");
+  return ExitCodeFor(ErrorCode::kUsage);
+}
+
+/// Loads one run-report file into `rows`. Documents with a different (or
+/// no) schema — a trace file or compile_commands.json sharing the
+/// directory — are skipped with a warning; malformed JSON and run-report
+/// documents missing required keys still raise typed errors.
+void LoadReportFile(const std::string& path, std::vector<BenchRow>& rows) {
+  const JsonValue doc = ParseJsonFile(path);
+  if (doc.kind != JsonValue::Kind::kObject || !doc.Has("schema") ||
+      doc.At("schema").string.rfind("parhde-run-report/", 0) != 0) {
+    std::fprintf(stderr, "bench_compare: skipping %s (not a run report)\n",
+                 path.c_str());
+    return;
+  }
+  BenchRow row;
+  row.file = path;
+  row.bench = doc.At("algo").string;
+  row.graph = doc.At("graph").At("name").string;
+  if (doc.Has("config")) {
+    // std::map keys are sorted, so the canonical form is order-stable no
+    // matter how the producer ordered the object.
+    for (const auto& [key, value] : doc.At("config").object) {
+      row.config += key + "=" + value.string + ",";
+    }
+  }
+  row.total_seconds = doc.At("total_seconds").number;
+  rows.push_back(std::move(row));
+}
+
+/// A positional argument: one report file, or a directory scanned for
+/// *.json entries (non-recursive — baselines are a flat directory).
+std::vector<BenchRow> LoadPath(const std::string& path) {
+  std::vector<BenchRow> rows;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".json") continue;
+      files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());  // deterministic row order
+    for (const auto& file : files) LoadReportFile(file, rows);
+    return rows;
+  }
+  if (!fs::exists(path, ec)) {
+    throw ParhdeError(ErrorCode::kIo, "bench_compare",
+                      "no such file or directory: " + path);
+  }
+  LoadReportFile(path, rows);
+  return rows;
+}
+
+struct Comparison {
+  std::string bench, graph;
+  double baseline_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double ratio = 0.0;          // candidate / baseline
+  std::string verdict;         // improved|unchanged|regressed|missing|added
+};
+
+std::string VerdictJson(const std::vector<Comparison>& rows, double threshold,
+                        const std::map<std::string, int>& summary,
+                        const std::string& overall) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("parhde-bench-compare/1");
+  w.Key("metric");
+  w.String("total_seconds");
+  w.Key("threshold");
+  w.Double(threshold);
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : rows) {
+    w.BeginObject();
+    w.Key("bench");
+    w.String(row.bench);
+    w.Key("graph");
+    w.String(row.graph);
+    w.Key("baseline_seconds");
+    w.Double(row.baseline_seconds);
+    w.Key("candidate_seconds");
+    w.Double(row.candidate_seconds);
+    w.Key("ratio");
+    w.Double(row.ratio);
+    w.Key("verdict");
+    w.String(row.verdict);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("summary");
+  w.BeginObject();
+  for (const auto& [verdict, count] : summary) {
+    w.Key(verdict);
+    w.Int(count);
+  }
+  w.EndObject();
+  w.Key("verdict");
+  w.String(overall);
+  w.EndObject();
+  return w.Str();
+}
+
+int Run(const ArgParser& args) {
+  const auto& inputs = args.Positional();
+  if (inputs.size() < 2) return Usage();
+  const double threshold = args.GetDouble("threshold", 0.10);
+  if (threshold < 0.0) {
+    throw ParhdeError(ErrorCode::kUsage, "bench_compare",
+                      "--threshold must be non-negative");
+  }
+  const std::string format =
+      args.GetChoice("format", {"table", "json"}, "table");
+
+  std::map<std::string, BenchRow> baseline;
+  for (const BenchRow& row : LoadPath(inputs[0])) {
+    baseline[RowKey(row)] = row;
+  }
+  std::map<std::string, BenchRow> candidate;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    for (const BenchRow& row : LoadPath(inputs[i])) {
+      // Later candidate sets override earlier ones, so "dir newest-run/"
+      // after "dir older-run/" compares the freshest measurement.
+      candidate[RowKey(row)] = row;
+    }
+  }
+  if (baseline.empty()) {
+    throw ParhdeError(ErrorCode::kUsage, "bench_compare",
+                      "baseline set is empty: " + inputs[0]);
+  }
+
+  std::vector<Comparison> rows;
+  std::map<std::string, int> summary{{"improved", 0},
+                                     {"unchanged", 0},
+                                     {"regressed", 0},
+                                     {"missing", 0},
+                                     {"added", 0}};
+  for (const auto& [key, base] : baseline) {
+    Comparison cmp;
+    cmp.bench = base.bench;
+    cmp.graph = base.graph;
+    cmp.baseline_seconds = base.total_seconds;
+    const auto it = candidate.find(key);
+    if (it == candidate.end()) {
+      cmp.verdict = "missing";
+    } else {
+      cmp.candidate_seconds = it->second.total_seconds;
+      cmp.ratio = base.total_seconds > 0.0
+                      ? cmp.candidate_seconds / base.total_seconds
+                      : 0.0;
+      if (cmp.candidate_seconds > base.total_seconds * (1.0 + threshold)) {
+        cmp.verdict = "regressed";
+      } else if (cmp.candidate_seconds <
+                 base.total_seconds * (1.0 - threshold)) {
+        cmp.verdict = "improved";
+      } else {
+        cmp.verdict = "unchanged";
+      }
+    }
+    ++summary[cmp.verdict];
+    rows.push_back(std::move(cmp));
+  }
+  for (const auto& [key, cand] : candidate) {
+    if (baseline.count(key) > 0) continue;
+    Comparison cmp;
+    cmp.bench = cand.bench;
+    cmp.graph = cand.graph;
+    cmp.candidate_seconds = cand.total_seconds;
+    cmp.verdict = "added";
+    ++summary["added"];
+    rows.push_back(std::move(cmp));
+  }
+
+  const bool regressed = summary["regressed"] > 0;
+  const std::string overall = regressed            ? "regressed"
+                              : summary["improved"] > 0 ? "improved"
+                                                        : "unchanged";
+  const std::string json =
+      VerdictJson(rows, threshold, summary, overall);
+
+  if (format == "json") {
+    std::printf("%s\n", json.c_str());
+  } else {
+    TextTable table({"Bench", "Graph", "Base(s)", "New(s)", "Ratio",
+                     "Verdict"});
+    for (const auto& row : rows) {
+      table.AddRow({row.bench, row.graph,
+                    row.baseline_seconds > 0.0
+                        ? TextTable::Num(row.baseline_seconds, 3)
+                        : "-",
+                    row.candidate_seconds > 0.0
+                        ? TextTable::Num(row.candidate_seconds, 3)
+                        : "-",
+                    row.ratio > 0.0 ? TextTable::Num(row.ratio, 2) : "-",
+                    row.verdict});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf(
+        "verdict: %s (improved %d, unchanged %d, regressed %d, missing %d, "
+        "added %d; threshold %.0f%%)\n",
+        overall.c_str(), summary["improved"], summary["unchanged"],
+        summary["regressed"], summary["missing"], summary["added"],
+        threshold * 100.0);
+  }
+  const std::string json_path = args.GetString("json", "");
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      throw ParhdeError(ErrorCode::kIo, "bench_compare",
+                        "cannot open verdict output file: " + json_path);
+    }
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+  }
+  return regressed ? kRegressionExit : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(ArgParser(argc, argv));
+  } catch (const ParhdeError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return ExitCodeFor(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

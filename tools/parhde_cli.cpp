@@ -23,10 +23,15 @@
 //             [--recovery=ladder|strict]  (downgrade failed kernels, or
 //             surface the first typed error; default ladder)
 //
-// Every subcommand accepts --threads=N (caps the OpenMP thread count) and
-// --fault-plan=<plan> (deterministic fault injection; requires a build with
-// -DPARHDE_FAULT_INJECTION=ON — see src/resilience/fault_injection.hpp for
-// the site catalog and plan grammar). The PARHDE_FAULT_PLAN environment
+// Every subcommand accepts --threads=N (caps the OpenMP thread count),
+// --report=<file> (machine-readable run report, schema parhde-run-report/2),
+// --hw-counters[=off|phase|thread] (perf_event_open counter attribution in
+// the report; bare --hw-counters means "phase"; requires a build with
+// -DPARHDE_HWPERF=ON — on hosts where perf_event_open is denied the run
+// still succeeds and the report says hw.available=false plus the reason),
+// and --fault-plan=<plan> (deterministic fault injection; requires a build
+// with -DPARHDE_FAULT_INJECTION=ON — see src/resilience/fault_injection.hpp
+// for the site catalog and plan grammar). The PARHDE_FAULT_PLAN environment
 // variable is the flag's fallback spelling for harnesses that cannot edit
 // argv.
 //   partition --in=<...> [--parts=4] [--refine] [--svg=out.svg]
@@ -72,6 +77,7 @@
 #include "hde/pivot_mds.hpp"
 #include "hde/prior_baseline.hpp"
 #include "multilevel/multilevel_hde.hpp"
+#include "obs/hwperf.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "resilience/deadline.hpp"
@@ -128,7 +134,20 @@ CsrGraph LoadGraph(const ArgParser& args) {
   return std::move(extraction.graph);
 }
 
+/// --report=<file> for the subcommands that do not hand-build their own
+/// RunReport: snapshots the observability registries (counters, thread
+/// stats, hw counters, peak RSS) into `report` and writes it. The caller
+/// fills identity, graph shape, config, and total_seconds.
+void MaybeWriteReport(const ArgParser& args, obs::RunReport report) {
+  const std::string path = args.GetString("report", "");
+  if (path.empty()) return;
+  report.CollectObservability();
+  obs::WriteReportFile(report, path);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 int CmdGenerate(const ArgParser& args) {
+  WallTimer timer;
   const std::string family = args.GetString("family", "kron");
   const std::string out = args.GetString("out", "graph.mtx");
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
@@ -176,12 +195,26 @@ int CmdGenerate(const ArgParser& args) {
   WriteMatrixMarketFile(graph, out);
   std::printf("wrote %s: n=%d m=%lld\n", out.c_str(), graph.NumVertices(),
               static_cast<long long>(graph.NumEdges()));
+
+  obs::RunReport report;
+  report.tool = "parhde_cli generate";
+  report.graph = "gen:" + family;
+  report.algo = family;
+  report.vertices = graph.NumVertices();
+  report.edges = graph.NumEdges();
+  report.config = {{"family", family},
+                   {"seed", std::to_string(seed)},
+                   {"out", out}};
+  report.total_seconds = timer.Seconds();
+  MaybeWriteReport(args, std::move(report));
   return 0;
 }
 
 int CmdStats(const ArgParser& args) {
+  WallTimer timer;
   const CsrGraph graph = LoadGraph(args);
   const GapSummary gaps = ComputeGapSummary(graph);
+  const auto diameter = PseudoDiameter(graph);
 
   TextTable table({"metric", "value"});
   table.AddRow({"vertices", TextTable::Int(graph.NumVertices())});
@@ -191,11 +224,25 @@ int CmdStats(const ArgParser& args) {
                 TextTable::Num(2.0 * static_cast<double>(graph.NumEdges()) /
                                    std::max<vid_t>(graph.NumVertices(), 1),
                                2)});
-  table.AddRow({"pseudo-diameter", TextTable::Int(PseudoDiameter(graph))});
+  table.AddRow({"pseudo-diameter", TextTable::Int(diameter)});
   table.AddRow({"mean adjacency gap", TextTable::Num(gaps.mean_gap, 1)});
   table.AddRow({"gaps within cache line",
                 TextTable::Num(100.0 * gaps.cache_line_fraction, 1) + "%"});
   std::printf("%s", table.Render().c_str());
+
+  obs::RunReport report;
+  report.tool = "parhde_cli stats";
+  report.graph = args.GetString("in", "");
+  report.algo = "stats";
+  report.vertices = graph.NumVertices();
+  report.edges = graph.NumEdges();
+  report.metrics.emplace_back("pseudo_diameter",
+                              static_cast<double>(diameter));
+  report.metrics.emplace_back("mean_adjacency_gap", gaps.mean_gap);
+  report.metrics.emplace_back("cache_line_gap_fraction",
+                              gaps.cache_line_fraction);
+  report.total_seconds = timer.Seconds();
+  MaybeWriteReport(args, std::move(report));
   return 0;
 }
 
@@ -405,6 +452,7 @@ int CmdLayout(const ArgParser& args) {
       {"recovery", args.GetString("recovery", "ladder")},
       {"timeout", std::to_string(timeout)},
       {"phase_timeout", args.GetString("phase-timeout", "0")},
+      {"hw_counters", obs::HwCounterModeName(obs::HwCountersMode())},
   };
   if (resilience::FaultPlanActive()) {
     report.config.emplace_back("fault_plan",
@@ -445,19 +493,33 @@ int CmdLayout(const ArgParser& args) {
 }
 
 int CmdPartition(const ArgParser& args) {
+  WallTimer timer;
   const CsrGraph graph = LoadGraph(args);
   const int parts = static_cast<int>(args.GetInt("parts", 4));
 
+  obs::RunReport report;
+  report.tool = "parhde_cli partition";
+  report.graph = args.GetString("in", "");
+  report.algo = "partition";
+  report.vertices = graph.NumVertices();
+  report.edges = graph.NumEdges();
+  report.config = {{"parts", std::to_string(parts)},
+                   {"refine", args.Has("refine") ? "true" : "false"}};
+
   const HdeResult hde = RunParHde(graph, OptionsFromFlags(args));
   std::vector<int> labels = CoordinateBisection(hde.layout, parts);
+  const auto cut = EdgeCut(graph, labels);
   std::printf("geometric partition: cut=%lld boundary=%d\n",
-              static_cast<long long>(EdgeCut(graph, labels)),
-              BoundarySize(graph, labels));
+              static_cast<long long>(cut), BoundarySize(graph, labels));
+  report.timings = hde.timings;
+  report.metrics.emplace_back("edge_cut", static_cast<double>(cut));
 
   if (args.Has("refine")) {
     const RefinePartitionResult r = RefinePartition(graph, labels, parts);
     std::printf("after refinement:    cut=%lld (moves=%d, passes=%d)\n",
                 static_cast<long long>(r.final_cut), r.moves, r.passes);
+    report.metrics.emplace_back("refined_cut",
+                                static_cast<double>(r.final_cut));
   }
 
   const std::string svg = args.GetString("svg", "");
@@ -476,10 +538,13 @@ int CmdPartition(const ArgParser& args) {
     WriteSvgFile(graph, px, svg, {}, colors);
     std::printf("wrote %s\n", svg.c_str());
   }
+  report.total_seconds = timer.Seconds();
+  MaybeWriteReport(args, std::move(report));
   return 0;
 }
 
 int CmdDraw(const ArgParser& args) {
+  WallTimer timer;
   const CsrGraph graph = LoadGraph(args);
   const std::string coords = args.GetString("coords", "");
   if (coords.empty()) {
@@ -510,6 +575,17 @@ int CmdDraw(const ArgParser& args) {
     WriteSvgFile(graph, px, svg);
     std::printf("wrote %s\n", svg.c_str());
   }
+
+  obs::RunReport report;
+  report.tool = "parhde_cli draw";
+  report.graph = args.GetString("in", "");
+  report.algo = "draw";
+  report.vertices = graph.NumVertices();
+  report.edges = graph.NumEdges();
+  report.config = {{"canvas", std::to_string(size)},
+                   {"aa", args.Has("aa") ? "true" : "false"}};
+  report.total_seconds = timer.Seconds();
+  MaybeWriteReport(args, std::move(report));
   return 0;
 }
 
@@ -527,6 +603,33 @@ int main(int argc, char** argv) {
                                   "--threads must be a positive integer");
       }
       omp_set_num_threads(threads);
+    }
+    // Hardware counters: enabled before dispatch so every subcommand's
+    // ScopedRegionTimer regions get counter attribution. A bare
+    // --hw-counters means --hw-counters=phase. On denied hosts the run
+    // proceeds with a warning and the report records hw.available=false —
+    // never a hard failure.
+    if (args.Has("hw-counters")) {
+      std::string mode_name = args.GetString("hw-counters", "off");
+      if (mode_name.empty()) mode_name = "phase";
+      parhde::obs::HwCounterMode mode;
+      if (mode_name == "off") {
+        mode = parhde::obs::HwCounterMode::kOff;
+      } else if (mode_name == "phase") {
+        mode = parhde::obs::HwCounterMode::kPhase;
+      } else if (mode_name == "thread") {
+        mode = parhde::obs::HwCounterMode::kThread;
+      } else {
+        throw parhde::ParhdeError(
+            parhde::ErrorCode::kUsage, "cli",
+            "--hw-counters must be off, phase, or thread (got '" + mode_name +
+                "')");
+      }
+      if (!parhde::obs::EnableHwCounters(mode) &&
+          mode != parhde::obs::HwCounterMode::kOff) {
+        std::fprintf(stderr, "warning: hw counters unavailable: %s\n",
+                     parhde::obs::HwCountersUnavailableReason().c_str());
+      }
     }
     // Fault plan: --fault-plan wins; PARHDE_FAULT_PLAN is the env fallback.
     // Loading before dispatch means every subcommand honors it.

@@ -1,8 +1,8 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -103,13 +103,20 @@ std::vector<T> ReadVector(std::istream& in) {
   return v;
 }
 
-/// Parses a weight token with strtod, which (unlike istream's num_get)
-/// recognizes "nan" and "inf" spellings — those must reach CheckEdgeWeight
-/// to be rejected as invalid VALUES, not mis-reported as parse errors.
+/// Parses a weight token with std::from_chars, which (unlike istream's
+/// num_get) recognizes "nan" and "inf" spellings — those must reach
+/// CheckEdgeWeight to be rejected as invalid VALUES, not mis-reported as
+/// parse errors — and (unlike strtod) ignores LC_NUMERIC, so a host
+/// comma-decimal locale cannot truncate "1.5" to 1. from_chars never
+/// accepts a leading '+', which strtod did; skip it manually to keep the
+/// accepted grammar unchanged.
 double ParseWeightToken(const std::string& token, long long line) {
-  char* end = nullptr;
-  const double w = std::strtod(token.c_str(), &end);
-  if (end == token.c_str() || *end != '\0') {
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  if (begin != end && *begin == '+') ++begin;
+  double w = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, w);
+  if (ec != std::errc{} || ptr != end || begin == end) {
     FailAt(ErrorCode::kParse, line, "bad numeric value '" + token + "'");
   }
   return w;

@@ -135,6 +135,7 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
       vid_t source = ResolveStartVertex(graph, options);
       for (int i = 0; i < s; ++i) {
         result.pivots.push_back(source);
+        bool saturated = false;
         {
           ScopedPhase scoped(result.timings, phase::kBfs);
           obs::ThreadPhaseContext obs_phase(phase::kBfs);
@@ -145,7 +146,13 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
           WallTimer other;
           MinInto(to_sources, hops);
           source = ArgmaxFiniteDistance(to_sources);
-          if (source == kInvalidVid) source = result.pivots.back();
+          // Saturation: the farthest reachable vertex already is a pivot
+          // (min-distance 0). Push this column, then stop — the remaining
+          // iterations would only duplicate pivots and re-run identical
+          // searches. Finalize() compacts the un-pushed trailing columns
+          // away.
+          saturated = source == kInvalidVid ||
+                      to_sources[static_cast<std::size_t>(source)] == 0;
           const double other_seconds = other.Seconds();
           result.timings.Add(phase::kBfsOther, other_seconds);
           result.timings.Add(phase::kBfs, -other_seconds);
@@ -158,6 +165,7 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
                S.Col(static_cast<std::size_t>(i) + 1));
           ortho.Push(static_cast<std::size_t>(i) + 1);
         }
+        if (saturated) break;
       }
       gs = ortho.Finalize();
       // A rank collapse can only leak NaN/Inf through a division by a
@@ -238,12 +246,12 @@ HdeResult RunParHde(const CsrGraph& graph, const HdeOptions& options_in) {
         phase::kDOrtho, options.resilience,
         options.resilience.dortho_budget_seconds, gs_rungs.data(),
         gs_rungs.size(), [&](std::size_t rung) {
-          S = DenseMatrix(static_cast<std::size_t>(n),
-                          static_cast<std::size_t>(s) + 1);
+          // B.Cols(), not s: the distance phase may have stopped early at
+          // pivot saturation and truncated B to the effective pivot count.
+          S = DenseMatrix(static_cast<std::size_t>(n), B.Cols() + 1);
           Fill(S.Col(0), 1.0 / std::sqrt(static_cast<double>(n)));
-          for (int i = 0; i < s; ++i) {
-            Copy(B.Col(static_cast<std::size_t>(i)),
-                 S.Col(static_cast<std::size_t>(i) + 1));
+          for (std::size_t i = 0; i < B.Cols(); ++i) {
+            Copy(B.Col(i), S.Col(i + 1));
           }
           GramSchmidtResult attempt_gs =
               DOrthogonalize(S, metric, gs_configs[rung]);

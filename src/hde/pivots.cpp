@@ -151,6 +151,7 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
   std::vector<dist_t> to_sources(static_cast<std::size_t>(n), kInfDist);
   vid_t source = ResolveStartVertex(graph, options);
 
+  int filled = 0;
   for (int i = 0; i < s; ++i) {
     phase.pivots.push_back(source);
 
@@ -160,6 +161,7 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
                         phase.B.Col(static_cast<std::size_t>(i)), &phase.stats,
                         maxw);
     phase.traversal_seconds += traversal.Seconds();
+    filled = i + 1;
 
     // "BFS: Other": maintain min-distance-to-any-source and find the
     // farthest vertex, which seeds the next search.
@@ -167,7 +169,19 @@ DistancePhase RunKCentersPhase(const CsrGraph& graph,
     MinInto(to_sources, hops);
     source = ArgmaxFiniteDistance(to_sources);
     phase.other_seconds += other.Seconds();
-    if (source == kInvalidVid) source = phase.pivots.back();  // degenerate
+    // Saturation: the farthest reachable vertex is already a pivot (its
+    // min-distance-to-sources is 0 — only pivots sit at 0). Continuing
+    // would push duplicates and re-run identical searches, so stop and
+    // return the effective (deduplicated) pivot set instead.
+    if (source == kInvalidVid ||
+        to_sources[static_cast<std::size_t>(source)] == 0) {
+      break;
+    }
+  }
+  if (filled < s) {
+    std::vector<std::size_t> keep(static_cast<std::size_t>(filled));
+    for (int i = 0; i < filled; ++i) keep[static_cast<std::size_t>(i)] = i;
+    phase.B.KeepColumns(keep);
   }
   return phase;
 }
@@ -329,7 +343,13 @@ std::vector<vid_t> KCentersPivots(const CsrGraph& graph, int count,
     const auto hops = ParallelBfsDistances(graph, source);
     MinInto(to_sources, hops);
     source = ArgmaxFiniteDistance(to_sources);
-    if (source == kInvalidVid) source = pivots.back();
+    // Saturated: the farthest reachable vertex is already a pivot. The old
+    // `source = pivots.back()` here pushed duplicates and re-ran identical
+    // BFSes for every remaining iteration; return the distinct set instead.
+    if (source == kInvalidVid ||
+        to_sources[static_cast<std::size_t>(source)] == 0) {
+      break;
+    }
   }
   return pivots;
 }

@@ -82,6 +82,11 @@ const char* CounterName(Counter c) {
     case Counter::kDeadlineExpirations: return "deadline.expirations";
     case Counter::kRecoveryRetries: return "recovery.retries";
     case Counter::kFaultsInjected: return "fault.injected_total";
+    case Counter::kServiceRequests: return "service.requests";
+    case Counter::kServiceShed: return "service.shed";
+    case Counter::kServiceCacheHits: return "service.cache_hits";
+    case Counter::kServiceCacheMisses: return "service.cache_misses";
+    case Counter::kServiceQueuePeak: return "service.queue_peak";
     case Counter::kCounterCount: break;
   }
   return "unknown";

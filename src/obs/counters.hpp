@@ -57,6 +57,13 @@ enum class Counter : int {
   kDeadlineExpirations,   // phase/run deadlines that expired into a throw
   kRecoveryRetries,       // ladder downgrades taken after a retryable error
   kFaultsInjected,        // total fault-site fires (injection builds only)
+  kServiceRequests,       // frames admitted to the layout service queue
+  kServiceShed,           // requests load-shed because the queue was full
+  kServiceCacheHits,      // graph-cache hits (in-memory LRU or snapshot)
+  kServiceCacheMisses,    // graph-cache misses (full parse + CSR build)
+  kServiceQueuePeak,      // admission-queue high-water mark (monotone: the
+                          // queue adds only the increments, so the merged
+                          // total IS the peak depth observed)
   kCounterCount,
 };
 

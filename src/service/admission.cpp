@@ -1,0 +1,58 @@
+#include "service/admission.hpp"
+
+#include "obs/counters.hpp"
+
+namespace parhde::service {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool AdmissionQueue::TryPush(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stats_.closed || jobs_.size() >= capacity_) {
+      ++stats_.shed;
+      obs::CounterAdd(obs::Counter::kServiceShed, 1);
+      return false;
+    }
+    jobs_.push_back(std::move(job));
+    ++stats_.admitted;
+    obs::CounterAdd(obs::Counter::kServiceRequests, 1);
+    if (jobs_.size() > stats_.peak_depth) {
+      // Record only the increment: the merged counter total then equals
+      // the peak depth even with shards on many threads.
+      obs::CounterAdd(obs::Counter::kServiceQueuePeak,
+                      static_cast<std::int64_t>(jobs_.size() -
+                                                stats_.peak_depth));
+      stats_.peak_depth = jobs_.size();
+    }
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<AdmissionQueue::Job> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return stats_.closed || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;  // closed and drained
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.closed = true;
+  }
+  ready_.notify_all();
+}
+
+AdmissionQueue::Stats AdmissionQueue::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.depth = jobs_.size();
+  return out;
+}
+
+}  // namespace parhde::service

@@ -1,0 +1,64 @@
+// Bounded admission queue — the service's load-shedding gate.
+//
+// Connection threads TryPush work items; worker threads Pop them. The
+// capacity bound is the whole point: when producers outrun the workers the
+// queue refuses the push instead of growing, and the caller sends the
+// typed `overloaded` response immediately — a client gets a fast,
+// machine-readable "try later" instead of an unbounded latency tail.
+//
+// Close() starts the drain: further pushes are refused, but everything
+// already admitted is still handed to workers; Pop returns nullopt only
+// when the queue is BOTH closed and empty, which is each worker's signal
+// to exit. That ordering is what makes SIGTERM graceful — admitted
+// requests always complete.
+//
+// Obs counters: admitted pushes bump service.requests, refused pushes
+// service.shed, and the high-water mark feeds service.queue_peak as
+// monotone increments (recorded under the queue mutex, so the merged
+// counter total equals the true peak depth).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace parhde::service {
+
+class AdmissionQueue {
+ public:
+  using Job = std::function<void()>;
+
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits `job` unless the queue is full or closed. Never blocks.
+  /// Returns false on refusal (the caller sheds the request).
+  bool TryPush(Job job);
+
+  /// Blocks until a job is available or the queue is closed and drained
+  /// (then returns nullopt — the worker-exit signal).
+  std::optional<Job> Pop();
+
+  /// Refuses all future pushes and wakes every blocked Pop. Idempotent.
+  void Close();
+
+  struct Stats {
+    std::int64_t admitted = 0;
+    std::int64_t shed = 0;
+    std::size_t depth = 0;
+    std::size_t peak_depth = 0;
+    bool closed = false;
+  };
+  Stats GetStats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  Stats stats_;
+};
+
+}  // namespace parhde::service

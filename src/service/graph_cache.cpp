@@ -1,0 +1,224 @@
+#include "service/graph_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "obs/counters.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace parhde::service {
+namespace {
+
+constexpr const char* kPhase = "service/cache";
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Parse kind by suffix — mirrors the CLI's input dispatch. Folded into
+/// the content hash: identical bytes parsed as MatrixMarket vs edge list
+/// are different graphs and must not share a cache entry.
+enum class ParseKind : std::uint64_t { kBinary = 1, kMatrixMarket = 2, kEdgeList = 3 };
+
+ParseKind KindFor(const std::string& path) {
+  if (HasSuffix(path, ".bin")) return ParseKind::kBinary;
+  if (HasSuffix(path, ".mtx")) return ParseKind::kMatrixMarket;
+  return ParseKind::kEdgeList;
+}
+
+std::uint64_t Fnv1a(const std::string& bytes, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ParhdeError(ErrorCode::kIo, kPhase, "cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) {
+    throw ParhdeError(ErrorCode::kIo, kPhase, "failed reading file: " + path);
+  }
+  return std::move(ss).str();
+}
+
+std::string HashHex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// Parses the already-read bytes into a preprocessed CSR graph (the same
+/// symmetrize/dedup/drop-self-loops pipeline as the CLI's loaders).
+CsrGraph BuildFromBytes(const std::string& path, const std::string& bytes) {
+  std::istringstream in(bytes);
+  if (KindFor(path) == ParseKind::kBinary) return ReadBinary(in);
+  const MatrixMarketData data = KindFor(path) == ParseKind::kMatrixMarket
+                                    ? ReadMatrixMarket(in)
+                                    : ReadEdgeList(in);
+  BuildOptions opts;
+  opts.keep_weights = !data.pattern;
+  return BuildCsrGraph(data.n, data.edges, opts);
+}
+
+}  // namespace
+
+GraphCache::GraphCache(std::size_t capacity, std::string snapshot_dir)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      snapshot_dir_(std::move(snapshot_dir)) {}
+
+void GraphCache::EvictIfNeededLocked() {
+  while (slots_.size() > capacity_) {
+    auto victim = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (victim == slots_.end() || it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    // Dropping a slot mid-load is safe: waiters hold shared_future copies,
+    // whose shared state outlives the map entry. The snapshot (if any)
+    // stays on disk, so re-admission goes through the fast binary path.
+    slots_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+GraphCache::Result GraphCache::Get(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw ParhdeError(ErrorCode::kIo, kPhase,
+                      "cannot stat " + path + ": " + std::strerror(errno));
+  }
+  const StatSig sig{static_cast<std::int64_t>(st.st_size),
+                    static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                        st.st_mtim.tv_nsec};
+
+  Result res;
+  {
+    std::shared_future<std::shared_ptr<const CsrGraph>> resident;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto pi = path_index_.find(path);
+      if (pi != path_index_.end() && pi->second.first == sig) {
+        const auto slot = slots_.find(pi->second.second);
+        if (slot != slots_.end()) {
+          slot->second.last_use = ++tick_;
+          res.content_hash = pi->second.second;
+          res.stat_hit = true;
+          resident = slot->second.graph;
+          ++stats_.stat_hits;
+          obs::CounterAdd(obs::Counter::kServiceCacheHits, 1);
+        }
+      }
+    }
+    if (res.stat_hit) {
+      // get() outside the lock: the entry may still be loading on another
+      // thread, and that loader needs the mutex to finish.
+      res.graph = resident.get();  // rethrows a failed load
+      return res;
+    }
+  }
+
+  // Stat level missed (new path, changed file, or evicted entry): read and
+  // hash the bytes outside the lock.
+  WallTimer load_timer;
+  const std::string bytes = ReadFileBytes(path);
+  const std::uint64_t hash =
+      Fnv1a(bytes, static_cast<std::uint64_t>(KindFor(path)));
+  res.content_hash = hash;
+
+  std::promise<std::shared_ptr<const CsrGraph>> promise;
+  bool loader = false;
+  std::shared_future<std::shared_ptr<const CsrGraph>> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_index_[path] = {sig, hash};
+    const auto slot = slots_.find(hash);
+    if (slot != slots_.end()) {
+      slot->second.last_use = ++tick_;
+      future = slot->second.graph;
+      res.content_hit = true;
+      ++stats_.content_hits;
+      obs::CounterAdd(obs::Counter::kServiceCacheHits, 1);
+    } else {
+      future = promise.get_future().share();
+      slots_[hash] = Slot{future, ++tick_};
+      EvictIfNeededLocked();
+      loader = true;
+      ++stats_.misses;
+      obs::CounterAdd(obs::Counter::kServiceCacheMisses, 1);
+    }
+  }
+
+  if (loader) {
+    try {
+      std::shared_ptr<const CsrGraph> graph;
+      const std::string snapshot =
+          snapshot_dir_.empty()
+              ? std::string()
+              : snapshot_dir_ + "/" + HashHex(hash) + ".bin";
+      if (!snapshot.empty() && KindFor(path) != ParseKind::kBinary &&
+          std::filesystem::exists(snapshot)) {
+        graph = std::make_shared<const CsrGraph>(ReadBinaryFile(snapshot));
+        res.snapshot_load = true;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshot_loads;
+      } else {
+        graph = std::make_shared<const CsrGraph>(BuildFromBytes(path, bytes));
+        if (!snapshot.empty() && KindFor(path) != ParseKind::kBinary) {
+          // Best-effort persistence: a full snapshot store must not fail
+          // the request that could still be served from the built graph.
+          try {
+            std::filesystem::create_directories(snapshot_dir_);
+            WriteBinaryFile(*graph, snapshot);
+          } catch (const std::exception&) {
+          }
+        }
+      }
+      promise.set_value(graph);
+      res.graph = std::move(graph);
+      res.load_seconds = load_timer.Seconds();
+      return res;
+    } catch (...) {
+      // Propagate the typed error to every waiter, then forget the slot so
+      // the next request retries instead of caching the failure.
+      promise.set_exception(std::current_exception());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_.erase(hash);
+        path_index_.erase(path);
+      }
+      throw;
+    }
+  }
+
+  res.graph = future.get();  // rethrows if the loading thread failed
+  res.load_seconds = load_timer.Seconds();
+  return res;
+}
+
+GraphCache::Stats GraphCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.resident = slots_.size();
+  return out;
+}
+
+}  // namespace parhde::service

@@ -1,0 +1,94 @@
+// Content-addressed LRU graph cache for the layout service.
+//
+// Two lookup levels, so the steady state does zero file IO:
+//   1. stat level — (path, size, mtime) remembered per path. A matching
+//      stat resolves straight to a content hash without reading the file,
+//      so a repeat request on an unchanged path costs one stat(2) and a
+//      map lookup. A size/mtime change invalidates the remembered hash.
+//   2. content level — FNV-1a 64 over the file bytes (salted with the
+//      parse kind the suffix selects) keyed to a shared immutable CsrGraph
+//      in a bounded LRU. Renamed or copied files with identical bytes
+//      share one entry.
+// Misses build the CSR once and (when a snapshot directory is configured)
+// persist it as <dir>/<hash>.bin in the existing binary snapshot format:
+// an evicted or restarted cache reloads through the fast validated binary
+// path instead of re-parsing text.
+//
+// Concurrency: the map is mutex-guarded; loads run OUTSIDE the lock behind
+// a per-entry shared_future, so concurrent first requests for the same
+// graph wait for one load instead of duplicating it, and loads of
+// different graphs proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace parhde::service {
+
+class GraphCache {
+ public:
+  /// `capacity`: max resident graphs (>= 1). `snapshot_dir`: directory for
+  /// <hash>.bin CSR snapshots; empty disables the snapshot store. The
+  /// directory is created on first use.
+  GraphCache(std::size_t capacity, std::string snapshot_dir);
+
+  struct Result {
+    std::shared_ptr<const CsrGraph> graph;
+    std::uint64_t content_hash = 0;
+    /// Served without reading the input file (stat-level hit on a resident
+    /// entry) — the acceptance criterion's "skips graph IO/build entirely".
+    bool stat_hit = false;
+    /// Served from a resident entry after a content hash (file read, no
+    /// build) — e.g. the same bytes under a new path.
+    bool content_hit = false;
+    /// Rebuilt from the binary snapshot rather than a full text parse.
+    bool snapshot_load = false;
+    /// Wall seconds this call spent reading/hashing/building. 0.0 for a
+    /// stat-level hit (and for waiters that joined another thread's load).
+    double load_seconds = 0.0;
+  };
+
+  /// Resolves `path` to a cached CSR graph, loading and admitting it on a
+  /// miss. Throws ParhdeError (kIo/kParse/kCorruptBinary/kInvalidValue)
+  /// exactly like the underlying loaders; a failed load is not cached.
+  Result Get(const std::string& path);
+
+  struct Stats {
+    std::int64_t stat_hits = 0;
+    std::int64_t content_hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t snapshot_loads = 0;
+    std::int64_t evictions = 0;
+    std::size_t resident = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct StatSig {
+    std::int64_t size = -1;
+    std::int64_t mtime_ns = -1;
+    bool operator==(const StatSig&) const = default;
+  };
+  struct Slot {
+    std::shared_future<std::shared_ptr<const CsrGraph>> graph;
+    std::uint64_t last_use = 0;
+  };
+
+  void EvictIfNeededLocked();
+
+  const std::size_t capacity_;
+  const std::string snapshot_dir_;
+  mutable std::mutex mutex_;
+  std::uint64_t tick_ = 0;
+  std::map<std::string, std::pair<StatSig, std::uint64_t>> path_index_;
+  std::map<std::uint64_t, Slot> slots_;
+  Stats stats_;
+};
+
+}  // namespace parhde::service

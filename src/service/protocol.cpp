@@ -1,0 +1,211 @@
+#include "service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/json_writer.hpp"
+
+namespace parhde::service {
+namespace {
+
+constexpr const char* kPhase = "service/protocol";
+
+[[noreturn]] void FailIo(const std::string& what) {
+  throw ParhdeError(ErrorCode::kIo, kPhase,
+                    what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `len` bytes. Returns false iff EOF arrives before the
+/// FIRST byte (a clean close); throws on mid-buffer EOF or errors.
+bool ReadExact(int fd, char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t got = ::read(fd, buf + done, len - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      FailIo("read failed");
+    }
+    if (got == 0) {
+      if (done == 0) return false;
+      throw ParhdeError(ErrorCode::kIo, kPhase,
+                        "peer closed mid-frame (" + std::to_string(done) +
+                            " of " + std::to_string(len) + " bytes)");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void WriteExact(int fd, const char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t put = ::write(fd, buf + done, len - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      FailIo("write failed");
+    }
+    done += static_cast<std::size_t>(put);
+  }
+}
+
+/// Numeric field helpers over the shared JsonValue model: the service takes
+/// its numbers from untrusted clients, so every read re-validates kind and
+/// range rather than trusting the document shape.
+double GetNumber(const JsonValue& doc, const char* key, double def) {
+  if (!doc.Has(key)) return def;
+  const JsonValue& v = doc.At(key);
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw ParhdeError(ErrorCode::kParse, kPhase,
+                      std::string("field '") + key + "' must be a number");
+  }
+  return v.number;
+}
+
+std::string GetString(const JsonValue& doc, const char* key,
+                      const std::string& def) {
+  if (!doc.Has(key)) return def;
+  const JsonValue& v = doc.At(key);
+  if (v.kind != JsonValue::Kind::kString) {
+    throw ParhdeError(ErrorCode::kParse, kPhase,
+                      std::string("field '") + key + "' must be a string");
+  }
+  return v.string;
+}
+
+int GetBoundedInt(const JsonValue& doc, const char* key, int def, int lo,
+                  int hi) {
+  const double raw = GetNumber(doc, key, static_cast<double>(def));
+  if (!(raw >= lo) || !(raw <= hi) || raw != std::floor(raw)) {
+    throw ParhdeError(ErrorCode::kInvalidValue, kPhase,
+                      std::string("field '") + key + "' must be an integer in [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return static_cast<int>(raw);
+}
+
+void CheckChoice(const char* key, const std::string& value,
+                 std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed) {
+    if (value == a) return;
+  }
+  std::string msg = std::string("field '") + key + "' must be one of {";
+  for (const char* a : allowed) msg += std::string(a) + " ";
+  msg.back() = '}';
+  throw ParhdeError(ErrorCode::kUsage, kPhase, msg + ", got '" + value + "'");
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  std::uint8_t header[4];
+  if (!ReadExact(fd, reinterpret_cast<char*>(header), 4)) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            static_cast<std::uint32_t>(header[1]) << 8 |
+                            static_cast<std::uint32_t>(header[2]) << 16 |
+                            static_cast<std::uint32_t>(header[3]) << 24;
+  if (len > max_bytes) {
+    throw ParhdeError(ErrorCode::kParse, kPhase,
+                      "frame length " + std::to_string(len) +
+                          " exceeds the " + std::to_string(max_bytes) +
+                          "-byte limit");
+  }
+  payload.resize(len);
+  if (len > 0 && !ReadExact(fd, payload.data(), len)) {
+    throw ParhdeError(ErrorCode::kIo, kPhase, "peer closed after the header");
+  }
+  return true;
+}
+
+void WriteFrame(int fd, const std::string& payload, std::uint32_t max_bytes) {
+  if (payload.size() > max_bytes) {
+    throw ParhdeError(ErrorCode::kParse, kPhase,
+                      "refusing to send a " + std::to_string(payload.size()) +
+                          "-byte frame (limit " + std::to_string(max_bytes) +
+                          ")");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(len & 0xff),
+      static_cast<std::uint8_t>((len >> 8) & 0xff),
+      static_cast<std::uint8_t>((len >> 16) & 0xff),
+      static_cast<std::uint8_t>((len >> 24) & 0xff),
+  };
+  WriteExact(fd, reinterpret_cast<const char*>(header), 4);
+  WriteExact(fd, payload.data(), payload.size());
+}
+
+LayoutRequest ParseRequest(const std::string& json) {
+  const JsonValue doc = ParseJson(json);
+  if (doc.kind != JsonValue::Kind::kObject) {
+    throw ParhdeError(ErrorCode::kParse, kPhase,
+                      "request must be a JSON object");
+  }
+  LayoutRequest req;
+  req.op = GetString(doc, "op", "layout");
+  CheckChoice("op", req.op, {"layout", "ping", "stats"});
+  req.id = GetString(doc, "id", "");
+  req.graph = GetString(doc, "graph", "");
+  req.algo = GetString(doc, "algo", "parhde");
+  CheckChoice("algo", req.algo,
+              {"parhde", "phde", "pivotmds", "prior", "multilevel"});
+  req.pivots = GetString(doc, "pivots", "kcenters");
+  CheckChoice("pivots", req.pivots, {"kcenters", "random"});
+  req.kernel = GetString(doc, "kernel", "parbfs");
+  CheckChoice("kernel", req.kernel, {"parbfs", "serialbfs", "msbfs", "sssp"});
+  req.subspace_dim = GetBoundedInt(doc, "s", 10, 1, 4096);
+  req.num_axes = GetBoundedInt(doc, "axes", 2, 1, 64);
+  req.seed = static_cast<std::uint64_t>(
+      GetBoundedInt(doc, "seed", 1, 0, 1 << 30));
+  req.deadline_seconds = GetNumber(doc, "deadline", 0.0);
+  if (req.deadline_seconds < 0.0 || !std::isfinite(req.deadline_seconds)) {
+    throw ParhdeError(ErrorCode::kInvalidValue, kPhase,
+                      "field 'deadline' must be a non-negative finite number");
+  }
+  if (req.op == "layout" && req.graph.empty()) {
+    throw ParhdeError(ErrorCode::kUsage, kPhase,
+                      "layout request missing required field 'graph'");
+  }
+  return req;
+}
+
+std::string ErrorResponse(const std::string& id, ErrorCode code,
+                          const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String(ErrorCodeName(code));
+  if (!id.empty()) {
+    w.Key("id");
+    w.String(id);
+  }
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(ErrorCodeName(code));
+  w.Key("exit_code");
+  w.Int(ExitCodeFor(code));
+  w.Key("message");
+  w.String(message);
+  w.EndObject();
+  w.EndObject();
+  return w.Str();
+}
+
+std::string OkResponse(const std::string& id, const std::string& op,
+                       const std::string& body_key,
+                       const std::string& body_json) {
+  // Hand-assembled so the pre-serialized body document (a run report or
+  // stats object) embeds without a re-parse round trip.
+  std::string out = "{\"status\":\"ok\",\"op\":\"" + JsonEscape(op) + "\"";
+  if (!id.empty()) out += ",\"id\":\"" + JsonEscape(id) + "\"";
+  if (!body_key.empty() && !body_json.empty()) {
+    out += ",\"" + JsonEscape(body_key) + "\":" + body_json;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace parhde::service

@@ -1,0 +1,83 @@
+// Wire protocol of the persistent layout service (parhde_serve).
+//
+// Framing: every message — request or response — is a 4-byte little-endian
+// unsigned length followed by exactly that many bytes of UTF-8 JSON. The
+// length counts the payload only. A length above the configured maximum is
+// a protocol violation: the reader throws before allocating, so a hostile
+// or corrupt peer cannot trigger a multi-GB resize (same posture as the
+// binary snapshot reader in graph/io).
+//
+// Requests are JSON objects dispatched on "op":
+//   {"op":"layout", "graph":"<path>", "algo":"parhde", "s":10, "axes":2,
+//    "pivots":"kcenters", "kernel":"parbfs", "seed":1, "deadline":2.0,
+//    "id":"<client correlation id>"}
+//   {"op":"ping"}                      liveness probe
+//   {"op":"stats"}                     service counters + queue/cache state
+// Every field except "graph" (required for layout) has a server-side
+// default. Unknown ops and malformed JSON produce a typed error response.
+//
+// Responses always carry "status": "ok" on success, otherwise the stable
+// ErrorCodeName of the failure ("overloaded", "deadline-exceeded", "io",
+// ...) plus "error": {"code", "exit_code", "message"}. Successful layout
+// responses embed the per-request run report (schema parhde-run-report/2)
+// under "report".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/json_reader.hpp"
+#include "util/status.hpp"
+
+namespace parhde::service {
+
+/// Default ceiling for one frame's payload. Requests are small; responses
+/// carry a run report (a few KiB). 16 MiB leaves room for coordinate dumps
+/// without letting a corrupt length header allocate unbounded memory.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Reads one length-prefixed frame from `fd` into `payload`. Returns false
+/// on clean EOF at a frame boundary (peer closed); throws ParhdeError(kIo)
+/// on mid-frame truncation or a read error, ParhdeError(kParse) when the
+/// declared length exceeds `max_bytes`.
+bool ReadFrame(int fd, std::string& payload,
+               std::uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Writes `payload` as one frame. Throws ParhdeError(kIo) on error and
+/// ParhdeError(kParse) if the payload exceeds `max_bytes`.
+void WriteFrame(int fd, const std::string& payload,
+                std::uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// A parsed service request (see the op grammar above).
+struct LayoutRequest {
+  std::string op = "layout";
+  std::string id;              // echoed verbatim in the response
+  std::string graph;           // input path; required for op == "layout"
+  std::string algo = "parhde"; // parhde|phde|pivotmds|prior|multilevel
+  std::string pivots = "kcenters";  // kcenters|random
+  std::string kernel = "parbfs";    // parbfs|serialbfs|msbfs|sssp
+  int subspace_dim = 10;
+  int num_axes = 2;
+  std::uint64_t seed = 1;
+  /// Per-request deadline in seconds; 0 defers to the server default.
+  double deadline_seconds = 0.0;
+};
+
+/// Parses and validates a request document. Throws ParhdeError(kParse) for
+/// malformed JSON, ParhdeError(kUsage) for an unknown op / enum value or a
+/// missing required field, ParhdeError(kInvalidValue) for out-of-range
+/// numeric fields.
+LayoutRequest ParseRequest(const std::string& json);
+
+/// Builds the error-response document for a failed request.
+std::string ErrorResponse(const std::string& id, ErrorCode code,
+                          const std::string& message);
+
+/// Builds {"status":"ok","id":...,"op":...} with `body_key` mapping to the
+/// pre-serialized JSON document `body_json` when both are non-empty.
+std::string OkResponse(const std::string& id, const std::string& op,
+                       const std::string& body_key = "",
+                       const std::string& body_json = "");
+
+}  // namespace parhde::service

@@ -1,0 +1,133 @@
+// The persistent layout service (daemon core of tools/parhde_serve).
+//
+// Thread model:
+//   * one acceptor thread blocks in accept(2) on the unix-domain listener;
+//   * one reader thread per connection parses frames and either enqueues
+//     the request (admission queue) or sheds it with a typed `overloaded`
+//     response;
+//   * a fixed worker pool pops requests, runs the layout under a
+//     per-request DeadlineGuard, and writes the response back through the
+//     connection's write mutex (responses to pipelined requests from one
+//     connection never interleave bytes).
+//
+// Per-request observability: every layout response embeds a RunReport
+// (schema parhde-run-report/2) filled from THIS request only — identity,
+// config, phase timings, and the service metrics queue_wait_seconds /
+// load_seconds / cache_hit / effective_pivots. The process-global
+// registries (counters, thread stats) aggregate across concurrent
+// requests, so the per-request report deliberately does not snapshot
+// them; the aggregate lives in the `stats` op and the drain report.
+//
+// Drain (SIGTERM): RequestDrain() closes the listener, closes the
+// admission queue (new requests are refused), and shuts down reads on
+// every open connection. Workers finish every admitted request, responses
+// flush, then Wait() returns. Connections close only after the last
+// response referencing them is written (shared ownership).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.hpp"
+#include "service/graph_cache.hpp"
+#include "service/protocol.hpp"
+
+namespace parhde::service {
+
+struct ServiceOptions {
+  /// Filesystem path of the unix-domain listening socket. Required. An
+  /// existing socket file at this path is replaced (stale-daemon cleanup).
+  std::string socket_path;
+  /// Admission-queue capacity: requests queued beyond the workers.
+  std::size_t queue_capacity = 64;
+  /// Worker threads executing layout requests.
+  int workers = 2;
+  /// Max resident graphs in the cache.
+  std::size_t cache_capacity = 8;
+  /// Snapshot directory for the cache's binary CSR store; empty disables.
+  std::string snapshot_dir;
+  /// Default per-request deadline (seconds); 0 = none. A request's own
+  /// "deadline" field overrides it (and nested guards only tighten).
+  double default_deadline_seconds = 0.0;
+  /// Frame payload ceiling.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class LayoutService {
+ public:
+  explicit LayoutService(ServiceOptions options);
+  ~LayoutService();
+
+  LayoutService(const LayoutService&) = delete;
+  LayoutService& operator=(const LayoutService&) = delete;
+
+  /// Binds the socket and starts the acceptor + worker threads. Throws
+  /// ParhdeError(kIo) if the socket cannot be created or bound.
+  void Start();
+
+  /// Initiates the graceful drain described above. Safe to call from any
+  /// thread (the SIGTERM path calls it from the daemon's signal-wait
+  /// thread, not from the handler itself). Idempotent.
+  void RequestDrain();
+
+  /// Blocks until the drain completes: acceptor joined, workers drained,
+  /// all connections closed. Start() must have been called.
+  void Wait();
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] GraphCache& cache() { return cache_; }
+  [[nodiscard]] AdmissionQueue& queue() { return queue_; }
+
+  /// Requests served to completion (ok or typed error), excluding sheds.
+  [[nodiscard]] std::int64_t completed_requests() const {
+    return completed_.load();
+  }
+
+ private:
+  /// One client connection, shared between its reader thread and every
+  /// queued job that will respond on it. The fd closes when the last
+  /// holder drops — i.e. after the final response is written.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mutex;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void Respond(const std::shared_ptr<Connection>& conn,
+               const std::string& payload);
+  /// Executes one admitted request; returns the response document.
+  std::string Execute(const LayoutRequest& req, double queue_wait_seconds);
+  std::string StatsResponseBody();
+
+  ServiceOptions options_;
+  GraphCache cache_;
+  AdmissionQueue queue_;
+  /// resilience/DeadlineGuard arms a process-global token, so an armed
+  /// request deadline would be visible to (and could spuriously expire)
+  /// every concurrently polling kernel. Requests WITHOUT a deadline take
+  /// this lock shared and run fully concurrently; requests WITH a deadline
+  /// take it exclusive and run alone. Deadline'd traffic trades
+  /// concurrency for correctness until the token becomes per-context.
+  std::shared_mutex deadline_lane_;
+  int listen_fd_ = -1;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::int64_t> completed_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex conn_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::mutex reader_mutex_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace parhde::service

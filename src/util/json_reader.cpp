@@ -1,7 +1,7 @@
 #include "util/json_reader.hpp"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -83,10 +83,16 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) Fail("expected a value");
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') Fail("malformed number");
+    // std::from_chars, not strtod: strtod honours LC_NUMERIC, so under a
+    // comma-decimal locale (de_DE et al.) it stops at the '.' and every
+    // fractional literal in a report would be rejected here. from_chars is
+    // locale-independent by specification. Requiring the whole token to be
+    // consumed keeps the strictness ("1.2.3" stays malformed).
+    double parsed = 0.0;
+    const char* tok_begin = text_.data() + start;
+    const char* tok_end = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(tok_begin, tok_end, parsed);
+    if (ec != std::errc{} || ptr != tok_end) Fail("malformed number");
     JsonValue v;
     v.kind = JsonValue::Kind::kNumber;
     v.number = parsed;

@@ -16,6 +16,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kNoConvergence: return "no-convergence";
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -34,6 +35,9 @@ int ExitCodeFor(ErrorCode code) {
     case ErrorCode::kNoConvergence: return 10;
     case ErrorCode::kDeadlineExceeded: return 11;
     case ErrorCode::kResourceExhausted: return 12;
+    // 13 is bench_compare's regression exit (not an ErrorCode); skip it so
+    // every documented exit stays distinct.
+    case ErrorCode::kOverloaded: return 14;
   }
   return 1;
 }

@@ -30,6 +30,7 @@ enum class ErrorCode {
   kNoConvergence,  // iterative solver exhausted its budget
   kDeadlineExceeded,   // a phase or run budget expired (resilience/deadline)
   kResourceExhausted,  // allocation failure (std::bad_alloc) mapped by the CLI
+  kOverloaded,         // service admission queue full; request load-shed
 };
 
 /// Stable lowercase identifier for a code ("parse", "corrupt-binary", ...).

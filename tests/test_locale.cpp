@@ -1,0 +1,142 @@
+// Regression tests for locale-dependent number parsing. The JSON reader
+// and the edge-list/MatrixMarket weight parser once used strtod, whose
+// decimal separator follows LC_NUMERIC — under a comma-decimal locale
+// (de_DE, fr_FR) "1.5" silently parsed as 1 with trailing garbage, or a
+// report round-trip wrote "1,5" that nothing could read back. Both paths
+// now use std::from_chars, which is locale-independent by construction;
+// these tests pin that down by re-parsing under a comma-decimal locale
+// when the host has one (skipped otherwise — CI installs de_DE.UTF-8).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <sstream>
+#include <string>
+
+#include "graph/io.hpp"
+#include "util/json_reader.hpp"
+#include "util/status.hpp"
+
+namespace parhde {
+namespace {
+
+/// Switches LC_NUMERIC to the first available comma-decimal locale and
+/// restores the previous locale on destruction. `ok()` is false when the
+/// host has none installed (minimal containers) — callers skip then.
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() {
+    const char* current = std::setlocale(LC_NUMERIC, nullptr);
+    previous_ = current ? current : "C";
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        // Trust but verify: the locale must actually use ',' as the
+        // decimal separator for this test to prove anything.
+        if (std::localeconv()->decimal_point[0] == ',') {
+          ok_ = true;
+          return;
+        }
+      }
+    }
+    std::setlocale(LC_NUMERIC, previous_.c_str());
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  std::string previous_;
+  bool ok_ = false;
+};
+
+TEST(LocaleParsing, JsonFractionsSurviveCommaLocale) {
+  CommaLocaleGuard locale;
+  if (!locale.ok()) GTEST_SKIP() << "no comma-decimal locale installed";
+  const JsonValue v = ParseJson("{\"a\":1.5,\"b\":-2.25e-1,\"c\":0.125}");
+  EXPECT_DOUBLE_EQ(v.At("a").number, 1.5);
+  EXPECT_DOUBLE_EQ(v.At("b").number, -0.225);
+  EXPECT_DOUBLE_EQ(v.At("c").number, 0.125);
+}
+
+TEST(LocaleParsing, EdgeListWeightsSurviveCommaLocale) {
+  CommaLocaleGuard locale;
+  if (!locale.ok()) GTEST_SKIP() << "no comma-decimal locale installed";
+  std::istringstream in("0 1 1.5\n1 2 0.25\n");
+  const MatrixMarketData data = ReadEdgeList(in);
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.edges[0].w, 1.5);
+  EXPECT_DOUBLE_EQ(data.edges[1].w, 0.25);
+}
+
+TEST(LocaleParsing, MatrixMarketWeightsSurviveCommaLocale) {
+  CommaLocaleGuard locale;
+  if (!locale.ok()) GTEST_SKIP() << "no comma-decimal locale installed";
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.5\n"
+      "3 2 2.75\n");
+  const MatrixMarketData data = ReadMatrixMarket(in);
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.edges[0].w, 1.5);
+  EXPECT_DOUBLE_EQ(data.edges[1].w, 2.75);
+}
+
+// The strictness half of the contract, valid under ANY locale: from_chars
+// must consume the whole token, so comma decimals and trailing garbage
+// are typed parse errors, not silent truncation to the integer part.
+
+TEST(LocaleParsing, CommaDecimalWeightIsRejectedNotTruncated) {
+  std::istringstream in("0 1 1,5\n");
+  try {
+    ReadEdgeList(in);
+    FAIL() << "expected ParhdeError";
+  } catch (const ParhdeError& e) {
+    // from_chars stops at the ',' and the whole-token check fires — a
+    // loud typed error, never weight == 1.
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+}
+
+TEST(LocaleParsing, TrailingGarbageWeightIsRejected) {
+  std::istringstream in("0 1 1.5junk\n");
+  try {
+    ReadEdgeList(in);
+    FAIL() << "expected ParhdeError(kParse)";
+  } catch (const ParhdeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+}
+
+TEST(LocaleParsing, ExplicitPlusSignWeightStillAccepted) {
+  // from_chars rejects a leading '+' that strtod accepted; the parser
+  // skips it explicitly so existing files keep loading.
+  std::istringstream in("0 1 +1.5\n");
+  const MatrixMarketData data = ReadEdgeList(in);
+  ASSERT_EQ(data.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(data.edges[0].w, 1.5);
+}
+
+TEST(LocaleParsing, NanAndInfWeightsStillRejected) {
+  // from_chars parses "nan"/"inf" spellings successfully, so rejection
+  // must come from the value check, with the same typed code as before.
+  for (const char* token : {"nan", "NaN", "inf", "Infinity", "-inf"}) {
+    std::istringstream in(std::string("0 1 ") + token + "\n");
+    try {
+      ReadEdgeList(in);
+      FAIL() << "expected rejection of weight " << token;
+    } catch (const ParhdeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidValue) << token;
+    }
+  }
+}
+
+TEST(LocaleParsing, JsonRejectsPartialNumbers) {
+  // from_chars must consume the entire collected token: a dangling
+  // exponent or bare sign is a typed parse error, not a prefix parse.
+  EXPECT_THROW(ParseJson("{\"a\":1e}"), ParhdeError);
+  EXPECT_THROW(ParseJson("{\"a\":1e+}"), ParhdeError);
+  EXPECT_THROW(ParseJson("{\"a\":-}"), ParhdeError);
+}
+
+}  // namespace
+}  // namespace parhde

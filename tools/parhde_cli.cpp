@@ -462,6 +462,11 @@ int CmdLayout(const ArgParser& args) {
   report.timings = res.hde.timings;
   report.metrics.emplace_back(
       "edge_length_energy", NormalizedEdgeLengthEnergy(laid, res.hde.layout));
+  // The requested subspace dimension is in config["s"]; the k-centers
+  // phase may stop early at saturation (every reachable vertex already a
+  // pivot), so the count actually used is a separate, observed metric.
+  report.metrics.emplace_back("effective_pivots",
+                              static_cast<double>(res.hde.pivots.size()));
   report.CollectObservability();
 
   std::printf("%s", obs::ReportToText(report).c_str());

@@ -1,0 +1,251 @@
+// parhde_loadgen — load generator and smoke client for parhde_serve.
+//
+// Usage:
+//   parhde_loadgen --socket=<path> --graph=<file> [--clients=8]
+//                  [--requests=4] [--algo=parhde] [--s=10] [--axes=2]
+//                  [--seed=1] [--deadline=<sec>] [--json=<file>]
+//                  [--fail-on-error]
+//
+// Spawns --clients threads, each opening its own connection and issuing
+// --requests layout requests back to back. Tallies ok / overloaded /
+// failed responses and latency, prints a one-line summary, and with
+// --json writes the summary as a run report (schema parhde-run-report/2,
+// algo "service_loadgen") that bench_compare can consume directly.
+//
+// Exit codes: 0 all requests ok (or errors tolerated without
+// --fail-on-error is still 0 only when every request succeeded — any
+// non-ok response exits nonzero); with --fail-on-error sheds exit 14
+// (the overloaded code) and other failures exit 1. Connection retries:
+// the first connect per client retries for ~5s so the daemon can finish
+// binding after fork/exec.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "service/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using parhde::ErrorCode;
+using parhde::ParhdeError;
+
+int ConnectWithRetry(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ParhdeError(ErrorCode::kUsage, "loadgen",
+                      "socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw ParhdeError(ErrorCode::kIo, "loadgen",
+                        std::string("socket() failed: ") +
+                            std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    // The daemon may still be binding (fork/exec race): retry briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  throw ParhdeError(ErrorCode::kIo, "loadgen",
+                    "cannot connect to " + socket_path + " after 5s");
+}
+
+struct Tally {
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> overloaded{0};
+  std::atomic<std::int64_t> failed{0};
+  // Latency sum in nanoseconds (atomic double isn't portable pre-C++20 on
+  // all targets; integer ns is exact enough and lock-free everywhere).
+  std::atomic<std::int64_t> latency_ns{0};
+};
+
+std::string BuildRequest(const parhde::ArgParser& args,
+                         const std::string& graph, int client, int seq) {
+  parhde::JsonWriter w;
+  w.BeginObject();
+  w.Key("op");
+  w.String("layout");
+  w.Key("id");
+  w.String("c" + std::to_string(client) + "-r" + std::to_string(seq));
+  w.Key("graph");
+  w.String(graph);
+  w.Key("algo");
+  w.String(args.GetString("algo", "parhde"));
+  w.Key("s");
+  w.Int(args.GetInt("s", 10));
+  w.Key("axes");
+  w.Int(args.GetInt("axes", 2));
+  w.Key("seed");
+  // Distinct seeds exercise distinct pivot sets across requests.
+  w.Int(args.GetInt("seed", 1) + client);
+  const double deadline = args.GetDouble("deadline", 0.0);
+  if (deadline > 0.0) {
+    w.Key("deadline");
+    w.Double(deadline);
+  }
+  w.EndObject();
+  return w.Str();
+}
+
+void RunClient(const parhde::ArgParser& args, const std::string& socket_path,
+               const std::string& graph, int client, int requests,
+               Tally& tally) {
+  try {
+    const int fd = ConnectWithRetry(socket_path);
+    std::string payload;
+    for (int seq = 0; seq < requests; ++seq) {
+      parhde::WallTimer latency;
+      parhde::service::WriteFrame(fd, BuildRequest(args, graph, client, seq));
+      if (!parhde::service::ReadFrame(fd, payload)) {
+        // Daemon closed mid-burst: everything still unanswered failed.
+        tally.failed.fetch_add(requests - seq);
+        break;
+      }
+      tally.latency_ns.fetch_add(
+          static_cast<std::int64_t>(latency.Seconds() * 1e9));
+      const parhde::JsonValue response = parhde::ParseJson(payload);
+      const std::string status = response.At("status").string;
+      if (status == "ok") {
+        tally.ok.fetch_add(1);
+      } else if (status == "overloaded") {
+        tally.overloaded.fetch_add(1);
+      } else {
+        tally.failed.fetch_add(1);
+        std::fprintf(stderr, "loadgen: request failed (%s): %s\n",
+                     status.c_str(),
+                     response.Has("error")
+                         ? response.At("error").At("message").string.c_str()
+                         : "");
+      }
+    }
+    ::close(fd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: client %d: %s\n", client, e.what());
+    tally.failed.fetch_add(1);
+  }
+}
+
+void WriteSummaryReport(const std::string& path,
+                        const parhde::ArgParser& args,
+                        const std::string& graph, int clients, int requests,
+                        const Tally& tally, double wall_seconds) {
+  const std::int64_t answered =
+      tally.ok.load() + tally.overloaded.load() + tally.failed.load();
+  parhde::obs::RunReport report;
+  report.tool = "parhde_loadgen";
+  report.graph = graph;
+  report.algo = "service_loadgen";
+  report.config = {
+      {"clients", std::to_string(clients)},
+      {"requests", std::to_string(requests)},
+      {"algo", args.GetString("algo", "parhde")},
+      {"s", std::to_string(args.GetInt("s", 10))},
+  };
+  report.total_seconds = wall_seconds;
+  report.metrics = {
+      {"ok", static_cast<double>(tally.ok.load())},
+      {"overloaded", static_cast<double>(tally.overloaded.load())},
+      {"failed", static_cast<double>(tally.failed.load())},
+      {"mean_latency_seconds",
+       answered > 0 ? static_cast<double>(tally.latency_ns.load()) * 1e-9 /
+                          static_cast<double>(answered)
+                    : 0.0},
+      {"throughput_rps",
+       wall_seconds > 0.0 ? static_cast<double>(tally.ok.load()) / wall_seconds
+                          : 0.0},
+  };
+  parhde::obs::WriteReportFile(report, path);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: parhde_loadgen --socket=<path> --graph=<file> [--clients=8]\n"
+      "                      [--requests=4] [--algo=parhde] [--s=10]\n"
+      "                      [--axes=2] [--seed=1] [--deadline=<sec>]\n"
+      "                      [--json=<file>] [--fail-on-error]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parhde::ArgParser args(argc, argv);
+  try {
+    const std::string socket_path = args.GetString("socket", "");
+    const std::string graph = args.GetString("graph", "");
+    if (socket_path.empty() || graph.empty()) return Usage();
+    const int clients = static_cast<int>(args.GetInt("clients", 8));
+    const int requests = static_cast<int>(args.GetInt("requests", 4));
+    if (clients < 1 || requests < 1) {
+      throw ParhdeError(ErrorCode::kInvalidValue, "loadgen",
+                        "--clients and --requests must be positive");
+    }
+
+    Tally tally;
+    parhde::WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        RunClient(args, socket_path, graph, c, requests, tally);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_seconds = wall.Seconds();
+
+    const std::int64_t total =
+        static_cast<std::int64_t>(clients) * requests;
+    std::printf(
+        "loadgen: %lld requests, %lld ok, %lld overloaded, %lld failed, "
+        "%.3fs wall\n",
+        static_cast<long long>(total),
+        static_cast<long long>(tally.ok.load()),
+        static_cast<long long>(tally.overloaded.load()),
+        static_cast<long long>(tally.failed.load()), wall_seconds);
+
+    const std::string json = args.GetString("json", "");
+    if (!json.empty()) {
+      WriteSummaryReport(json, args, graph, clients, requests, tally,
+                         wall_seconds);
+    }
+
+    if (tally.failed.load() > 0) return 1;
+    if (tally.overloaded.load() > 0) {
+      // Sheds are a service answer, not a transport failure — but a run
+      // that expected full throughput (--fail-on-error) treats them as
+      // the overloaded condition they are.
+      return args.Has("fail-on-error")
+                 ? parhde::ExitCodeFor(ErrorCode::kOverloaded)
+                 : 0;
+    }
+    return 0;
+  } catch (const ParhdeError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return parhde::ExitCodeFor(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

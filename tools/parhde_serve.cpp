@@ -1,0 +1,154 @@
+// parhde_serve — persistent layout daemon over a unix-domain socket.
+//
+// Usage:
+//   parhde_serve --socket=<path> [--workers=2] [--queue=64] [--cache=8]
+//                [--snapshots=<dir>] [--deadline=<sec>] [--threads=N]
+//                [--max-frame=<bytes>] [--report=<file>]
+//
+// The daemon binds the socket, prints "listening on <path>" once it is
+// ready (harnesses wait for that line), and serves layout requests until
+// SIGTERM or SIGINT. The drain is graceful: the listener closes, queued
+// requests are refused with the typed `overloaded` response, every
+// admitted request runs to completion and its response is flushed, then
+// the process exits 0. --report writes an aggregate run report (schema
+// parhde-run-report/2) at drain time summarizing the service counters.
+//
+// Protocol and request grammar: src/service/protocol.hpp. Exit codes:
+// the shared table in src/util/status.hpp (0 clean drain, 2 usage,
+// 3 socket/bind failures, 14 is never exited by the daemon itself — it is
+// the per-request `overloaded` response's exit_code for clients).
+#include <omp.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/report.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+// Self-pipe: the handler only writes one byte; the main thread blocks on
+// the read end and runs the drain outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: parhde_serve --socket=<path> [--workers=2] [--queue=64]\n"
+      "                    [--cache=8] [--snapshots=<dir>] [--deadline=<sec>]\n"
+      "                    [--threads=N] [--max-frame=<bytes>]\n"
+      "                    [--report=<file>]\n");
+  return 2;
+}
+
+void WriteDrainReport(const std::string& path,
+                      parhde::service::LayoutService& service,
+                      double uptime_seconds) {
+  const auto q = service.queue().GetStats();
+  const auto c = service.cache().GetStats();
+  parhde::obs::RunReport report;
+  report.tool = "parhde_serve";
+  report.graph = service.options().socket_path;
+  report.algo = "service";
+  report.config = {
+      {"workers", std::to_string(service.options().workers)},
+      {"queue", std::to_string(service.options().queue_capacity)},
+      {"cache", std::to_string(service.options().cache_capacity)},
+  };
+  report.total_seconds = uptime_seconds;
+  report.metrics = {
+      {"completed_requests",
+       static_cast<double>(service.completed_requests())},
+      {"admitted", static_cast<double>(q.admitted)},
+      {"shed", static_cast<double>(q.shed)},
+      {"queue_peak_depth", static_cast<double>(q.peak_depth)},
+      {"cache_stat_hits", static_cast<double>(c.stat_hits)},
+      {"cache_content_hits", static_cast<double>(c.content_hits)},
+      {"cache_misses", static_cast<double>(c.misses)},
+      {"cache_snapshot_loads", static_cast<double>(c.snapshot_loads)},
+      {"cache_evictions", static_cast<double>(c.evictions)},
+  };
+  parhde::obs::WriteReportFile(report, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parhde::ArgParser args(argc, argv);
+  try {
+    parhde::service::ServiceOptions options;
+    options.socket_path = args.GetString("socket", "");
+    if (options.socket_path.empty()) return Usage();
+    options.queue_capacity =
+        static_cast<std::size_t>(args.GetInt("queue", 64));
+    options.workers = static_cast<int>(args.GetInt("workers", 2));
+    options.cache_capacity =
+        static_cast<std::size_t>(args.GetInt("cache", 8));
+    options.snapshot_dir = args.GetString("snapshots", "");
+    options.default_deadline_seconds = args.GetDouble("deadline", 0.0);
+    const std::int64_t max_frame = args.GetInt("max-frame", 0);
+    if (max_frame > 0) {
+      options.max_frame_bytes = static_cast<std::uint32_t>(max_frame);
+    }
+    if (args.Has("threads")) {
+      const auto threads = static_cast<int>(args.GetInt("threads", 0));
+      if (threads < 1) {
+        throw parhde::ParhdeError(parhde::ErrorCode::kInvalidValue, "serve",
+                                  "--threads must be a positive integer");
+      }
+      omp_set_num_threads(threads);
+    }
+    const std::string report_path = args.GetString("report", "");
+
+    if (::pipe(g_signal_pipe) != 0) {
+      throw parhde::ParhdeError(parhde::ErrorCode::kIo, "serve",
+                                std::string("pipe() failed: ") +
+                                    std::strerror(errno));
+    }
+    struct sigaction sa{};
+    sa.sa_handler = OnSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+
+    parhde::WallTimer uptime;
+    parhde::service::LayoutService service(options);
+    service.Start();
+    // The readiness line harnesses wait for — flushed so a pipe reader
+    // sees it immediately.
+    std::printf("listening on %s\n", options.socket_path.c_str());
+    std::fflush(stdout);
+
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr, "parhde_serve: draining\n");
+    service.RequestDrain();
+    service.Wait();
+    if (!report_path.empty()) {
+      WriteDrainReport(report_path, service, uptime.Seconds());
+    }
+    std::fprintf(stderr, "parhde_serve: drained %lld requests\n",
+                 static_cast<long long>(service.completed_requests()));
+    return 0;
+  } catch (const parhde::ParhdeError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return parhde::ExitCodeFor(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "resilience/deadline.hpp"
 #include "resilience/fault_injection.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 namespace {
@@ -39,8 +40,10 @@ std::int64_t SparseStep(const CsrGraph& graph, FrontierQueue& frontier,
   const auto fsize = static_cast<std::int64_t>(current.size());
   std::int64_t examined = 0;
 
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel reduction(+ : examined)
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
     std::vector<vid_t> staged;
     staged.reserve(1024);
@@ -92,8 +95,10 @@ std::int64_t DenseStep(const CsrGraph& graph, std::uint64_t full_mask,
   std::int64_t examined = 0;
   std::int64_t awake = 0;
 
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel reduction(+ : examined, awake)
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for schedule(dynamic, 1024) nowait
     for (vid_t u = 0; u < n; ++u) {

@@ -16,6 +16,7 @@
 #include "sssp/multi_sssp.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 
@@ -277,8 +278,10 @@ DistancePhase RunRandomPhase(const CsrGraph& graph, const HdeOptions& options) {
     // paper's alternative that wins when s exceeds the thread count or the
     // graph has high diameter (Table 6).
     PARHDE_TRACE_SPAN("bfs.concurrent_serial");
+    util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
     {
+      util::ScopedRunContext run_scope(*run_ctx);
       obs::ScopedRegionTimer obs_timer;
 #pragma omp for schedule(dynamic, 1) nowait
       for (int i = 0; i < s; ++i) {

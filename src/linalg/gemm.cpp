@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/thread_stats.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 
@@ -34,8 +35,10 @@ DenseMatrix TransposeTimes(const DenseMatrix& A, const DenseMatrix& B) {
   const std::size_t stride = ((tile + 7) & ~std::size_t{7}) + 8;
   std::vector<double> partials;
   int nthreads = 1;
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp single
     {
@@ -102,8 +105,10 @@ DenseMatrix TallTimesSmall(const DenseMatrix& A, const DenseMatrix& B) {
   constexpr std::int64_t kChunk = 2048;
   const auto nn = static_cast<std::int64_t>(n);
   const std::int64_t nchunks = (nn + kChunk - 1) / kChunk;
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for schedule(static) nowait
     for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {

@@ -14,6 +14,7 @@
 #include "obs/thread_stats.hpp"
 #include "resilience/deadline.hpp"
 #include "resilience/fault_injection.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 namespace {
@@ -57,8 +58,10 @@ void ProjectModifiedPipelined(DenseMatrix& S, std::span<const double> d,
       const double* sn = S.Col(kept[idx + 1]).data();
       const double c = coeff;
       double next = 0.0;
+      util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel reduction(+ : next)
       {
+        util::ScopedRunContext run_scope(*run_ctx);
         obs::ScopedRegionTimer obs_timer;
 #pragma omp for simd schedule(static) nowait
         for (std::int64_t i = 0; i < n; ++i) {
@@ -108,8 +111,10 @@ void ProjectClassical(DenseMatrix& S, std::span<const double> d,
   // fixed thread count; partials merged in thread order).
   std::vector<double> coeffs(k, 0.0);
   std::vector<std::vector<double>> partials;
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp single
     partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
@@ -145,6 +150,7 @@ void ProjectClassical(DenseMatrix& S, std::span<const double> d,
   // Pass 2: t -= sum_j coeffs[j] * s_j, fused over all kept columns.
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for schedule(static) nowait
     for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {

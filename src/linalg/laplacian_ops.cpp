@@ -14,6 +14,7 @@
 #include "obs/counters.hpp"
 #include "obs/thread_stats.hpp"
 #include "resilience/fault_injection.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 namespace {
@@ -197,8 +198,10 @@ void LaplacianTimesMatrixFused(const CsrGraph& graph, const DenseMatrix& S,
   // vertex).
   const std::int64_t nchunks =
       (static_cast<std::int64_t>(n) + kSpmmVertexChunk - 1) / kSpmmVertexChunk;
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for collapse(2) schedule(dynamic, 1) nowait
     for (std::size_t c = 0; c < k; ++c) {
@@ -284,8 +287,10 @@ void LaplacianTimesMatrixBlocked(const CsrGraph& graph, const DenseMatrix& S,
     madvise(reinterpret_cast<void*>(lo_addr), len, MADV_HUGEPAGE);
   }
 #endif
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
     for (std::size_t b = 0; b < k; b += static_cast<std::size_t>(cb)) {
       const int width = static_cast<int>(
@@ -411,8 +416,10 @@ void LaplacianTimesMatrixExplicit(const ExplicitLaplacian& L,
   assert(S.Rows() == static_cast<std::size_t>(n));
   assert(P.Rows() == S.Rows() && P.Cols() == k);
 
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for collapse(2) schedule(dynamic, 1024) nowait
     for (std::size_t c = 0; c < k; ++c) {
@@ -454,8 +461,10 @@ void LaplacianTimesMatrixRowMajor(const CsrGraph& graph, const DenseMatrix& S,
   }
 
   std::vector<double> out(static_cast<std::size_t>(n) * k);
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
     std::vector<double> acc(k);
 #pragma omp for schedule(dynamic, 512)

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "obs/thread_stats.hpp"
+#include "util/run_context.hpp"
 
 // All kernels hoist the span bases into raw pointers and annotate the inner
 // loop with `omp for simd` / `simd reduction`: the pragma grants the
@@ -36,8 +37,10 @@ double WeightedDot(std::span<const double> x, std::span<const double> y,
   const double* py = y.data();
   const double* pd = d.data();
   double total = 0.0;
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel reduction(+ : total)
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for simd schedule(static) nowait
     for (std::int64_t i = 0; i < n; ++i) {
@@ -52,8 +55,10 @@ void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
   const auto n = static_cast<std::int64_t>(x.size());
   const double* px = x.data();
   double* py = y.data();
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
 #pragma omp for simd schedule(static) nowait
     for (std::int64_t i = 0; i < n; ++i) {

@@ -1,8 +1,10 @@
 #include "obs/counters.hpp"
 
-#include <array>
-#include <memory>
-#include <mutex>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/run_context.hpp"
 
 namespace parhde::obs {
 namespace {
@@ -10,44 +12,24 @@ namespace {
 constexpr int kNumCounters = static_cast<int>(Counter::kCounterCount);
 constexpr int kNumSeries = static_cast<int>(Series::kSeriesCount);
 
-/// One thread's counter block, padded out to whole cache lines so two
-/// threads' shards never share a line.
-struct alignas(64) Shard {
-  std::array<std::int64_t, kNumCounters> values{};
+/// Monotone store ids. 0 is reserved as "cache empty".
+std::atomic<std::uint64_t> g_next_store_id{1};
+
+/// The calling thread's shard in the store it touched last. One entry is
+/// enough: a thread switches stores at request boundaries (service worker
+/// picking up a new context, merge into the global store), never inside a
+/// kernel.
+struct ShardCache {
+  std::uint64_t store_id = 0;
+  CounterShard* shard = nullptr;
 };
-
-struct CounterRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<Shard>> shards;
-};
-
-CounterRegistry& GetRegistry() {
-  static CounterRegistry* registry = new CounterRegistry();  // leaked
-  return *registry;
-}
-
-Shard& LocalShard() {
-  thread_local Shard* shard = [] {
-    CounterRegistry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
-    registry.shards.push_back(std::make_unique<Shard>());
-    return registry.shards.back().get();
-  }();
-  return *shard;
-}
-
-struct SeriesStore {
-  std::mutex mutex;
-  std::vector<std::int64_t> values;
-  std::int64_t dropped = 0;
-};
-
-std::array<SeriesStore, kNumSeries>& GetSeries() {
-  static auto* series = new std::array<SeriesStore, kNumSeries>();  // leaked
-  return *series;
-}
+thread_local ShardCache t_shard_cache;
 
 }  // namespace
+
+struct alignas(64) CounterShard {
+  std::array<std::int64_t, kNumCounters> values{};
+};
 
 const char* CounterName(Counter c) {
   switch (c) {
@@ -101,68 +83,151 @@ const char* SeriesName(Series s) {
   return "unknown";
 }
 
-void CounterAdd(Counter c, std::int64_t value) {
+CounterStore::CounterStore()
+    : id_(g_next_store_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+CounterStore::~CounterStore() = default;
+
+CounterShard& CounterStore::LocalShard() {
+  if (t_shard_cache.store_id == id_) return *t_shard_cache.shard;
+  const int tid = util::ThisThreadOrdinal();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [owner, shard] : shards_) {
+    if (owner == tid) {
+      t_shard_cache = {id_, shard.get()};
+      return *shard;
+    }
+  }
+  shards_.emplace_back(tid, std::make_unique<CounterShard>());
+  t_shard_cache = {id_, shards_.back().second.get()};
+  return *shards_.back().second;
+}
+
+void CounterStore::Add(Counter c, std::int64_t value) {
   LocalShard().values[static_cast<std::size_t>(c)] += value;
 }
 
-std::int64_t CounterValue(Counter c) {
-  CounterRegistry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+std::int64_t CounterStore::Value(Counter c) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::int64_t total = 0;
-  for (const auto& shard : registry.shards) {
+  for (const auto& [owner, shard] : shards_) {
     total += shard->values[static_cast<std::size_t>(c)];
   }
   return total;
 }
 
-void SeriesAppend(Series s, std::int64_t value) {
-  SeriesStore& store = GetSeries()[static_cast<std::size_t>(s)];
-  std::lock_guard<std::mutex> lock(store.mutex);
-  if (store.values.size() < kSeriesCap) {
-    store.values.push_back(value);
-  } else {
-    ++store.dropped;
-  }
-}
-
-std::vector<std::int64_t> SeriesValues(Series s) {
-  SeriesStore& store = GetSeries()[static_cast<std::size_t>(s)];
-  std::lock_guard<std::mutex> lock(store.mutex);
-  return store.values;
-}
-
-std::int64_t SeriesDropped(Series s) {
-  SeriesStore& store = GetSeries()[static_cast<std::size_t>(s)];
-  std::lock_guard<std::mutex> lock(store.mutex);
-  return store.dropped;
-}
-
-void ResetCounters() {
-  CounterRegistry& registry = GetRegistry();
-  {
-    std::lock_guard<std::mutex> lock(registry.mutex);
-    for (auto& shard : registry.shards) shard->values.fill(0);
-  }
-  for (auto& store : GetSeries()) {
-    std::lock_guard<std::mutex> lock(store.mutex);
-    store.values.clear();
-    store.dropped = 0;
-  }
-}
-
-std::vector<CounterSnapshot> SnapshotCounters() {
+std::vector<CounterSnapshot> CounterStore::Snapshot() const {
   std::vector<CounterSnapshot> out;
   out.reserve(kNumCounters);
-  CounterRegistry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::lock_guard<std::mutex> lock(mutex_);
   for (int i = 0; i < kNumCounters; ++i) {
     std::int64_t total = 0;
-    for (const auto& shard : registry.shards) {
+    for (const auto& [owner, shard] : shards_) {
       total += shard->values[static_cast<std::size_t>(i)];
     }
     out.push_back({CounterName(static_cast<Counter>(i)), total});
   }
   return out;
+}
+
+void CounterStore::Append(Series s, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SeriesData& data = series_[static_cast<std::size_t>(s)];
+  if (data.values.size() < kSeriesCap) {
+    data.values.push_back(value);
+  } else {
+    ++data.dropped;
+  }
+}
+
+std::vector<std::int64_t> CounterStore::Values(Series s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_[static_cast<std::size_t>(s)].values;
+}
+
+std::int64_t CounterStore::Dropped(Series s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_[static_cast<std::size_t>(s)].dropped;
+}
+
+void CounterStore::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [owner, shard] : shards_) shard->values.fill(0);
+  for (auto& data : series_) {
+    data.values.clear();
+    data.dropped = 0;
+  }
+}
+
+void CounterStore::MergeInto(CounterStore& dst) const {
+  // Snapshot this (quiescent) store first, then apply to dst — never hold
+  // both mutexes, so two completing requests can merge concurrently.
+  std::array<std::int64_t, kNumCounters> totals{};
+  std::array<SeriesData, kNumSeries> series_copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [owner, shard] : shards_) {
+      for (int i = 0; i < kNumCounters; ++i) totals[i] += shard->values[i];
+    }
+    for (int i = 0; i < kNumSeries; ++i) series_copy[i] = series_[i];
+  }
+  for (int i = 0; i < kNumCounters; ++i) {
+    if (totals[i] != 0) dst.Add(static_cast<Counter>(i), totals[i]);
+  }
+  std::lock_guard<std::mutex> lock(dst.mutex_);
+  for (int i = 0; i < kNumSeries; ++i) {
+    SeriesData& out = dst.series_[i];
+    for (const std::int64_t v : series_copy[i].values) {
+      if (out.values.size() < kSeriesCap) {
+        out.values.push_back(v);
+      } else {
+        ++out.dropped;
+      }
+    }
+    out.dropped += series_copy[i].dropped;
+  }
+}
+
+void CounterAdd(Counter c, std::int64_t value) {
+  util::CurrentRunContext()->counters().Add(c, value);
+}
+
+std::int64_t CounterValue(Counter c) {
+  return util::CurrentRunContext()->counters().Value(c);
+}
+
+void SeriesAppend(Series s, std::int64_t value) {
+  util::CurrentRunContext()->counters().Append(s, value);
+}
+
+std::vector<std::int64_t> SeriesValues(Series s) {
+  return util::CurrentRunContext()->counters().Values(s);
+}
+
+std::int64_t SeriesDropped(Series s) {
+  return util::CurrentRunContext()->counters().Dropped(s);
+}
+
+void ResetCounters() {
+  // Resolve the context FIRST: the global one is lazily built, and it must
+  // be counted before the liveness check below or a pre-existing second
+  // context could slip past it.
+  obs::CounterStore& store = util::CurrentRunContext()->counters();
+  // LiveCount() includes the (now constructed) global context; anything
+  // above one means another run owns state right now and a blanket reset
+  // would corrupt it — fail loudly, NDEBUG included.
+  if (util::RunContext::LiveCount() > 1) {
+    std::fprintf(stderr,
+                 "parhde: ResetCounters() called while %lld run contexts are "
+                 "live; use per-context snapshots instead\n",
+                 static_cast<long long>(util::RunContext::LiveCount()));
+    std::abort();
+  }
+  store.Reset();
+}
+
+std::vector<CounterSnapshot> SnapshotCounters() {
+  return util::CurrentRunContext()->counters().Snapshot();
 }
 
 }  // namespace parhde::obs

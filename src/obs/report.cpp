@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "resilience/fault_injection.hpp"
 #include "util/json_writer.hpp"
+#include "util/run_context.hpp"
 #include "util/memory.hpp"
 #include "util/status.hpp"
 
@@ -32,6 +33,9 @@ Environment CaptureEnvironment() {
 }
 
 void RunReport::CollectObservability() {
+  // Everything below except hw/RSS/environment snapshots the calling
+  // thread's active RunContext — a service worker with a per-request
+  // context collects exactly that request's run, not process totals.
   counters = SnapshotCounters();
   // Per-site fired counts from the fault-injection registry (empty unless
   // a plan is loaded in an injection-enabled build).
@@ -57,12 +61,15 @@ void RunReport::CollectObservability() {
 }
 
 void ResetObservability() {
-  ResetCounters();
-  ResetThreadStats();
+  // Clears the *active* RunContext's run-scoped state in one shot (counters,
+  // series, traces, thread-phase table, recovery log, fault fired-counts).
+  // Deliberately not the per-subsystem free functions: ResetCounters() is a
+  // deprecated shim that aborts when a second context is live, and this
+  // path must stay safe for a CLI run while the service is embedded.
+  util::CurrentRunContext()->ResetRunState();
+  // The hwperf layer is process-global (per-OS-thread perf_event fds), not
+  // part of any RunContext, so it is reset separately.
   ResetHwCounters();
-  resilience::ResetRecoveryLog();
-  resilience::ResetFaultCounters();
-  Tracer::Clear();
 }
 
 namespace {

@@ -2,62 +2,14 @@
 
 #include <omp.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 
 #include "util/memory.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde::obs {
 namespace {
-
-/// The active attribution phase. Written by the serial control thread
-/// (ThreadPhaseContext), read by workers inside parallel regions; the
-/// OpenMP fork/join provides the ordering, the atomic keeps the access
-/// data-race-free for the sanitizers.
-std::atomic<const char*> g_current_phase{nullptr};
-
-struct PhaseRow {
-  const char* name = nullptr;
-  double seconds[kMaxTrackedThreads] = {};
-  std::int64_t regions[kMaxTrackedThreads] = {};
-  // Written only by the serial control thread (ThreadPhaseContext dtor).
-  std::int64_t rss_delta_bytes = 0;
-};
-
-struct Table {
-  std::mutex mutex;                 // guards slot registration only
-  std::atomic<int> num_phases{0};
-  PhaseRow rows[kMaxTrackedPhases];
-};
-
-Table& GetTable() {
-  static Table* table = new Table();  // leaked: outlives all threads
-  return *table;
-}
-
-/// Index of `phase` in the table, registering it on first sight. Lock-free
-/// on the lookup path: rows are append-only and `num_phases` is released
-/// after the row's name is written.
-int SlotFor(const char* phase) {
-  Table& table = GetTable();
-  const int n = table.num_phases.load(std::memory_order_acquire);
-  for (int i = 0; i < n; ++i) {
-    const char* name = table.rows[i].name;
-    if (name == phase || std::strcmp(name, phase) == 0) return i;
-  }
-  std::lock_guard<std::mutex> lock(table.mutex);
-  const int m = table.num_phases.load(std::memory_order_relaxed);
-  for (int i = n; i < m; ++i) {  // re-check rows added while we waited
-    const char* name = table.rows[i].name;
-    if (name == phase || std::strcmp(name, phase) == 0) return i;
-  }
-  if (m >= kMaxTrackedPhases) return -1;
-  table.rows[m].name = phase;
-  table.num_phases.store(m + 1, std::memory_order_release);
-  return m;
-}
 
 std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
@@ -68,61 +20,70 @@ std::uint64_t NowNs() {
 
 }  // namespace
 
-ThreadPhaseContext::ThreadPhaseContext(const char* phase)
-    : saved_(g_current_phase.load(std::memory_order_relaxed)),
-      rss_entry_(PeakRssBytes()) {
-  g_current_phase.store(phase, std::memory_order_relaxed);
+struct PhaseRow {
+  const char* name = nullptr;
+  double seconds[kMaxTrackedThreads] = {};
+  std::int64_t regions[kMaxTrackedThreads] = {};
+  // Written only by the serial control thread (ThreadPhaseContext dtor).
+  std::int64_t rss_delta_bytes = 0;
+};
+
+ThreadPhaseTable::ThreadPhaseTable() = default;
+ThreadPhaseTable::~ThreadPhaseTable() = default;
+
+const char* ThreadPhaseTable::CurrentPhase() const {
+  return current_phase_.load(std::memory_order_relaxed);
 }
 
-ThreadPhaseContext::~ThreadPhaseContext() {
-  const char* phase = g_current_phase.load(std::memory_order_relaxed);
-  g_current_phase.store(saved_, std::memory_order_relaxed);
-  if (phase == nullptr || rss_entry_ < 0) return;
-  const std::int64_t now = PeakRssBytes();
-  if (now <= rss_entry_) return;  // high-water mark did not move
-  const int slot = SlotFor(phase);
-  if (slot < 0) return;
-  GetTable().rows[slot].rss_delta_bytes += now - rss_entry_;
+const char* ThreadPhaseTable::ExchangeCurrentPhase(const char* phase) {
+  return current_phase_.exchange(phase, std::memory_order_relaxed);
 }
 
-const char* CurrentThreadPhase() {
-  return g_current_phase.load(std::memory_order_relaxed);
+/// Index of `phase` in the table, registering it on first sight. Lock-free
+/// on the lookup path: row pointers are append-only and `num_phases_` is
+/// released after the row is allocated and named.
+int ThreadPhaseTable::SlotFor(const char* phase) {
+  const int n = num_phases_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const char* name = rows_[i]->name;
+    if (name == phase || std::strcmp(name, phase) == 0) return i;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int m = num_phases_.load(std::memory_order_relaxed);
+  for (int i = n; i < m; ++i) {  // re-check rows added while we waited
+    const char* name = rows_[i]->name;
+    if (name == phase || std::strcmp(name, phase) == 0) return i;
+  }
+  if (m >= kMaxTrackedPhases) return -1;
+  rows_[m] = std::make_unique<PhaseRow>();
+  rows_[m]->name = phase;
+  num_phases_.store(m + 1, std::memory_order_release);
+  return m;
 }
 
-void AddThreadTime(const char* phase, int tid, double seconds) {
+void ThreadPhaseTable::AddTime(const char* phase, int tid, double seconds) {
   if (phase == nullptr || tid < 0 || tid >= kMaxTrackedThreads) return;
   const int slot = SlotFor(phase);
   if (slot < 0) return;
-  PhaseRow& row = GetTable().rows[slot];
-  // Cell (slot, tid) is only ever written by OpenMP thread `tid`, and the
-  // regions charging to it never overlap in time.
+  PhaseRow& row = *rows_[slot];
+  // Cell (slot, tid) is only ever written by OpenMP thread `tid` of this
+  // context's team, and the regions charging to it never overlap in time.
   row.seconds[tid] += seconds;
   row.regions[tid] += 1;
 }
 
-ScopedRegionTimer::ScopedRegionTimer()
-    : phase_(CurrentThreadPhase()) {
-  if (phase_ != nullptr) {
-    tid_ = omp_get_thread_num();
-    HwRegionBegin(hw_);  // one relaxed load unless --hw-counters armed it
-    start_ns_ = NowNs();
-  }
+void ThreadPhaseTable::AddRssDelta(const char* phase, std::int64_t bytes) {
+  if (phase == nullptr || bytes <= 0) return;
+  const int slot = SlotFor(phase);
+  if (slot < 0) return;
+  rows_[slot]->rss_delta_bytes += bytes;
 }
 
-ScopedRegionTimer::~ScopedRegionTimer() {
-  if (phase_ != nullptr) {
-    const double seconds = static_cast<double>(NowNs() - start_ns_) * 1e-9;
-    AddThreadTime(phase_, tid_, seconds);
-    HwRegionEnd(hw_, phase_, tid_, seconds);
-  }
-}
-
-std::vector<ThreadPhaseStats> SnapshotThreadStats() {
-  Table& table = GetTable();
+std::vector<ThreadPhaseStats> ThreadPhaseTable::Snapshot() const {
   std::vector<ThreadPhaseStats> out;
-  const int n = table.num_phases.load(std::memory_order_acquire);
+  const int n = num_phases_.load(std::memory_order_acquire);
   for (int i = 0; i < n; ++i) {
-    const PhaseRow& row = table.rows[i];
+    const PhaseRow& row = *rows_[i];
     ThreadPhaseStats stats;
     stats.phase = row.name;
     double total = 0.0;
@@ -154,15 +115,62 @@ std::vector<ThreadPhaseStats> SnapshotThreadStats() {
   return out;
 }
 
-void ResetThreadStats() {
-  Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mutex);
-  const int n = table.num_phases.load(std::memory_order_relaxed);
+void ThreadPhaseTable::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int n = num_phases_.load(std::memory_order_relaxed);
   for (int i = 0; i < n; ++i) {
-    std::memset(table.rows[i].seconds, 0, sizeof(table.rows[i].seconds));
-    std::memset(table.rows[i].regions, 0, sizeof(table.rows[i].regions));
-    table.rows[i].rss_delta_bytes = 0;
+    std::memset(rows_[i]->seconds, 0, sizeof(rows_[i]->seconds));
+    std::memset(rows_[i]->regions, 0, sizeof(rows_[i]->regions));
+    rows_[i]->rss_delta_bytes = 0;
   }
+}
+
+ThreadPhaseContext::ThreadPhaseContext(const char* phase)
+    : table_(&util::CurrentRunContext()->thread_stats()),
+      rss_entry_(PeakRssBytes()) {
+  saved_ = table_->ExchangeCurrentPhase(phase);
+}
+
+ThreadPhaseContext::~ThreadPhaseContext() {
+  const char* phase = table_->ExchangeCurrentPhase(saved_);
+  if (phase == nullptr || rss_entry_ < 0) return;
+  const std::int64_t now = PeakRssBytes();
+  if (now <= rss_entry_) return;  // high-water mark did not move
+  table_->AddRssDelta(phase, now - rss_entry_);
+}
+
+const char* CurrentThreadPhase() {
+  return util::CurrentRunContext()->thread_stats().CurrentPhase();
+}
+
+void AddThreadTime(const char* phase, int tid, double seconds) {
+  util::CurrentRunContext()->thread_stats().AddTime(phase, tid, seconds);
+}
+
+ScopedRegionTimer::ScopedRegionTimer()
+    : table_(&util::CurrentRunContext()->thread_stats()),
+      phase_(table_->CurrentPhase()) {
+  if (phase_ != nullptr) {
+    tid_ = omp_get_thread_num();
+    HwRegionBegin(hw_);  // one relaxed load unless --hw-counters armed it
+    start_ns_ = NowNs();
+  }
+}
+
+ScopedRegionTimer::~ScopedRegionTimer() {
+  if (phase_ != nullptr) {
+    const double seconds = static_cast<double>(NowNs() - start_ns_) * 1e-9;
+    table_->AddTime(phase_, tid_, seconds);
+    HwRegionEnd(hw_, phase_, tid_, seconds);
+  }
+}
+
+std::vector<ThreadPhaseStats> SnapshotThreadStats() {
+  return util::CurrentRunContext()->thread_stats().Snapshot();
+}
+
+void ResetThreadStats() {
+  util::CurrentRunContext()->thread_stats().Reset();
 }
 
 }  // namespace parhde::obs

@@ -13,13 +13,26 @@
 // load. This keeps shared kernels like TransposeTimes correctly attributed:
 // under ParHDE it books to "TripleProd:GEMM", under PHDE to "MatMul".
 //
-// Storage is a fixed [phase][thread] table of plain doubles: each (phase,
-// tid) cell is written only by OpenMP thread `tid`, and distinct parallel
-// regions never run concurrently in this codebase, so writes need no
-// synchronization. Phase slots are registered append-only under a mutex.
+// Ownership: the [phase][thread] table lives in a ThreadPhaseTable owned
+// by a util::RunContext, resolved once per phase context / region timer.
+// This is what keeps the single-writer cell invariant true under the
+// layout service: two concurrent requests each run their own OpenMP team,
+// and omp_get_thread_num() values COLLIDE across teams — with one global
+// table those teams would race on the same cells; with one table per
+// request context each cell again has exactly one writer (the region
+// timers bind to the team's context, see util/run_context.hpp).
+//
+// Storage is a per-context table of plain doubles: each (phase, tid) cell
+// is written only by OpenMP thread `tid` of the context's single team.
+// Phase rows are registered append-only under a mutex and allocated
+// lazily, so an idle context costs a few hundred bytes, not the full
+// 32-phase table.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,64 +40,10 @@
 
 namespace parhde::obs {
 
-/// Upper bounds for the static table. 256 threads covers any node the
+/// Upper bounds for one context's table. 256 threads covers any node the
 /// paper targets; regions on threads beyond the cap are silently ignored.
 inline constexpr int kMaxTrackedThreads = 256;
 inline constexpr int kMaxTrackedPhases = 32;
-
-/// Sets the attribution phase for instrumented regions entered while it is
-/// alive. Nestable (saves and restores the previous context). Construct on
-/// the serial control thread before the parallel region, like ScopedPhase.
-/// `phase` must outlive the context (use the phase:: constants).
-class ThreadPhaseContext {
- public:
-  explicit ThreadPhaseContext(const char* phase);
-  ~ThreadPhaseContext();
-
-  ThreadPhaseContext(const ThreadPhaseContext&) = delete;
-  ThreadPhaseContext& operator=(const ThreadPhaseContext&) = delete;
-
- private:
-  const char* saved_;
-  // getrusage peak RSS at entry; the destructor charges the high-water
-  // growth observed while this context was active to its phase. Nested
-  // contexts each observe the same growth — per-phase deltas are an
-  // attribution aid, not a partition.
-  std::int64_t rss_entry_;
-};
-
-/// The phase instrumented regions currently charge to, or nullptr.
-const char* CurrentThreadPhase();
-
-/// Charges `seconds` of busy time on OpenMP thread `tid` to the current
-/// context. No-op when no context is active. Normally used via
-/// ScopedRegionTimer.
-void AddThreadTime(const char* phase, int tid, double seconds);
-
-/// RAII timer for use INSIDE an OpenMP parallel region: times this thread's
-/// execution of the region body and charges it to the active phase context.
-///
-///   #pragma omp parallel
-///   {
-///     obs::ScopedRegionTimer obs_timer;
-///     ... region body ...
-///   }
-///
-/// Costs one atomic load when no context is active.
-class ScopedRegionTimer {
- public:
-  ScopedRegionTimer();
-  ~ScopedRegionTimer();
-
-  ScopedRegionTimer(const ScopedRegionTimer&) = delete;
-  ScopedRegionTimer& operator=(const ScopedRegionTimer&) = delete;
-
- private:
-  const char* phase_;        // nullptr: context was inactive at entry
-  int tid_ = 0;
-  std::uint64_t start_ns_ = 0;
-  HwRegionSample hw_;        // inert unless --hw-counters enabled the layer
-};
 
 /// Reduced per-phase statistics over the threads that recorded time.
 struct ThreadPhaseStats {
@@ -102,10 +61,117 @@ struct ThreadPhaseStats {
   std::int64_t rss_delta_bytes = 0;
 };
 
-/// Stats for every phase that recorded any time, in registration order.
+/// One phase's [thread] row; defined in thread_stats.cpp.
+struct PhaseRow;
+
+/// Per-run [phase][thread] timing table. One instance per
+/// util::RunContext; ThreadPhaseContext and ScopedRegionTimer resolve the
+/// active instance once at construction.
+class ThreadPhaseTable {
+ public:
+  ThreadPhaseTable();
+  ~ThreadPhaseTable();
+
+  ThreadPhaseTable(const ThreadPhaseTable&) = delete;
+  ThreadPhaseTable& operator=(const ThreadPhaseTable&) = delete;
+
+  /// The phase instrumented regions currently charge to, or nullptr.
+  const char* CurrentPhase() const;
+
+  /// Sets the attribution phase; returns the previous one (for restore).
+  const char* ExchangeCurrentPhase(const char* phase);
+
+  /// Charges `seconds` of busy time on OpenMP thread `tid` to `phase`.
+  void AddTime(const char* phase, int tid, double seconds);
+
+  /// Charges peak-RSS growth observed during `phase` to its row.
+  void AddRssDelta(const char* phase, std::int64_t bytes);
+
+  /// Stats for every phase that recorded any time, in registration order.
+  std::vector<ThreadPhaseStats> Snapshot() const;
+
+  /// Zeroes the table. Not thread-safe against concurrent recording.
+  void Reset();
+
+ private:
+  int SlotFor(const char* phase);
+
+  /// The active attribution phase. Written by the context's serial control
+  /// thread (ThreadPhaseContext), read by workers inside its parallel
+  /// regions; the OpenMP fork/join provides the ordering, the atomic keeps
+  /// the access data-race-free for the sanitizers.
+  std::atomic<const char*> current_phase_{nullptr};
+  mutable std::mutex mutex_;  // guards slot registration only
+  std::atomic<int> num_phases_{0};
+  /// Fixed pointer array so the lock-free lookup path never races a
+  /// reallocation; rows allocate on first registration.
+  std::unique_ptr<PhaseRow> rows_[kMaxTrackedPhases];
+};
+
+/// Sets the attribution phase for instrumented regions entered while it is
+/// alive. Nestable (saves and restores the previous context). Construct on
+/// the serial control thread before the parallel region, like ScopedPhase.
+/// Binds to the run context active at construction. `phase` must outlive
+/// the context (use the phase:: constants).
+class ThreadPhaseContext {
+ public:
+  explicit ThreadPhaseContext(const char* phase);
+  ~ThreadPhaseContext();
+
+  ThreadPhaseContext(const ThreadPhaseContext&) = delete;
+  ThreadPhaseContext& operator=(const ThreadPhaseContext&) = delete;
+
+ private:
+  ThreadPhaseTable* table_;
+  const char* saved_;
+  // getrusage peak RSS at entry; the destructor charges the high-water
+  // growth observed while this context was active to its phase. Nested
+  // contexts each observe the same growth — per-phase deltas are an
+  // attribution aid, not a partition.
+  std::int64_t rss_entry_;
+};
+
+/// The phase instrumented regions currently charge to in the active run
+/// context, or nullptr.
+const char* CurrentThreadPhase();
+
+/// Charges `seconds` of busy time on OpenMP thread `tid` to the active
+/// context's current phase. No-op when no phase is active. Normally used
+/// via ScopedRegionTimer.
+void AddThreadTime(const char* phase, int tid, double seconds);
+
+/// RAII timer for use INSIDE an OpenMP parallel region: times this thread's
+/// execution of the region body and charges it to the active phase context.
+///
+///   #pragma omp parallel
+///   {
+///     util::ScopedRunContext run_scope(*run_ctx);  // team binding first
+///     obs::ScopedRegionTimer obs_timer;
+///     ... region body ...
+///   }
+///
+/// Costs one TLS read + one atomic load when no context is active.
+class ScopedRegionTimer {
+ public:
+  ScopedRegionTimer();
+  ~ScopedRegionTimer();
+
+  ScopedRegionTimer(const ScopedRegionTimer&) = delete;
+  ScopedRegionTimer& operator=(const ScopedRegionTimer&) = delete;
+
+ private:
+  ThreadPhaseTable* table_;  // the table phase_ was read from
+  const char* phase_;        // nullptr: context was inactive at entry
+  int tid_ = 0;
+  std::uint64_t start_ns_ = 0;
+  HwRegionSample hw_;        // inert unless --hw-counters enabled the layer
+};
+
+/// Stats for the active context's phases, in registration order.
 std::vector<ThreadPhaseStats> SnapshotThreadStats();
 
-/// Zeroes the table. Not thread-safe against concurrent recording.
+/// Zeroes the active context's table. Not thread-safe against concurrent
+/// recording.
 void ResetThreadStats();
 
 }  // namespace parhde::obs

@@ -1,14 +1,11 @@
 #include "obs/trace.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
-#include <memory>
-#include <mutex>
-#include <vector>
 
 #include "util/json_writer.hpp"
+#include "util/run_context.hpp"
 #include "util/status.hpp"
 
 namespace parhde::obs {
@@ -16,7 +13,26 @@ namespace {
 
 /// Per-thread ring capacity. 16Ki events x 24 bytes = 384 KiB per traced
 /// thread, enough for ~500 BFS levels x 32 sources with room to spare.
+/// Rings allocate lazily (first span on that thread), so an untraced run —
+/// every service request, unless the daemon opts in — pays nothing.
 constexpr std::size_t kRingCapacity = 1 << 14;
+
+std::atomic<bool> g_enabled{false};
+
+std::atomic<std::uint64_t> g_next_store_id{1};
+
+struct RingCache {
+  std::uint64_t store_id = 0;
+  TraceRing* ring = nullptr;
+};
+thread_local RingCache t_ring_cache;
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
 
 struct TraceEvent {
   const char* name;
@@ -24,10 +40,10 @@ struct TraceEvent {
   std::uint64_t dur_ns;
 };
 
-/// One thread's ring. Owned by the global registry (so export can read it
-/// after the thread exits) and written only by its owning thread.
-struct ThreadRing {
-  explicit ThreadRing(int tid_in) : tid(tid_in) { events.reserve(1024); }
+/// One thread's ring. Owned by its store (so export can read it after the
+/// thread exits) and written only by its owning thread.
+struct TraceRing {
+  explicit TraceRing(int tid_in) : tid(tid_in) { events.reserve(1024); }
 
   void Push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
     if (events.size() < kRingCapacity) {
@@ -45,94 +61,57 @@ struct ThreadRing {
   std::int64_t dropped = 0;
 };
 
-struct Registry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadRing>> rings;
-};
+TraceStore::TraceStore()
+    : id_(g_next_store_id.fetch_add(1, std::memory_order_relaxed)) {}
 
-Registry& GetRegistry() {
-  static Registry* registry = new Registry();  // leaked: outlives all threads
-  return *registry;
+TraceStore::~TraceStore() = default;
+
+TraceRing& TraceStore::LocalRing() {
+  if (t_ring_cache.store_id == id_) return *t_ring_cache.ring;
+  const int tid = util::ThisThreadOrdinal();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [owner, ring] : rings_) {
+    if (owner == tid) {
+      t_ring_cache = {id_, ring.get()};
+      return *ring;
+    }
+  }
+  rings_.emplace_back(tid, std::make_unique<TraceRing>(tid));
+  t_ring_cache = {id_, rings_.back().second.get()};
+  return *rings_.back().second;
 }
 
-std::atomic<bool> g_enabled{false};
-
-std::chrono::steady_clock::time_point Epoch() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return epoch;
+void TraceStore::Record(const char* name, std::uint64_t start_ns,
+                        std::uint64_t dur_ns) {
+  LocalRing().Push(name, start_ns, dur_ns);
 }
 
-ThreadRing& LocalRing() {
-  thread_local ThreadRing* ring = [] {
-    Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
-    registry.rings.push_back(
-        std::make_unique<ThreadRing>(static_cast<int>(registry.rings.size())));
-    return registry.rings.back().get();
-  }();
-  return *ring;
-}
-
-}  // namespace
-
-bool Tracer::Enabled() {
-#if defined(PARHDE_TRACING) && PARHDE_TRACING
-  return g_enabled.load(std::memory_order_relaxed);
-#else
-  return false;
-#endif
-}
-
-void Tracer::SetEnabled(bool enabled) {
-#if defined(PARHDE_TRACING) && PARHDE_TRACING
-  if (enabled) Epoch();  // pin the epoch before the first span
-  g_enabled.store(enabled, std::memory_order_relaxed);
-#else
-  (void)enabled;
-#endif
-}
-
-void Tracer::Clear() {
-  Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
-  for (auto& ring : registry.rings) {
+void TraceStore::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [owner, ring] : rings_) {
     ring->events.clear();
     ring->head = 0;
     ring->dropped = 0;
   }
 }
 
-std::int64_t Tracer::EventCount() {
-  Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+std::int64_t TraceStore::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::int64_t total = 0;
-  for (const auto& ring : registry.rings) {
+  for (const auto& [owner, ring] : rings_) {
     total += static_cast<std::int64_t>(ring->events.size());
   }
   return total;
 }
 
-std::int64_t Tracer::DroppedCount() {
-  Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+std::int64_t TraceStore::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::int64_t total = 0;
-  for (const auto& ring : registry.rings) total += ring->dropped;
+  for (const auto& [owner, ring] : rings_) total += ring->dropped;
   return total;
 }
 
-std::uint64_t Tracer::NowNs() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Epoch())
-          .count());
-}
-
-void Tracer::RecordComplete(const char* name, std::uint64_t start_ns,
-                            std::uint64_t dur_ns) {
-  LocalRing().Push(name, start_ns, dur_ns);
-}
-
-std::string Tracer::ToJson() {
+std::string TraceStore::ToJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit");
@@ -140,9 +119,8 @@ std::string Tracer::ToJson() {
   w.Key("traceEvents");
   w.BeginArray();
 
-  Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
-  for (const auto& ring : registry.rings) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [owner, ring] : rings_) {
     // Emit in chronological order: [head, end) is the older segment once
     // the ring has wrapped.
     const std::size_t count = ring->events.size();
@@ -170,6 +148,49 @@ std::string Tracer::ToJson() {
   w.EndArray();
   w.EndObject();
   return w.Str();
+}
+
+bool Tracer::Enabled() {
+#if defined(PARHDE_TRACING) && PARHDE_TRACING
+  return g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void Tracer::SetEnabled(bool enabled) {
+#if defined(PARHDE_TRACING) && PARHDE_TRACING
+  if (enabled) Epoch();  // pin the epoch before the first span
+  g_enabled.store(enabled, std::memory_order_relaxed);
+#else
+  (void)enabled;
+#endif
+}
+
+void Tracer::Clear() { util::CurrentRunContext()->trace().Clear(); }
+
+std::int64_t Tracer::EventCount() {
+  return util::CurrentRunContext()->trace().EventCount();
+}
+
+std::int64_t Tracer::DroppedCount() {
+  return util::CurrentRunContext()->trace().DroppedCount();
+}
+
+std::uint64_t Tracer::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+void Tracer::RecordComplete(const char* name, std::uint64_t start_ns,
+                            std::uint64_t dur_ns) {
+  util::CurrentRunContext()->trace().Record(name, start_ns, dur_ns);
+}
+
+std::string Tracer::ToJson() {
+  return util::CurrentRunContext()->trace().ToJson();
 }
 
 void Tracer::WriteJsonFile(const std::string& path) {

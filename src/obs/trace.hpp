@@ -12,42 +12,89 @@
 //     Tracer::SetEnabled(true) (the CLI's --trace flag). A disabled span
 //     costs one relaxed atomic load.
 //
+// Ownership: the rings live in a TraceStore owned by a util::RunContext —
+// the Tracer facade resolves the active context's store, so concurrent
+// runs in one process record to disjoint rings. The enable flag and the
+// timestamp epoch stay process-global: enabling is an operator decision,
+// and a shared epoch keeps timestamps comparable across contexts.
+//
 // Recording is lock-free in the hot path: each thread owns a fixed-capacity
-// ring buffer (no atomics, no sharing); the only lock is taken once per
-// thread lifetime, when the buffer registers itself. When a ring wraps, the
-// oldest events are overwritten and counted in DroppedCount() — a bounded
-// memory footprint is worth more than a complete tail for long runs.
+// ring buffer (no atomics, no sharing); the only lock is taken when a
+// thread first touches a store (or returns to it after touching another).
+// When a ring wraps, the oldest events are overwritten and counted in
+// DroppedCount() — a bounded memory footprint is worth more than a
+// complete tail for long runs.
 //
 // Span names must be string literals (or otherwise outlive the tracer):
 // events store the pointer, not a copy.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace parhde::obs {
 
-/// Global tracer control and export. All methods are safe to call
-/// concurrently with span recording.
+/// One thread's event ring; defined in trace.cpp.
+struct TraceRing;
+
+/// Per-run span storage. One instance per util::RunContext; spans reach
+/// the active instance through the Tracer facade.
+class TraceStore {
+ public:
+  TraceStore();
+  ~TraceStore();
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Records one complete event on the calling thread's ring.
+  void Record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Discards all recorded events and drop counts. The store must be
+  /// quiescent (no concurrent recording).
+  void Clear();
+
+  std::int64_t EventCount() const;
+  std::int64_t DroppedCount() const;
+
+  /// Chrome trace-event JSON for everything recorded so far.
+  std::string ToJson() const;
+
+ private:
+  TraceRing& LocalRing();
+
+  /// Process-unique id keying the thread-local ring cache (see
+  /// CounterStore::id_ for why an id, not `this`).
+  const std::uint64_t id_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<int, std::unique_ptr<TraceRing>>> rings_;
+};
+
+/// Tracer control and export, resolving through the active run context.
+/// All methods are safe to call concurrently with span recording.
 class Tracer {
  public:
   /// True when tracing is compiled in AND runtime-enabled.
   static bool Enabled();
 
-  /// Runtime switch; no-op (stays false) when compiled out.
+  /// Runtime switch; no-op (stays false) when compiled out. Process-wide.
   static void SetEnabled(bool enabled);
 
-  /// Discards all recorded events and drop counts. Not thread-safe against
-  /// concurrent span recording; call between runs.
+  /// Discards the active context's events and drop counts. Not thread-safe
+  /// against concurrent span recording in that context.
   static void Clear();
 
-  /// Events currently held across all thread rings.
+  /// Events currently held across the active context's thread rings.
   static std::int64_t EventCount();
 
   /// Events overwritten by ring wrap-around since the last Clear().
   static std::int64_t DroppedCount();
 
-  /// Serializes everything recorded so far as a Chrome trace-event JSON
+  /// Serializes the active context's events as a Chrome trace-event JSON
   /// document: {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
   /// "pid":1,"tid":...,"cat":"parhde"}, ...]}. Timestamps are microseconds
   /// from an arbitrary per-process epoch, events sorted per thread.
@@ -56,8 +103,9 @@ class Tracer {
   /// Writes ToJson() to `path`; throws ParhdeError(kIo) on failure.
   static void WriteJsonFile(const std::string& path);
 
-  /// Records one complete ("ph":"X") event on the calling thread's ring.
-  /// `name` must outlive the tracer. Normally called via TraceSpan.
+  /// Records one complete ("ph":"X") event on the calling thread's ring in
+  /// the active context. `name` must outlive the tracer. Normally called
+  /// via TraceSpan.
   static void RecordComplete(const char* name, std::uint64_t start_ns,
                              std::uint64_t dur_ns);
 

@@ -1,24 +1,13 @@
 #include "resilience/deadline.hpp"
 
-#include <atomic>
 #include <cstdio>
-#include <limits>
 
 #include "obs/counters.hpp"
+#include "util/run_context.hpp"
 #include "util/status.hpp"
 
 namespace parhde::resilience {
 namespace {
-
-constexpr long long kNoDeadline = std::numeric_limits<long long>::max();
-
-// Earliest active deadline as steady_clock nanoseconds-since-epoch;
-// kNoDeadline when disarmed. Relaxed is enough: polls only need to observe
-// the value eventually, and the arming thread is the one that later throws.
-std::atomic<long long> g_deadline_ns{kNoDeadline};
-// When the *innermost* guard armed, and its budget — for the error message.
-std::atomic<long long> g_armed_at_ns{0};
-std::atomic<double> g_budget_seconds{0.0};
 
 long long NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -26,29 +15,31 @@ long long NowNs() {
       .count();
 }
 
-}  // namespace
-
-bool DeadlineArmed() {
-  return g_deadline_ns.load(std::memory_order_relaxed) != kNoDeadline;
+DeadlineToken& CurrentToken() {
+  return util::CurrentRunContext()->deadline();
 }
 
-bool DeadlinePoll() {
-  const long long deadline = g_deadline_ns.load(std::memory_order_relaxed);
-  if (deadline == kNoDeadline) return false;
+}  // namespace
+
+bool DeadlineToken::Expired() const {
+  const long long deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == kNoDeadlineNs) return false;
   return NowNs() > deadline;
 }
 
+bool DeadlineArmed() { return CurrentToken().Armed(); }
+
+bool DeadlinePoll() { return CurrentToken().Expired(); }
+
 void ThrowDeadlineExceeded(const char* phase) {
   obs::CounterAdd(obs::Counter::kDeadlineExpirations, 1);
+  const DeadlineToken::State state = CurrentToken().Load();
   const double elapsed =
-      static_cast<double>(NowNs() -
-                          g_armed_at_ns.load(std::memory_order_relaxed)) *
-      1e-9;
-  const double budget = g_budget_seconds.load(std::memory_order_relaxed);
+      static_cast<double>(NowNs() - state.armed_at_ns) * 1e-9;
   char msg[128];
   std::snprintf(msg, sizeof(msg),
                 "deadline exceeded after %.3fs (budget %.3fs)", elapsed,
-                budget);
+                state.budget_seconds);
   throw ParhdeError(ErrorCode::kDeadlineExceeded, phase, msg);
 }
 
@@ -59,24 +50,16 @@ void CheckDeadline(const char* phase) {
 DeadlineGuard::DeadlineGuard(const char* phase, double budget_seconds) {
   (void)phase;
   if (budget_seconds <= 0.0) return;
-  armed_ = true;
-  prev_deadline_ns_ = g_deadline_ns.load(std::memory_order_relaxed);
-  prev_armed_at_ns_ = g_armed_at_ns.load(std::memory_order_relaxed);
-  prev_budget_ = g_budget_seconds.load(std::memory_order_relaxed);
+  token_ = &CurrentToken();
+  prev_ = token_->Load();
   const long long now = NowNs();
-  long long mine =
-      now + static_cast<long long>(budget_seconds * 1e9);
-  if (mine > prev_deadline_ns_) mine = prev_deadline_ns_;  // only tighten
-  g_deadline_ns.store(mine, std::memory_order_relaxed);
-  g_armed_at_ns.store(now, std::memory_order_relaxed);
-  g_budget_seconds.store(budget_seconds, std::memory_order_relaxed);
+  long long mine = now + static_cast<long long>(budget_seconds * 1e9);
+  if (mine > prev_.deadline_ns) mine = prev_.deadline_ns;  // only tighten
+  token_->Store({mine, now, budget_seconds});
 }
 
 DeadlineGuard::~DeadlineGuard() {
-  if (!armed_) return;
-  g_deadline_ns.store(prev_deadline_ns_, std::memory_order_relaxed);
-  g_armed_at_ns.store(prev_armed_at_ns_, std::memory_order_relaxed);
-  g_budget_seconds.store(prev_budget_, std::memory_order_relaxed);
+  if (token_ != nullptr) token_->Store(prev_);
 }
 
 }  // namespace parhde::resilience

@@ -1,12 +1,15 @@
 // Cooperative deadline/watchdog layer.
 //
-// One process-global cancellation token holds the earliest active deadline.
+// Each util::RunContext owns one DeadlineToken holding the earliest active
+// deadline for that run — the service arms a per-request token, so a
+// deadline'd request can no longer spuriously expire a concurrent one.
 // DeadlineGuard is the only writer: it arms a budget on construction
-// (clamped to any outer deadline, so nested guards can only tighten) and
-// restores the previous state on destruction. Kernels never block on it —
-// they poll at natural quiescent points (a BFS level, a Δ-stepping round, a
-// Gram-Schmidt column push, a Jacobi sweep, a LOBPCG iteration), which
-// bounds detection latency by one round of the slowest kernel.
+// (clamped to any outer deadline on the same token, so nested guards can
+// only tighten) and restores the previous state on destruction. Kernels
+// never block on it — they poll at natural quiescent points (a BFS level,
+// a Δ-stepping round, a Gram-Schmidt column push, a Jacobi sweep, a LOBPCG
+// iteration) through the active context, which bounds detection latency by
+// one round of the slowest kernel.
 //
 // Two polling forms, because of OpenMP's exception rule (an exception must
 // not escape a parallel region):
@@ -14,22 +17,72 @@
 //     from sequential code (a loop whose parallelism is nested inside it).
 //   * DeadlinePoll() — non-throwing; use inside a parallel region to set a
 //     shared flag at a consistent point (e.g. an `omp single`), break all
-//     threads out together, and throw after the region joins.
+//     threads out together, and throw after the region joins. Region entry
+//     must team-bind the run context (util::ScopedRunContext) or the poll
+//     would consult the wrong token.
 //
-// Cost when disarmed: one relaxed atomic load per poll — no clock read.
+// Cost when disarmed: one TLS read + one relaxed atomic load per poll — no
+// clock read.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <limits>
 
 namespace parhde::resilience {
 
 using DeadlineClock = std::chrono::steady_clock;
 
-/// True iff some DeadlineGuard is currently armed.
+/// Sentinel for "no deadline armed" (steady_clock ns since epoch).
+inline constexpr long long kNoDeadlineNs =
+    std::numeric_limits<long long>::max();
+
+/// One run's cancellation state: the earliest active deadline plus the
+/// innermost guard's arming info (for the error message). Owned by a
+/// util::RunContext; all fields are relaxed atomics — polls only need to
+/// observe the value eventually, and the arming thread is the one that
+/// later throws.
+class DeadlineToken {
+ public:
+  struct State {
+    long long deadline_ns = kNoDeadlineNs;
+    long long armed_at_ns = 0;
+    double budget_seconds = 0.0;
+  };
+
+  /// True iff some DeadlineGuard is currently armed on this token.
+  bool Armed() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadlineNs;
+  }
+
+  /// True iff a deadline is armed and has expired. Never throws.
+  bool Expired() const;
+
+  State Load() const {
+    return {deadline_ns_.load(std::memory_order_relaxed),
+            armed_at_ns_.load(std::memory_order_relaxed),
+            budget_seconds_.load(std::memory_order_relaxed)};
+  }
+
+  void Store(const State& s) {
+    deadline_ns_.store(s.deadline_ns, std::memory_order_relaxed);
+    armed_at_ns_.store(s.armed_at_ns, std::memory_order_relaxed);
+    budget_seconds_.store(s.budget_seconds, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long long> deadline_ns_{kNoDeadlineNs};
+  // When the *innermost* guard armed, and its budget.
+  std::atomic<long long> armed_at_ns_{0};
+  std::atomic<double> budget_seconds_{0.0};
+};
+
+/// True iff some DeadlineGuard is armed on the active context's token.
 bool DeadlineArmed();
 
-/// True iff a deadline is armed and has expired. Never throws; safe from
-/// any thread, inside or outside parallel regions.
+/// True iff the active context's deadline is armed and has expired. Never
+/// throws; safe from any thread, inside or outside parallel regions (the
+/// region must be team-bound to the run context).
 bool DeadlinePoll();
 
 /// Throws ParhdeError(ErrorCode::kDeadlineExceeded, phase, ...) naming the
@@ -42,11 +95,13 @@ void CheckDeadline(const char* phase);
 /// post-region throw for kernels that detected expiry via DeadlinePoll().
 [[noreturn]] void ThrowDeadlineExceeded(const char* phase);
 
-/// RAII deadline: arms `min(outer deadline, now + budget_seconds)` for its
-/// scope and restores the previous deadline on destruction. A budget <= 0
-/// is a no-op guard (nothing armed, nothing restored). The CLI arms one
-/// guard for --timeout around the whole run; the recovery ladder re-arms a
-/// fresh per-phase guard for every attempt so a retry gets a full budget.
+/// RAII deadline: arms `min(outer deadline, now + budget_seconds)` on the
+/// token of the run context active at construction, and restores the
+/// previous state on destruction. A budget <= 0 is a no-op guard (nothing
+/// armed, nothing restored). The CLI arms one guard for --timeout around
+/// the whole run; the service arms one per request on the request's
+/// context; the recovery ladder re-arms a fresh per-phase guard for every
+/// attempt so a retry gets a full budget.
 class DeadlineGuard {
  public:
   DeadlineGuard(const char* phase, double budget_seconds);
@@ -56,10 +111,8 @@ class DeadlineGuard {
   DeadlineGuard& operator=(const DeadlineGuard&) = delete;
 
  private:
-  bool armed_ = false;
-  long long prev_deadline_ns_ = 0;
-  long long prev_armed_at_ns_ = 0;
-  double prev_budget_ = 0.0;
+  DeadlineToken* token_ = nullptr;  // nullptr: no-op guard
+  DeadlineToken::State prev_;
 };
 
 }  // namespace parhde::resilience

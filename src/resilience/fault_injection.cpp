@@ -1,12 +1,11 @@
 #include "resilience/fault_injection.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "obs/counters.hpp"
+#include "util/run_context.hpp"
 #include "util/status.hpp"
 
 namespace parhde::resilience {
@@ -35,32 +34,25 @@ bool IsStallSite(const std::string& name) {
   return name.size() >= 6 && name.compare(name.size() - 6, 6, ":stall") == 0;
 }
 
-struct SiteState {
-  std::string name;
-  long long param = 1;     // iter/count/bytes/ms depending on the site
-  long long trigger = 1;   // one-shot sites fire on this invocation number
-  long long calls = 0;     // invocations observed
-  long long fired = 0;     // times the fault actually triggered
-  bool stall = false;      // repeating (stall) vs one-shot semantics
-};
+FaultPlan& CurrentPlan() { return util::CurrentRunContext()->faults(); }
 
-// Plan state. Lookups take the mutex; sites are checked at round/column/
-// call granularity (never per edge), and the fast path when no plan is
-// loaded is a single relaxed atomic load.
-std::mutex g_mutex;
-std::vector<SiteState> g_plan;
-std::atomic<bool> g_active{false};
+}  // namespace
 
-SiteState* FindSite(const char* site) {
-  for (SiteState& s : g_plan) {
+FaultPlan::SiteState* FaultPlan::Find(const char* site) {
+  for (SiteState& s : sites_) {
     if (s.name == site) return &s;
   }
   return nullptr;
 }
 
-}  // namespace
+const FaultPlan::SiteState* FaultPlan::Find(const char* site) const {
+  for (const SiteState& s : sites_) {
+    if (s.name == site) return &s;
+  }
+  return nullptr;
+}
 
-void LoadFaultPlan(const std::string& plan) {
+void FaultPlan::Load(const std::string& plan) {
   std::vector<SiteState> parsed;
   if (!plan.empty() && plan.back() == ',') {
     throw ParhdeError(ErrorCode::kUsage, kModule,
@@ -116,23 +108,21 @@ void LoadFaultPlan(const std::string& plan) {
     }
     parsed.push_back(std::move(site));
   }
-  std::lock_guard<std::mutex> lock(g_mutex);
-  g_plan = std::move(parsed);
-  g_active.store(!g_plan.empty(), std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_ = std::move(parsed);
+  active_.store(!sites_.empty(), std::memory_order_release);
 }
 
-void ClearFaultPlan() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  g_plan.clear();
-  g_active.store(false, std::memory_order_release);
+void FaultPlan::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  active_.store(false, std::memory_order_release);
 }
 
-bool FaultPlanActive() { return g_active.load(std::memory_order_acquire); }
-
-bool FaultArm(const char* site) {
-  if (!FaultPlanActive()) return false;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  SiteState* s = FindSite(site);
+bool FaultPlan::Arm(const char* site) {
+  if (!Active()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState* s = Find(site);
   if (s == nullptr || s->stall) return false;
   ++s->calls;
   if (s->calls != s->trigger) return false;
@@ -141,10 +131,10 @@ bool FaultArm(const char* site) {
   return true;
 }
 
-long long FaultStallMs(const char* site) {
-  if (!FaultPlanActive()) return 0;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  SiteState* s = FindSite(site);
+long long FaultPlan::StallMs(const char* site) {
+  if (!Active()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState* s = Find(site);
   if (s == nullptr || !s->stall) return 0;
   ++s->calls;
   ++s->fired;
@@ -152,11 +142,50 @@ long long FaultStallMs(const char* site) {
   return s->param;
 }
 
-long long FaultParam(const char* site, long long fallback) {
-  if (!FaultPlanActive()) return fallback;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  const SiteState* s = FindSite(site);
+long long FaultPlan::Param(const char* site, long long fallback) const {
+  if (!Active()) return fallback;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SiteState* s = Find(site);
   return s != nullptr ? s->param : fallback;
+}
+
+std::vector<std::pair<std::string, long long>> FaultPlan::FiredCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, long long>> out;
+  out.reserve(sites_.size());
+  for (const SiteState& s : sites_) out.emplace_back(s.name, s.fired);
+  return out;
+}
+
+long long FaultPlan::FiredCount(const char* site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SiteState* s = Find(site);
+  return s != nullptr ? s->fired : 0;
+}
+
+void FaultPlan::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SiteState& s : sites_) {
+    s.calls = 0;
+    s.fired = 0;
+  }
+}
+
+void LoadFaultPlan(const std::string& plan) { CurrentPlan().Load(plan); }
+
+void ClearFaultPlan() { CurrentPlan().Clear(); }
+
+bool FaultPlanActive() { return CurrentPlan().Active(); }
+
+bool FaultArm(const char* site) { return CurrentPlan().Arm(site); }
+
+long long FaultStallMs(const char* site) {
+  return CurrentPlan().StallMs(site);
+}
+
+long long FaultParam(const char* site, long long fallback) {
+  return CurrentPlan().Param(site, fallback);
 }
 
 void FaultSleepMs(long long ms) {
@@ -164,25 +193,13 @@ void FaultSleepMs(long long ms) {
 }
 
 std::vector<std::pair<std::string, long long>> FaultFiredCounts() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::vector<std::pair<std::string, long long>> out;
-  out.reserve(g_plan.size());
-  for (const SiteState& s : g_plan) out.emplace_back(s.name, s.fired);
-  return out;
+  return CurrentPlan().FiredCounts();
 }
 
 long long FaultFiredCount(const char* site) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  const SiteState* s = FindSite(site);
-  return s != nullptr ? s->fired : 0;
+  return CurrentPlan().FiredCount(site);
 }
 
-void ResetFaultCounters() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  for (SiteState& s : g_plan) {
-    s.calls = 0;
-    s.fired = 0;
-  }
-}
+void ResetFaultCounters() { CurrentPlan().ResetCounters(); }
 
 }  // namespace parhde::resilience

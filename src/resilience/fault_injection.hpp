@@ -40,8 +40,15 @@
 // Per-site fired counters are exported through the obs run report as
 // dynamic `fault.<site>` counter entries so replay tests can assert exactly
 // which sites triggered.
+//
+// Ownership: the plan and its cursors live in a FaultPlan owned by a
+// util::RunContext; the free functions resolve the active context's plan.
+// The CLI loads into the default global context, so single-run behavior is
+// unchanged; service requests get a fresh (empty) plan per context.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,9 +62,57 @@ namespace parhde::resilience {
 /// True when the binary was built with PARHDE_FAULT_INJECTION=ON.
 inline constexpr bool kFaultInjectionCompiled = PARHDE_FAULT_INJECTION != 0;
 
-/// Parses and installs a fault plan ("site@key=value,site2,...").
-/// Replaces any previous plan and zeroes all counters. Throws
-/// ParhdeError(kUsage) on an unknown site, malformed entry, or
+/// One run's installed fault plan plus per-site invocation/fired cursors.
+/// Lookups take the mutex; sites are checked at round/column/call
+/// granularity (never per edge), and the fast path when no plan is loaded
+/// is a single relaxed atomic load.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Parses and installs a plan; replaces any previous one and zeroes all
+  /// counters. Throws ParhdeError(kUsage) on an unknown site, malformed
+  /// entry, or non-positive parameter.
+  void Load(const std::string& plan);
+
+  /// Removes the plan and zeroes all counters.
+  void Clear();
+
+  /// True when a non-empty plan is installed.
+  bool Active() const { return active_.load(std::memory_order_acquire); }
+
+  bool Arm(const char* site);
+  long long StallMs(const char* site);
+  long long Param(const char* site, long long fallback) const;
+  std::vector<std::pair<std::string, long long>> FiredCounts() const;
+  long long FiredCount(const char* site) const;
+
+  /// Zeroes fired/invocation counters but keeps the plan installed.
+  void ResetCounters();
+
+ private:
+  struct SiteState {
+    std::string name;
+    long long param = 1;     // iter/count/bytes/ms depending on the site
+    long long trigger = 1;   // one-shot sites fire on this invocation number
+    long long calls = 0;     // invocations observed
+    long long fired = 0;     // times the fault actually triggered
+    bool stall = false;      // repeating (stall) vs one-shot semantics
+  };
+
+  SiteState* Find(const char* site);
+  const SiteState* Find(const char* site) const;
+
+  mutable std::mutex mutex_;
+  std::vector<SiteState> sites_;
+  std::atomic<bool> active_{false};
+};
+
+/// Parses and installs a fault plan ("site@key=value,site2,...") into the
+/// active run context. Replaces any previous plan and zeroes all counters.
+/// Throws ParhdeError(kUsage) on an unknown site, malformed entry, or
 /// non-positive parameter.
 void LoadFaultPlan(const std::string& plan);
 

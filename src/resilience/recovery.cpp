@@ -5,12 +5,10 @@
 #include <mutex>
 
 #include "resilience/fault_injection.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde::resilience {
 namespace {
-
-std::mutex g_log_mutex;
-std::vector<RecoveryAttempt> g_log;
 
 // Local finite sweep so this layer does not depend on the hde headers
 // (CheckMatrixFinite lives in hde/parhde.hpp, above resilience).
@@ -33,20 +31,36 @@ bool IsRetryable(ErrorCode code) {
          code == ErrorCode::kDeadlineExceeded;
 }
 
+void RecoveryLog::Record(RecoveryAttempt attempt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  attempts_.push_back(std::move(attempt));
+}
+
+std::vector<RecoveryAttempt> RecoveryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return attempts_;
+}
+
+void RecoveryLog::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  attempts_.clear();
+}
+
+void RecoveryLog::MergeInto(RecoveryLog& dst) const {
+  std::vector<RecoveryAttempt> copy = Snapshot();
+  std::lock_guard<std::mutex> lock(dst.mutex_);
+  for (RecoveryAttempt& a : copy) dst.attempts_.push_back(std::move(a));
+}
+
 void RecordRecoveryAttempt(RecoveryAttempt attempt) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  g_log.push_back(std::move(attempt));
+  util::CurrentRunContext()->recovery().Record(std::move(attempt));
 }
 
 std::vector<RecoveryAttempt> RecoveryAttempts() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  return g_log;
+  return util::CurrentRunContext()->recovery().Snapshot();
 }
 
-void ResetRecoveryLog() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  g_log.clear();
-}
+void ResetRecoveryLog() { util::CurrentRunContext()->recovery().Reset(); }
 
 EigenDecomposition SolveSmallEigen(DenseMatrix& Z, const char* phase,
                                    const ResilienceOptions& opts) {

@@ -1,4 +1,4 @@
-// Recovery-ladder policy types and the global attempt log.
+// Recovery-ladder policy types and the per-run attempt log.
 //
 // Deliberately free of heavy includes: hde/parhde.hpp embeds
 // ResilienceOptions in HdeOptions and obs/report.hpp embeds RecoveryAttempt
@@ -6,6 +6,7 @@
 // The ladder executor itself lives in resilience/recovery.hpp.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,13 +42,33 @@ struct RecoveryAttempt {
   bool succeeded = false;
 };
 
-/// Appends to the process-global log. Thread-safe.
+/// One run's attempt log. Owned by a util::RunContext; the free functions
+/// below resolve the active context's log.
+class RecoveryLog {
+ public:
+  RecoveryLog() = default;
+  RecoveryLog(const RecoveryLog&) = delete;
+  RecoveryLog& operator=(const RecoveryLog&) = delete;
+
+  void Record(RecoveryAttempt attempt);
+  std::vector<RecoveryAttempt> Snapshot() const;
+  void Reset();
+
+  /// Appends this (quiescent) log's attempts to `dst`.
+  void MergeInto(RecoveryLog& dst) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RecoveryAttempt> attempts_;
+};
+
+/// Appends to the active context's log. Thread-safe.
 void RecordRecoveryAttempt(RecoveryAttempt attempt);
 
-/// Snapshot of all attempts since the last reset, in record order.
+/// Snapshot of the active context's attempts, in record order.
 std::vector<RecoveryAttempt> RecoveryAttempts();
 
-/// Clears the log; called by obs::ResetObservability() between runs.
+/// Clears the active context's log.
 void ResetRecoveryLog();
 
 }  // namespace parhde::resilience

@@ -19,6 +19,7 @@
 #include "obs/report.hpp"
 #include "resilience/deadline.hpp"
 #include "util/json_writer.hpp"
+#include "util/run_context.hpp"
 #include "util/timer.hpp"
 
 namespace parhde::service {
@@ -261,67 +262,77 @@ std::string LayoutService::Execute(const LayoutRequest& req,
   const double budget = req.deadline_seconds > 0.0
                             ? req.deadline_seconds
                             : options_.default_deadline_seconds;
-  try {
-    // See deadline_lane_ in the header: a deadline'd request runs alone
-    // because the deadline token is process-global.
-    std::shared_lock<std::shared_mutex> shared_lane(deadline_lane_,
-                                                    std::defer_lock);
-    std::unique_lock<std::shared_mutex> exclusive_lane(deadline_lane_,
-                                                       std::defer_lock);
-    if (budget > 0.0) {
-      exclusive_lane.lock();
-    } else {
-      shared_lane.lock();
+  // Per-request execution context: this request's counters, series,
+  // traces, recovery log, and — critically — its deadline token all live
+  // here, so concurrent requests (deadline'd or not) never see each
+  // other's state. Installed on this worker thread now; the instrumented
+  // kernels re-bind it on their OpenMP team threads at region entry.
+  util::RunContext ctx;
+  ctx.set_run_seed(req.seed);
+  std::string response;
+  {
+    util::ScopedRunContext run_scope(ctx);
+    try {
+      resilience::DeadlineGuard guard("service.request", budget);
+
+      const GraphCache::Result cached = cache_.Get(req.graph);
+      const CsrGraph& graph = *cached.graph;
+
+      HdeOptions options = OptionsFromRequest(req);
+      ComponentsLayoutOptions copts;
+      copts.policy = DisconnectedPolicy::Largest;
+      const ComponentsLayoutResult res =
+          RunHdeOnComponents(graph, options, copts, DriverFor(req.algo));
+      const CsrGraph& laid = res.used_subgraph ? res.subgraph.graph : graph;
+
+      obs::RunReport report;
+      report.tool = "parhde_serve";
+      report.graph = req.graph;
+      report.algo = req.algo;
+      report.vertices = laid.NumVertices();
+      report.edges = laid.NumEdges();
+      report.components = res.num_components;
+      report.config = {
+          {"algo", req.algo},
+          {"s", std::to_string(req.subspace_dim)},
+          {"axes", std::to_string(req.num_axes)},
+          {"pivots", req.pivots},
+          {"kernel", req.kernel},
+          {"seed", std::to_string(req.seed)},
+          {"deadline", std::to_string(budget)},
+      };
+      report.timings = res.hde.timings;
+      if (!cached.stat_hit) {
+        // The load phase only exists on a miss: its absence (and
+        // load_seconds == 0) is how a cache hit is verified end to end.
+        report.timings.Add("Load", cached.load_seconds);
+      }
+      report.metrics.emplace_back("effective_pivots",
+                                  static_cast<double>(res.hde.pivots.size()));
+      report.metrics.emplace_back("cache_hit", cached.stat_hit ? 1.0 : 0.0);
+      report.metrics.emplace_back("snapshot_load",
+                                  cached.snapshot_load ? 1.0 : 0.0);
+      report.metrics.emplace_back("load_seconds", cached.load_seconds);
+      report.metrics.emplace_back("queue_wait_seconds", queue_wait_seconds);
+      report.total_seconds = total.Seconds();
+      // Snapshots the per-request context installed above: counters,
+      // series, thread-phase stats, and recovery attempts of THIS request
+      // only — concurrent requests no longer bleed into each other's
+      // reports.
+      report.CollectObservability();
+      response =
+          OkResponse(req.id, "layout", "report", obs::ReportToJson(report));
+    } catch (const ParhdeError& e) {
+      response = ErrorResponse(req.id, e.code(), e.what());
     }
-    resilience::DeadlineGuard guard("service.request", budget);
-
-    const GraphCache::Result cached = cache_.Get(req.graph);
-    const CsrGraph& graph = *cached.graph;
-
-    HdeOptions options = OptionsFromRequest(req);
-    ComponentsLayoutOptions copts;
-    copts.policy = DisconnectedPolicy::Largest;
-    const ComponentsLayoutResult res =
-        RunHdeOnComponents(graph, options, copts, DriverFor(req.algo));
-    const CsrGraph& laid = res.used_subgraph ? res.subgraph.graph : graph;
-
-    // Per-request run report: identity, config, timings, and the
-    // service-level metrics — deliberately NOT CollectObservability(),
-    // whose registries aggregate across every concurrent request.
-    obs::RunReport report;
-    report.tool = "parhde_serve";
-    report.graph = req.graph;
-    report.algo = req.algo;
-    report.vertices = laid.NumVertices();
-    report.edges = laid.NumEdges();
-    report.components = res.num_components;
-    report.config = {
-        {"algo", req.algo},
-        {"s", std::to_string(req.subspace_dim)},
-        {"axes", std::to_string(req.num_axes)},
-        {"pivots", req.pivots},
-        {"kernel", req.kernel},
-        {"seed", std::to_string(req.seed)},
-        {"deadline", std::to_string(budget)},
-    };
-    report.timings = res.hde.timings;
-    if (!cached.stat_hit) {
-      // The load phase only exists on a miss: its absence (and
-      // load_seconds == 0) is how a cache hit is verified end to end.
-      report.timings.Add("Load", cached.load_seconds);
-    }
-    report.metrics.emplace_back("effective_pivots",
-                                static_cast<double>(res.hde.pivots.size()));
-    report.metrics.emplace_back("cache_hit", cached.stat_hit ? 1.0 : 0.0);
-    report.metrics.emplace_back("snapshot_load",
-                                cached.snapshot_load ? 1.0 : 0.0);
-    report.metrics.emplace_back("load_seconds", cached.load_seconds);
-    report.metrics.emplace_back("queue_wait_seconds", queue_wait_seconds);
-    report.total_seconds = total.Seconds();
-    return OkResponse(req.id, "layout", "report", obs::ReportToJson(report));
-  } catch (const ParhdeError& e) {
-    return ErrorResponse(req.id, e.code(), e.what());
   }
+  // The request context is quiescent now (the scope above has been torn
+  // down and the kernels' teams have left their regions). Fold its
+  // counters, series, and recovery attempts into the global context so
+  // process-wide service.* totals keep accumulating for the `stats` op
+  // and the drain report.
+  ctx.MergeInto(util::GlobalRunContext());
+  return response;
 }
 
 std::string LayoutService::StatsResponseBody() {

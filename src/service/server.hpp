@@ -10,13 +10,17 @@
 //     connection's write mutex (responses to pipelined requests from one
 //     connection never interleave bytes).
 //
-// Per-request observability: every layout response embeds a RunReport
-// (schema parhde-run-report/2) filled from THIS request only — identity,
-// config, phase timings, and the service metrics queue_wait_seconds /
-// load_seconds / cache_hit / effective_pivots. The process-global
-// registries (counters, thread stats) aggregate across concurrent
-// requests, so the per-request report deliberately does not snapshot
-// them; the aggregate lives in the `stats` op and the drain report.
+// Per-request observability: each worker installs a util::RunContext for
+// the request it is executing (ScopedRunContext on the worker thread,
+// re-bound inside every instrumented parallel region), so counters,
+// series, traces, the recovery log, and the deadline token are all scoped
+// to THIS request. The response's RunReport therefore snapshots exactly
+// this request's run via CollectObservability(). Requests with and
+// without deadlines execute fully concurrently — the deadline token lives
+// in the request's context, not in a process global. At completion the
+// request context is folded into the global one (RunContext::MergeInto),
+// keeping the process-wide service.* totals that the `stats` op and the
+// drain report aggregate.
 //
 // Drain (SIGTERM): RequestDrain() closes the listener, closes the
 // admission queue (new requests are refused), and shuts down reads on
@@ -29,7 +33,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,13 +115,6 @@ class LayoutService {
   ServiceOptions options_;
   GraphCache cache_;
   AdmissionQueue queue_;
-  /// resilience/DeadlineGuard arms a process-global token, so an armed
-  /// request deadline would be visible to (and could spuriously expire)
-  /// every concurrently polling kernel. Requests WITHOUT a deadline take
-  /// this lock shared and run fully concurrently; requests WITH a deadline
-  /// take it exclusive and run alone. Deadline'd traffic trades
-  /// concurrency for correctness until the token becomes per-context.
-  std::shared_mutex deadline_lane_;
   int listen_fd_ = -1;
   std::atomic<bool> draining_{false};
   std::atomic<std::int64_t> completed_{0};

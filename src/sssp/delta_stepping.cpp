@@ -13,6 +13,7 @@
 #include "obs/trace.hpp"
 #include "resilience/deadline.hpp"
 #include "resilience/fault_injection.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 namespace {
@@ -136,8 +137,10 @@ SsspResult DeltaStepping(const CsrGraph& graph, vid_t source,
   // never escape an OpenMP parallel region.
   bool deadline_hit = false;
 
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel reduction(+ : relaxations)
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     Bins& bins = all_bins[tid];

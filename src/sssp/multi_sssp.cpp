@@ -11,6 +11,7 @@
 #include "resilience/deadline.hpp"
 #include "resilience/fault_injection.hpp"
 #include "sssp/delta_stepping.hpp"
+#include "util/run_context.hpp"
 
 namespace parhde {
 
@@ -113,8 +114,10 @@ void ConcurrentSsspToColumns(const CsrGraph& graph,
   std::int64_t edges_scanned = 0;
   std::atomic<bool> cancel{false};
 
+  util::RunContext* const run_ctx = util::CurrentRunContext();
 #pragma omp parallel reduction(+ : searches, settled, edges_scanned)
   {
+    util::ScopedRunContext run_scope(*run_ctx);
     obs::ScopedRegionTimer obs_timer;
     // Per-thread scratch, allocated once and reused across the thread's
     // share of the searches.

@@ -1,0 +1,61 @@
+#include "util/run_context.hpp"
+
+namespace parhde::util {
+namespace {
+
+std::atomic<std::int64_t> g_live_contexts{0};
+
+std::atomic<int> g_next_thread_ordinal{0};
+
+thread_local RunContext* t_current = nullptr;
+
+}  // namespace
+
+RunContext::RunContext() {
+  g_live_contexts.fetch_add(1, std::memory_order_relaxed);
+}
+
+RunContext::~RunContext() {
+  g_live_contexts.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void RunContext::ResetRunState() {
+  counters_.Reset();
+  trace_.Clear();
+  thread_stats_.Reset();
+  recovery_.Reset();
+  faults_.ResetCounters();
+}
+
+void RunContext::MergeInto(RunContext& dst) const {
+  counters_.MergeInto(dst.counters_);
+  recovery_.MergeInto(dst.recovery_);
+}
+
+std::int64_t RunContext::LiveCount() {
+  return g_live_contexts.load(std::memory_order_relaxed);
+}
+
+RunContext& GlobalRunContext() {
+  static RunContext* global = new RunContext();  // leaked: outlives threads
+  return *global;
+}
+
+RunContext* CurrentRunContext() {
+  RunContext* ctx = t_current;
+  return ctx != nullptr ? ctx : &GlobalRunContext();
+}
+
+ScopedRunContext::ScopedRunContext(RunContext& ctx) : prev_(t_current) {
+  t_current = &ctx;
+}
+
+ScopedRunContext::~ScopedRunContext() { t_current = prev_; }
+
+int ThisThreadOrdinal() {
+  thread_local const int ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace parhde::util

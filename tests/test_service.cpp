@@ -568,6 +568,60 @@ TEST_F(ServiceE2eTest, DeadlineExpiryReturnsTypedError) {
   ::close(fd);
 }
 
+TEST_F(ServiceE2eTest, ConcurrentDeadlineAndPlainRequestsStayIsolated) {
+  // A short-deadline request and a deadline-free request in flight at the
+  // same time: with per-request execution contexts there is no exclusive
+  // deadline lane, so the doomed request must fail fast on ITS token
+  // while the sibling completes with a report containing exactly its own
+  // counters — no leaked deadline expiry, no missing work.
+  StartDaemon("--workers=2");
+  const std::string plain_request = "{\"op\":\"layout\",\"graph\":\"" +
+                                    big_graph_ +
+                                    "\",\"s\":8,\"id\":\"plain\"}";
+
+  // Serial reference: the same plain request with the daemon otherwise
+  // idle. Counter totals are deterministic for a fixed request, so the
+  // concurrent run must reproduce them exactly.
+  const int fd_ref = Connect();
+  ASSERT_GE(fd_ref, 0);
+  const JsonValue ref = Rpc(fd_ref, plain_request);
+  ASSERT_EQ(ref.At("status").string, "ok");
+  const double ref_frontier = ref.At("report")
+                                  .At("counters")
+                                  .At("bfs.frontier_vertices")
+                                  .number;
+  ASSERT_GT(ref_frontier, 0.0);
+  ::close(fd_ref);
+
+  const int fd_plain = Connect();
+  const int fd_doomed = Connect();
+  ASSERT_GE(fd_plain, 0);
+  ASSERT_GE(fd_doomed, 0);
+  WriteFrame(fd_plain, plain_request);
+  WriteFrame(fd_doomed, "{\"op\":\"layout\",\"graph\":\"" + big_graph_ +
+                            "\",\"s\":8,\"deadline\":1e-6,\"id\":\"doomed\"}");
+
+  // The doomed request dies on its own deadline with the typed error.
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd_doomed, payload));
+  const JsonValue doomed = ParseJson(payload);
+  EXPECT_EQ(doomed.At("status").string, "deadline-exceeded");
+  EXPECT_EQ(doomed.At("id").string, "doomed");
+
+  // The sibling completes, and its report is self-consistent: the same
+  // counter totals as the idle-daemon reference, and zero deadline
+  // expirations — the doomed request's expiry stayed in its own context.
+  ASSERT_TRUE(ReadFrame(fd_plain, payload));
+  const JsonValue plain = ParseJson(payload);
+  ASSERT_EQ(plain.At("status").string, "ok");
+  EXPECT_EQ(plain.At("id").string, "plain");
+  const JsonValue& counters = plain.At("report").At("counters");
+  EXPECT_EQ(counters.At("bfs.frontier_vertices").number, ref_frontier);
+  EXPECT_EQ(counters.At("deadline.expirations").number, 0.0);
+  ::close(fd_plain);
+  ::close(fd_doomed);
+}
+
 TEST_F(ServiceE2eTest, SigtermDrainsInFlightRequests) {
   StartDaemon("--workers=1");
   const int fd = Connect();

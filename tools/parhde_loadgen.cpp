@@ -3,14 +3,24 @@
 // Usage:
 //   parhde_loadgen --socket=<path> --graph=<file> [--clients=8]
 //                  [--requests=4] [--algo=parhde] [--s=10] [--axes=2]
-//                  [--seed=1] [--deadline=<sec>] [--json=<file>]
+//                  [--seed=1] [--deadline=<sec>]
+//                  [--deadline-clients=<n>] [--json=<file>]
 //                  [--fail-on-error]
 //
 // Spawns --clients threads, each opening its own connection and issuing
-// --requests layout requests back to back. Tallies ok / overloaded /
-// failed responses and latency, prints a one-line summary, and with
-// --json writes the summary as a run report (schema parhde-run-report/2,
-// algo "service_loadgen") that bench_compare can consume directly.
+// --requests layout requests back to back. Every per-request latency is
+// recorded, so the summary (and the --json report) carries the latency
+// distribution — mean, p50, p95, p99, max — not just the mean. With
+// --json the summary is written as a run report (schema
+// parhde-run-report/2, algo "service_loadgen") that bench_compare can
+// consume directly; the percentile metrics ride in `metrics`, so the
+// bench_compare row key (algo|graph|config) is unchanged.
+//
+// --deadline-clients=N attaches --deadline to only the FIRST N clients,
+// producing a mixed workload: deadline'd and deadline-free requests in
+// flight simultaneously. Since the service runs each request under its
+// own execution context, the two populations must not serialize or
+// cross-cancel — CI's service-smoke runs this mix as a regression probe.
 //
 // Exit codes: 0 all requests ok (or errors tolerated without
 // --fail-on-error is still 0 only when every request succeeded — any
@@ -22,11 +32,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,13 +89,28 @@ struct Tally {
   std::atomic<std::int64_t> ok{0};
   std::atomic<std::int64_t> overloaded{0};
   std::atomic<std::int64_t> failed{0};
-  // Latency sum in nanoseconds (atomic double isn't portable pre-C++20 on
-  // all targets; integer ns is exact enough and lock-free everywhere).
-  std::atomic<std::int64_t> latency_ns{0};
+  // Per-answered-request latency samples (seconds). Mutex-guarded: a
+  // push_back per response is noise next to a layout round-trip.
+  std::mutex latency_mutex;
+  std::vector<double> latency_seconds;
+
+  void RecordLatency(double seconds) {
+    std::lock_guard<std::mutex> lock(latency_mutex);
+    latency_seconds.push_back(seconds);
+  }
 };
 
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
 std::string BuildRequest(const parhde::ArgParser& args,
-                         const std::string& graph, int client, int seq) {
+                         const std::string& graph, int client, int seq,
+                         bool use_deadline) {
   parhde::JsonWriter w;
   w.BeginObject();
   w.Key("op");
@@ -100,7 +129,7 @@ std::string BuildRequest(const parhde::ArgParser& args,
   // Distinct seeds exercise distinct pivot sets across requests.
   w.Int(args.GetInt("seed", 1) + client);
   const double deadline = args.GetDouble("deadline", 0.0);
-  if (deadline > 0.0) {
+  if (use_deadline && deadline > 0.0) {
     w.Key("deadline");
     w.Double(deadline);
   }
@@ -110,20 +139,20 @@ std::string BuildRequest(const parhde::ArgParser& args,
 
 void RunClient(const parhde::ArgParser& args, const std::string& socket_path,
                const std::string& graph, int client, int requests,
-               Tally& tally) {
+               bool use_deadline, Tally& tally) {
   try {
     const int fd = ConnectWithRetry(socket_path);
     std::string payload;
     for (int seq = 0; seq < requests; ++seq) {
       parhde::WallTimer latency;
-      parhde::service::WriteFrame(fd, BuildRequest(args, graph, client, seq));
+      parhde::service::WriteFrame(
+          fd, BuildRequest(args, graph, client, seq, use_deadline));
       if (!parhde::service::ReadFrame(fd, payload)) {
         // Daemon closed mid-burst: everything still unanswered failed.
         tally.failed.fetch_add(requests - seq);
         break;
       }
-      tally.latency_ns.fetch_add(
-          static_cast<std::int64_t>(latency.Seconds() * 1e9));
+      tally.RecordLatency(latency.Seconds());
       const parhde::JsonValue response = parhde::ParseJson(payload);
       const std::string status = response.At("status").string;
       if (status == "ok") {
@@ -149,9 +178,16 @@ void RunClient(const parhde::ArgParser& args, const std::string& socket_path,
 void WriteSummaryReport(const std::string& path,
                         const parhde::ArgParser& args,
                         const std::string& graph, int clients, int requests,
-                        const Tally& tally, double wall_seconds) {
-  const std::int64_t answered =
-      tally.ok.load() + tally.overloaded.load() + tally.failed.load();
+                        int deadline_clients, Tally& tally,
+                        double wall_seconds) {
+  // Called after the client threads joined: the samples are quiescent.
+  std::vector<double> sorted = tally.latency_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double mean =
+      sorted.empty()
+          ? 0.0
+          : std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+                static_cast<double>(sorted.size());
   parhde::obs::RunReport report;
   report.tool = "parhde_loadgen";
   report.graph = graph;
@@ -162,15 +198,22 @@ void WriteSummaryReport(const std::string& path,
       {"algo", args.GetString("algo", "parhde")},
       {"s", std::to_string(args.GetInt("s", 10))},
   };
+  if (deadline_clients > 0) {
+    // Only present for mixed runs, so the default row's bench_compare key
+    // (algo|graph|config) matches baselines seeded before the flag existed.
+    report.config.emplace_back("deadline_clients",
+                               std::to_string(deadline_clients));
+  }
   report.total_seconds = wall_seconds;
   report.metrics = {
       {"ok", static_cast<double>(tally.ok.load())},
       {"overloaded", static_cast<double>(tally.overloaded.load())},
       {"failed", static_cast<double>(tally.failed.load())},
-      {"mean_latency_seconds",
-       answered > 0 ? static_cast<double>(tally.latency_ns.load()) * 1e-9 /
-                          static_cast<double>(answered)
-                    : 0.0},
+      {"mean_latency_seconds", mean},
+      {"p50_latency_seconds", Percentile(sorted, 0.50)},
+      {"p95_latency_seconds", Percentile(sorted, 0.95)},
+      {"p99_latency_seconds", Percentile(sorted, 0.99)},
+      {"max_latency_seconds", sorted.empty() ? 0.0 : sorted.back()},
       {"throughput_rps",
        wall_seconds > 0.0 ? static_cast<double>(tally.ok.load()) / wall_seconds
                           : 0.0},
@@ -184,7 +227,8 @@ int Usage() {
       "usage: parhde_loadgen --socket=<path> --graph=<file> [--clients=8]\n"
       "                      [--requests=4] [--algo=parhde] [--s=10]\n"
       "                      [--axes=2] [--seed=1] [--deadline=<sec>]\n"
-      "                      [--json=<file>] [--fail-on-error]\n");
+      "                      [--deadline-clients=<n>] [--json=<file>]\n"
+      "                      [--fail-on-error]\n");
   return 2;
 }
 
@@ -202,6 +246,16 @@ int main(int argc, char** argv) {
       throw ParhdeError(ErrorCode::kInvalidValue, "loadgen",
                         "--clients and --requests must be positive");
     }
+    // --deadline alone applies to every client (the original behavior);
+    // --deadline-clients=N restricts it to clients [0, N) for mixed runs.
+    const int deadline_clients = static_cast<int>(
+        args.GetInt("deadline-clients", args.GetDouble("deadline", 0.0) > 0.0
+                                            ? clients
+                                            : 0));
+    if (deadline_clients < 0 || deadline_clients > clients) {
+      throw ParhdeError(ErrorCode::kInvalidValue, "loadgen",
+                        "--deadline-clients must be in [0, --clients]");
+    }
 
     Tally tally;
     parhde::WallTimer wall;
@@ -209,7 +263,8 @@ int main(int argc, char** argv) {
     threads.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        RunClient(args, socket_path, graph, c, requests, tally);
+        RunClient(args, socket_path, graph, c, requests,
+                  /*use_deadline=*/c < deadline_clients, tally);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -217,18 +272,22 @@ int main(int argc, char** argv) {
 
     const std::int64_t total =
         static_cast<std::int64_t>(clients) * requests;
+    std::vector<double> sorted = tally.latency_seconds;
+    std::sort(sorted.begin(), sorted.end());
     std::printf(
         "loadgen: %lld requests, %lld ok, %lld overloaded, %lld failed, "
-        "%.3fs wall\n",
+        "%.3fs wall, p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
         static_cast<long long>(total),
         static_cast<long long>(tally.ok.load()),
         static_cast<long long>(tally.overloaded.load()),
-        static_cast<long long>(tally.failed.load()), wall_seconds);
+        static_cast<long long>(tally.failed.load()), wall_seconds,
+        Percentile(sorted, 0.50), Percentile(sorted, 0.95),
+        Percentile(sorted, 0.99), sorted.empty() ? 0.0 : sorted.back());
 
     const std::string json = args.GetString("json", "");
     if (!json.empty()) {
-      WriteSummaryReport(json, args, graph, clients, requests, tally,
-                         wall_seconds);
+      WriteSummaryReport(json, args, graph, clients, requests,
+                         deadline_clients, tally, wall_seconds);
     }
 
     if (tally.failed.load() > 0) return 1;
